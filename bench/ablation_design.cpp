@@ -1,0 +1,106 @@
+// ABL-DESIGN: how much does the paper's exact design matter?
+//
+// Sweeps the pool size Γ (n/16 .. n/2), toggles with/without replacement
+// (the paper argues multi-edges are harmless), and swaps in the Bernoulli
+// design. Output: the empirical 50%-success point of MN per design,
+// normalized by the paper-design value.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/mn.hpp"
+#include "core/thresholds.hpp"
+#include "io/table.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sim/sweep.hpp"
+
+int main() {
+  using namespace pooled;
+  const BenchConfig cfg = bench_config(/*default_trials=*/10,
+                                       /*default_max_n=*/1000);
+  Timer timer;
+  bench::banner("ABL-DESIGN: pooling design ablation",
+                "50%-success query count per design variant", cfg);
+  ThreadPool pool(static_cast<unsigned>(cfg.threads));
+  const MnDecoder decoder;
+
+  const auto n = static_cast<std::uint32_t>(cfg.max_n);
+  const std::uint32_t k = thresholds::k_of(n, 0.3);
+  const double m_star = thresholds::m_mn_finite(n, k);
+  // Wide grid: pools of Γ = n/8 or n/16 carry less signal per query and
+  // shift the threshold several-fold.
+  const auto grid = linear_grid(static_cast<std::uint32_t>(0.3 * m_star),
+                                static_cast<std::uint32_t>(8.0 * m_star), 14);
+  std::printf("   n=%u k=%u m_MN(finite)=%.0f\n\n", n, k, m_star);
+
+  struct Variant {
+    std::string label;
+    TrialConfig config;
+  };
+  std::vector<Variant> variants;
+  const auto base = [&] {
+    TrialConfig config;
+    config.n = n;
+    config.k = k;
+    config.seed_base = 0xAB1;
+    return config;
+  };
+  {
+    Variant v{"regular gamma=n/2 (paper)", base()};
+    variants.push_back(v);
+  }
+  for (std::uint32_t div : {4u, 8u, 16u}) {
+    Variant v{"regular gamma=n/" + format_compact(div), base()};
+    v.config.gamma = n / div;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"distinct gamma=n/2 (no multi-edges)", base()};
+    v.config.design = DesignKind::Distinct;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"bernoulli p=0.5", base()};
+    v.config.design = DesignKind::Bernoulli;
+    v.config.p = 0.5;
+    variants.push_back(v);
+  }
+
+  double paper_m50 = 0.0;
+  ConsoleTable table({"design", "m50", "m50/paper", "success@2.0*mMN"});
+  std::vector<DataSeries> series;
+  for (const Variant& variant : variants) {
+    const auto sweep = sweep_queries(variant.config, decoder, grid,
+                                     static_cast<std::uint32_t>(cfg.trials), pool);
+    const std::uint32_t m50 = first_m_reaching(sweep, 0.5);
+    if (paper_m50 == 0.0) paper_m50 = static_cast<double>(m50);
+    double success_at_2x = 0.0;
+    for (const SweepPoint& point : sweep) {
+      if (point.m >= 2.0 * m_star) {
+        success_at_2x = point.success_rate;
+        break;
+      }
+    }
+    table.add_row({variant.label, m50 > 0 ? format_compact(m50) : "-",
+                   (m50 > 0 && paper_m50 > 0)
+                       ? format_compact(static_cast<double>(m50) / paper_m50, 3)
+                       : "-",
+                   format_compact(success_at_2x, 2)});
+    DataSeries s;
+    s.label = variant.label;
+    for (const SweepPoint& point : sweep) {
+      s.rows.push_back({static_cast<double>(point.m), point.success_rate});
+    }
+    series.push_back(std::move(s));
+  }
+  table.print(std::cout);
+  std::printf("\n   expectation: distinct and Bernoulli p=0.5 land within one\n"
+              "   grid step of the paper design (multi-edges cost at most a\n"
+              "   small constant -- the paper's practicability claim);\n"
+              "   smaller pools shift the threshold several-fold ('-' = not\n"
+              "   reached within the grid).\n");
+  bench::maybe_write_dat(cfg, "ablation_design.dat",
+                         "success vs m per design variant", {"m", "rate"},
+                         series);
+  bench::footer(timer);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// ABL-NOISE: robustness of the MN threshold to measurement noise.
+//
+// The paper's channel is exact counting; this ablation perturbs each
+// query result by +-1 with probability `rate` and measures how success
+// and overlap degrade at a fixed 2x-threshold budget, plus how much extra
+// budget restores recovery. The score gap of Corollary 6 is Θ(m); +-1
+// noise moves scores by O(sqrt(m)), so mild noise should cost little.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/mn.hpp"
+#include "core/thresholds.hpp"
+#include "io/table.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sim/sweep.hpp"
+
+int main() {
+  using namespace pooled;
+  const BenchConfig cfg = bench_config(/*default_trials=*/10,
+                                       /*default_max_n=*/1000);
+  Timer timer;
+  bench::banner("ABL-NOISE: query-noise robustness",
+                "MN success/overlap vs per-query +-1 noise rate", cfg);
+  ThreadPool pool(static_cast<unsigned>(cfg.threads));
+  const MnDecoder decoder;
+
+  const auto n = static_cast<std::uint32_t>(cfg.max_n);
+  const std::uint32_t k = thresholds::k_of(n, 0.3);
+  const double m_star = thresholds::m_mn_finite(n, k);
+  std::printf("   n=%u k=%u m_MN(finite)=%.0f\n\n", n, k, m_star);
+
+  ConsoleTable table({"noise rate", "m/m_MN", "success", "overlap"});
+  std::vector<DataSeries> series;
+  for (double rate : {0.0, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0}) {
+    DataSeries s;
+    s.label = "rate=" + format_compact(rate, 3);
+    for (double factor : {1.0, 1.5, 2.0, 3.0}) {
+      TrialConfig config;
+      config.n = n;
+      config.k = k;
+      config.m = static_cast<std::uint32_t>(factor * m_star);
+      config.seed_base = 0x401;
+      config.noise_rate = rate;
+      const AggregateResult agg = run_trials(
+          config, decoder, static_cast<std::uint32_t>(cfg.trials), pool);
+      table.add_row({format_compact(rate, 3), format_compact(factor, 2),
+                     format_compact(agg.success_rate(), 2),
+                     format_compact(agg.overlap.mean(), 4)});
+      s.rows.push_back({rate, factor, agg.success_rate(), agg.overlap.mean()});
+    }
+    series.push_back(std::move(s));
+  }
+  table.print(std::cout);
+  std::printf("\n   expectation: graceful degradation -- overlap stays near 1\n"
+              "   even at high noise; exact recovery needs a modestly larger\n"
+              "   budget as the per-entry score fluctuation grows.\n");
+  bench::maybe_write_dat(cfg, "ablation_noise.dat",
+                         "success/overlap vs noise rate and budget",
+                         {"rate", "factor", "success", "overlap"}, series);
+  bench::footer(timer);
+  return 0;
+}

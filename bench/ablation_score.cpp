@@ -1,0 +1,77 @@
+// ABL-SCORE: the MN score function ablation.
+//
+// Algorithm 1 ranks by the centralized score Ψ − Δ* k/2. Variants:
+//   raw        Ψ alone (no centering) -- pays for Δ* fluctuations,
+//   normalized Ψ / Δ*                 -- ratio centering,
+//   multiedge  multi-edge-weighted Ψ' − Δ k/2 (counts a query once per
+//              edge; the paper counts multi-edges only once).
+// Output: success vs m per variant; the centered scores should share a
+// threshold, raw should need noticeably more queries.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/mn.hpp"
+#include "core/thresholds.hpp"
+#include "io/table.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sim/sweep.hpp"
+
+int main() {
+  using namespace pooled;
+  const BenchConfig cfg = bench_config(/*default_trials=*/10,
+                                       /*default_max_n=*/1000);
+  Timer timer;
+  bench::banner("ABL-SCORE: MN score-function ablation",
+                "success vs m for the four score variants", cfg);
+  ThreadPool pool(static_cast<unsigned>(cfg.threads));
+
+  const auto n = static_cast<std::uint32_t>(cfg.max_n);
+  const std::uint32_t k = thresholds::k_of(n, 0.3);
+  const double m_star = thresholds::m_mn_finite(n, k);
+  // Wide grid: RawPsi's threshold sits several times higher.
+  const auto grid = linear_grid(static_cast<std::uint32_t>(0.4 * m_star),
+                                static_cast<std::uint32_t>(8.0 * m_star), 10);
+  std::printf("   n=%u k=%u m_MN(finite)=%.0f\n\n", n, k, m_star);
+
+  const std::vector<MnScore> scores = {MnScore::CentralizedPsi, MnScore::RawPsi,
+                                       MnScore::NormalizedPsi,
+                                       MnScore::MultiEdgePsi};
+  ConsoleTable table({"variant", "m50", "m50/m_MN", "success@1.5*mMN"});
+  std::vector<DataSeries> series;
+  for (MnScore score : scores) {
+    MnOptions options;
+    options.score = score;
+    const MnDecoder decoder(options);
+    TrialConfig config;
+    config.n = n;
+    config.k = k;
+    config.seed_base = 0xAB2;
+    const auto sweep = sweep_queries(config, decoder, grid,
+                                     static_cast<std::uint32_t>(cfg.trials), pool);
+    const std::uint32_t m50 = first_m_reaching(sweep, 0.5);
+    double success_at_15 = 0.0;
+    for (const SweepPoint& point : sweep) {
+      if (point.m >= 1.5 * m_star) {
+        success_at_15 = point.success_rate;
+        break;
+      }
+    }
+    table.add_row({decoder.name(), format_compact(m50),
+                   m50 > 0 ? format_compact(m50 / m_star, 3) : "-",
+                   format_compact(success_at_15, 2)});
+    DataSeries s;
+    s.label = decoder.name();
+    for (const SweepPoint& point : sweep) {
+      s.rows.push_back({static_cast<double>(point.m), point.success_rate});
+    }
+    series.push_back(std::move(s));
+  }
+  table.print(std::cout);
+  std::printf("\n   expectation: centralized ~ normalized ~ multiedge (all\n"
+              "   centered); raw needs several times more queries.\n");
+  bench::maybe_write_dat(cfg, "ablation_score.dat",
+                         "success vs m per score variant", {"m", "rate"},
+                         series);
+  bench::footer(timer);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Shared helpers for the figure-reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "io/csv.hpp"  // format_compact
+#include "io/gnuplot.hpp"
+#include "support/env.hpp"
+#include "support/timer.hpp"
+
+namespace pooled::bench {
+
+/// Prints the standard bench banner with the effective knobs.
+inline void banner(const std::string& name, const std::string& what,
+                   const BenchConfig& cfg) {
+  std::printf("== %s ==\n", name.c_str());
+  std::printf("   %s\n", what.c_str());
+  std::printf("   trials/point=%d  max_n=%lld  (override: POOLED_TRIALS, "
+              "POOLED_MAX_N, POOLED_OUT_DIR)\n\n",
+              cfg.trials, static_cast<long long>(cfg.max_n));
+}
+
+/// Writes a .dat artifact when POOLED_OUT_DIR is set.
+inline void maybe_write_dat(const BenchConfig& cfg, const std::string& file,
+                            const std::string& comment,
+                            const std::vector<std::string>& columns,
+                            const std::vector<DataSeries>& series) {
+  if (cfg.out_dir.empty()) return;
+  std::filesystem::create_directories(cfg.out_dir);
+  const std::string path = cfg.out_dir + "/" + file;
+  if (write_dat_file(path, comment, columns, series)) {
+    std::printf("   wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "   FAILED to write %s\n", path.c_str());
+  }
+}
+
+inline void footer(const Timer& timer) {
+  std::printf("\n   done in %.1f s\n\n", timer.seconds());
+}
+
+}  // namespace pooled::bench

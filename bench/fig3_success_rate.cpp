@@ -1,0 +1,74 @@
+// Fig. 3 reproduction: exact-recovery success rate of the MN algorithm
+// vs. number of queries m, for n in {10^3, 10^4} and θ in {0.1..0.4}.
+//
+// Also prints the Theorem-1 thresholds (asymptotic + finite-size
+// corrected) next to the empirically observed 50%-success point -- the
+// THM1 check of DESIGN.md. Paper protocol: 100 runs per point.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/mn.hpp"
+#include "core/thresholds.hpp"
+#include "io/table.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sim/sweep.hpp"
+
+int main() {
+  using namespace pooled;
+  const BenchConfig cfg = bench_config(/*default_trials=*/12,
+                                       /*default_max_n=*/10000);
+  Timer timer;
+  bench::banner("FIG3: success rate vs m",
+                "MN exact-recovery probability across the query budget", cfg);
+  ThreadPool pool(static_cast<unsigned>(cfg.threads));
+  const MnDecoder decoder;
+
+  std::vector<std::uint32_t> n_values = {1000};
+  if (cfg.max_n >= 10000) n_values.push_back(10000);
+  const std::vector<double> thetas = {0.1, 0.2, 0.3, 0.4};
+
+  for (std::uint32_t n : n_values) {
+    // Paper's x-ranges: m in [0, 1000] for n=10^3, [0, 3000] for n=10^4.
+    const std::uint32_t m_max = n == 1000 ? 1000 : 3000;
+    std::printf("-- n = %u --\n", n);
+    ConsoleTable table({"theta", "k", "m", "success", "ci95", "m50(emp)",
+                        "m_MN(finite)", "m_MN(asympt)"});
+    std::vector<DataSeries> series;
+    for (double theta : thetas) {
+      const std::uint32_t k = thresholds::k_of(n, theta);
+      TrialConfig config;
+      config.n = n;
+      config.k = k;
+      config.seed_base = 0xF163 + n + static_cast<std::uint64_t>(theta * 1000);
+      const auto grid = linear_grid(m_max / 12, m_max, 12);
+      const auto sweep = sweep_queries(config, decoder, grid,
+                                       static_cast<std::uint32_t>(cfg.trials), pool);
+      const std::uint64_t k2 = std::max<std::uint32_t>(k, 2);
+      const double mn_finite = thresholds::m_mn_finite(n, k2);
+      const double mn_asympt = thresholds::m_mn(n, k2);
+      const std::uint32_t m50 = first_m_reaching(sweep, 0.5);
+      DataSeries s;
+      s.label = "theta=" + format_compact(theta, 2);
+      for (const SweepPoint& point : sweep) {
+        table.add_row({format_compact(theta, 2), format_compact(k),
+                       format_compact(point.m),
+                       format_compact(point.success_rate, 3),
+                       format_compact(point.success_ci.low, 2) + ".." +
+                           format_compact(point.success_ci.high, 2),
+                       format_compact(m50), format_compact(mn_finite, 5),
+                       format_compact(mn_asympt, 5)});
+        s.rows.push_back({static_cast<double>(point.m), point.success_rate,
+                          point.success_ci.low, point.success_ci.high,
+                          mn_finite});
+      }
+      series.push_back(std::move(s));
+    }
+    table.print(std::cout);
+    bench::maybe_write_dat(cfg, "fig3_n" + format_compact(n) + ".dat",
+                           "success rate vs m (per-theta series)",
+                           {"m", "rate", "ci_low", "ci_high", "m_mn_finite"},
+                           series);
+  }
+  bench::footer(timer);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// MICRO: query generation throughput per design, plus the Philox
+// regeneration primitive itself. Reported counter: pooled entries/second.
+#include <benchmark/benchmark.h>
+
+#include "design/bernoulli.hpp"
+#include "design/distinct.hpp"
+#include "design/random_regular.hpp"
+#include "rng/philox.hpp"
+
+namespace {
+
+using namespace pooled;
+
+void BM_PhiloxStream(benchmark::State& state) {
+  PhiloxStream stream(1, 2);
+  std::uint64_t acc = 0;
+  for (auto _ : state) acc += stream();
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PhiloxStream);
+
+void BM_RandomRegularQuery(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  RandomRegularDesign design(n, 7);
+  std::vector<std::uint32_t> members;
+  std::uint32_t query = 0;
+  for (auto _ : state) {
+    design.query_members(query++, members);
+    benchmark::DoNotOptimize(members.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n / 2));
+}
+BENCHMARK(BM_RandomRegularQuery)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_DistinctQuery(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  DistinctDesign design(n, 7);
+  std::vector<std::uint32_t> members;
+  std::uint32_t query = 0;
+  for (auto _ : state) {
+    design.query_members(query++, members);
+    benchmark::DoNotOptimize(members.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n / 2));
+}
+BENCHMARK(BM_DistinctQuery)->Arg(1000)->Arg(10000);
+
+void BM_BernoulliQuery(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const double p = static_cast<double>(state.range(1)) / 100.0;
+  BernoulliDesign design(n, 7, p);
+  std::vector<std::uint32_t> members;
+  std::uint32_t query = 0;
+  for (auto _ : state) {
+    design.query_members(query++, members);
+    benchmark::DoNotOptimize(members.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(p * static_cast<double>(n)));
+}
+BENCHMARK(BM_BernoulliQuery)
+    ->Args({10000, 50})
+    ->Args({10000, 5})  // sparse path (geometric skipping)
+    ->Args({100000, 5});
+
+}  // namespace

@@ -1,0 +1,81 @@
+// Machine-learning feature selection via group testing (the paper's §I
+// citation [20], [33]: neural group testing / parallel feature selection).
+//
+// Setting: n candidate features, of which k unknown ones are informative.
+// Evaluating a *feature subset* on a GPU returns how many informative
+// features it contains (e.g. the count of features whose ablation moves
+// the loss) -- one expensive parallelizable measurement per subset. All
+// subset evaluations are scheduled simultaneously; the MN decoder then
+// identifies the informative features from the counts.
+//
+// The example compares the MN decoder against OMP and FISTA on the same
+// measurement budget, the comparison a practitioner would run.
+//
+//   ./feature_selection --features 4000 --informative 12 --budget 1.3
+#include <cstdio>
+#include <memory>
+
+#include "baselines/fista.hpp"
+#include "baselines/omp_pursuit.hpp"
+#include "core/instance.hpp"
+#include "core/metrics.hpp"
+#include "core/mn.hpp"
+#include "core/thresholds.hpp"
+#include "design/random_regular.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/cli.hpp"
+#include "support/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pooled;
+  CliParser cli("feature_selection");
+  cli.add_i64("features", "number of candidate features (n)", 4000);
+  cli.add_i64("informative", "number of informative features (k)", 12);
+  cli.add_f64("budget", "subset evaluations as a multiple of m_MN", 1.3);
+  cli.add_i64("seed", "random seed", 7);
+  cli.parse(argc, argv);
+  if (cli.help_requested()) {
+    std::fputs(cli.help_text().c_str(), stdout);
+    return 0;
+  }
+
+  const auto n = static_cast<std::uint32_t>(cli.i64("features"));
+  const auto k = static_cast<std::uint32_t>(cli.i64("informative"));
+  const auto seed = static_cast<std::uint64_t>(cli.i64("seed"));
+  const auto m = static_cast<std::uint32_t>(
+      cli.f64("budget") * thresholds::m_mn_finite(n, std::max<std::uint32_t>(k, 2)));
+  ThreadPool pool;
+
+  std::printf("group-testing feature selection\n");
+  std::printf("  candidate features: n = %u, informative: k = %u\n", n, k);
+  std::printf("  scheduled subset evaluations: m = %u (vs. n = %u one-by-one "
+              "ablations)\n\n", m, n);
+
+  const Signal informative = Signal::random(n, k, seed);
+  auto design = std::make_shared<RandomRegularDesign>(n, seed + 1);
+  const auto evaluations = make_streamed_instance(design, m, informative, pool);
+
+  struct Row {
+    const char* label;
+    const Decoder* decoder;
+  };
+  const MnDecoder mn;
+  const OmpDecoder omp;
+  const FistaDecoder fista;
+  const Row rows[] = {{"MN (this paper)", &mn},
+                      {"orthogonal matching pursuit", &omp},
+                      {"FISTA (l1 relaxation)", &fista}};
+  for (const Row& row : rows) {
+    Timer timer;
+    const Signal selected = row.decoder->decode(*evaluations, k, pool);
+    const double ms = timer.millis();
+    const ErrorCounts errors = error_counts(selected, informative);
+    std::printf("  %-28s exact=%-3s overlap=%5.1f%%  fp=%u fn=%u  (%.1f ms)\n",
+                row.label, exact_recovery(selected, informative) ? "YES" : "no",
+                100.0 * overlap_fraction(selected, informative),
+                errors.false_positives, errors.false_negatives, ms);
+  }
+  std::printf("\n  note: MN reads only per-feature sums (O(n+m) memory via the\n"
+              "  streamed backend); OMP/FISTA materialize the full design.\n");
+  return 0;
+}

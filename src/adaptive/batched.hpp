@@ -1,0 +1,46 @@
+// Partially-parallel pooling: the paper's closing open problem.
+//
+// A lab with L processing units conducts rounds of L simultaneous
+// queries. After each round the decoder re-estimates and stops as soon as
+// its estimate *explains every observed result* (an observable stopping
+// rule -- the truth is never consulted). The trade-off of interest:
+// total queries consumed vs. number of rounds (latency), as a function
+// of L. L = infinity recovers the paper's fully-parallel design; L = 1 is
+// fully sequential.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/signal.hpp"
+#include "design/design.hpp"
+
+namespace pooled {
+
+class ThreadPool;
+
+struct BatchedConfig {
+  std::uint32_t batch_size = 16;   ///< L: queries per parallel round
+  std::uint32_t max_rounds = 1024; ///< hard stop
+  std::uint32_t min_queries = 1;   ///< don't test the stopping rule below this
+  /// Only run the (O(m Γ)) consistency check when the decoded support did
+  /// not change across the last round. In the noisy phase the estimate
+  /// churns every round, so this prunes nearly all checks; once the
+  /// estimate locks in, the check fires immediately. Keeps small-L runs
+  /// from going quadratic.
+  bool check_only_when_stable = true;
+};
+
+struct BatchedOutcome {
+  std::uint32_t rounds = 0;
+  std::uint32_t total_queries = 0;
+  bool stopped = false;  ///< stopping rule fired before max_rounds
+  bool success = false;  ///< final estimate equals the truth
+};
+
+/// Runs the round-based scheme with the MN decoder.
+BatchedOutcome run_batched(std::shared_ptr<const PoolingDesign> design,
+                           const Signal& truth, const BatchedConfig& config,
+                           ThreadPool& pool);
+
+}  // namespace pooled

@@ -1,0 +1,62 @@
+#include "baselines/iht.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/csr_matrix.hpp"
+#include "linalg/vector_ops.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/assert.hpp"
+
+namespace pooled {
+
+IhtDecoder::IhtDecoder(IhtOptions options) : options_(options) {}
+
+Signal IhtDecoder::decode(const Instance& instance, std::uint32_t k,
+                          ThreadPool& pool) const {
+  const std::uint32_t n = instance.n();
+  POOLED_REQUIRE(k <= n, "weight k exceeds signal length");
+  if (k == 0) return Signal(n);
+
+  const auto graph = materialize_graph(instance);
+  const CsrMatrix a = CsrMatrix::from_graph_query_rows(graph);
+  const CsrMatrix at = CsrMatrix::from_graph_entry_rows(graph);
+
+  std::vector<double> y(instance.m());
+  for (std::uint32_t q = 0; q < instance.m(); ++q) {
+    y[q] = static_cast<double>(instance.results()[q]);
+  }
+
+  // Step size 1/L with L = ||A||_2^2 by power iteration.
+  std::vector<double> v(n, 1.0 / std::sqrt(static_cast<double>(n)));
+  std::vector<double> av, atav;
+  double lipschitz = 1.0;
+  for (int it = 0; it < 12; ++it) {
+    a.multiply(pool, v, av);
+    at.multiply(pool, av, atav);
+    const double norm = nrm2(atav);
+    if (norm == 0.0) break;
+    lipschitz = norm;
+    for (std::uint32_t i = 0; i < n; ++i) v[i] = atav[i] / norm;
+  }
+  const double step = 1.0 / std::max(lipschitz, 1e-12);
+
+  std::vector<double> x(n, 0.0), grad(n), residual(instance.m());
+  for (std::uint32_t iter = 0; iter < options_.iterations; ++iter) {
+    a.multiply(pool, x, residual);
+    for (std::uint32_t q = 0; q < instance.m(); ++q) residual[q] -= y[q];
+    at.multiply(pool, residual, grad);
+    axpy(-step, grad, x);
+    for (double& value : x) value = std::clamp(value, 0.0, 1.0);
+    // Hard projection: keep the k largest coordinates.
+    const auto keep = top_k_indices(x, k);
+    std::vector<double> projected(n, 0.0);
+    for (std::uint32_t index : keep) projected[index] = x[index];
+    x = std::move(projected);
+  }
+
+  auto support = top_k_indices(x, k);
+  return Signal(n, std::move(support));
+}
+
+}  // namespace pooled

@@ -1,0 +1,102 @@
+#include "baselines/peeling.hpp"
+
+#include <deque>
+
+#include "support/assert.hpp"
+
+namespace pooled {
+
+namespace {
+
+enum class State : std::uint8_t { Unknown, Zero, One };
+
+}  // namespace
+
+PeelingDecoder::PeelingDecoder(bool fill_unresolved_as_zero)
+    : fill_zero_(fill_unresolved_as_zero) {}
+
+PeelingOutcome PeelingDecoder::decode_detailed(const Instance& instance) const {
+  const std::uint32_t n = instance.n();
+  const std::uint32_t m = instance.m();
+  const auto graph = materialize_graph(instance);
+  const auto& y = instance.results();
+
+  std::vector<State> state(n, State::Unknown);
+  // residual[q]: target minus resolved-one mass; unresolved[q]: multiplicity
+  // mass of still-unknown entries.
+  std::vector<std::int64_t> residual(m);
+  std::vector<std::int64_t> unresolved(m);
+  for (std::uint32_t q = 0; q < m; ++q) {
+    residual[q] = y[q];
+    unresolved[q] = static_cast<std::int64_t>(graph.query_size(q));
+  }
+
+  std::deque<std::uint32_t> worklist;
+  std::vector<std::uint8_t> queued(m, 0);
+  for (std::uint32_t q = 0; q < m; ++q) {
+    worklist.push_back(q);
+    queued[q] = 1;
+  }
+
+  PeelingOutcome outcome{Signal(n), 0, 0, 0, 0};
+  const auto resolve = [&](std::uint32_t entry, State value) {
+    POOLED_ASSERT(state[entry] == State::Unknown);
+    state[entry] = value;
+    for (const MultiEdge& e : graph.entry_row(entry)) {
+      unresolved[e.node] -= e.multiplicity;
+      if (value == State::One) residual[e.node] -= e.multiplicity;
+      if (!queued[e.node]) {
+        worklist.push_back(e.node);
+        queued[e.node] = 1;
+      }
+    }
+  };
+
+  std::uint32_t rounds = 0;
+  while (!worklist.empty()) {
+    const std::uint32_t q = worklist.front();
+    worklist.pop_front();
+    queued[q] = 0;
+    ++rounds;
+    POOLED_ASSERT(residual[q] >= 0 && residual[q] <= unresolved[q]);
+    if (unresolved[q] == 0) continue;
+    if (residual[q] == 0) {
+      for (const MultiEdge& e : graph.query_row(q)) {
+        if (state[e.node] == State::Unknown) resolve(e.node, State::Zero);
+      }
+    } else if (residual[q] == unresolved[q]) {
+      for (const MultiEdge& e : graph.query_row(q)) {
+        if (state[e.node] == State::Unknown) resolve(e.node, State::One);
+      }
+    }
+  }
+
+  std::vector<std::uint32_t> support;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    switch (state[i]) {
+      case State::One:
+        ++outcome.resolved_ones;
+        support.push_back(i);
+        break;
+      case State::Zero:
+        ++outcome.resolved_zeros;
+        break;
+      case State::Unknown:
+        ++outcome.unresolved;
+        if (!fill_zero_) support.push_back(i);
+        break;
+    }
+  }
+  outcome.estimate = Signal(n, std::move(support));
+  outcome.rounds = rounds;
+  return outcome;
+}
+
+Signal PeelingDecoder::decode(const Instance& instance, std::uint32_t k,
+                              ThreadPool& pool) const {
+  (void)k;     // peeling infers the weight itself
+  (void)pool;  // propagation is inherently sequential per cascade
+  return decode_detailed(instance).estimate;
+}
+
+}  // namespace pooled

@@ -1,0 +1,20 @@
+#include "baselines/random_guess.hpp"
+
+#include "rng/philox.hpp"
+#include "rng/sampling.hpp"
+
+namespace pooled {
+
+RandomGuessDecoder::RandomGuessDecoder(std::uint64_t seed) : seed_(seed) {}
+
+Signal RandomGuessDecoder::decode(const Instance& instance, std::uint32_t k,
+                                  ThreadPool& pool) const {
+  (void)pool;
+  // Key the guess on the instance shape so repeated calls differ per
+  // instance but stay reproducible.
+  PhiloxStream stream(seed_, (static_cast<std::uint64_t>(instance.m()) << 32) ^
+                                 instance.total_result());
+  return Signal(instance.n(), sample_distinct(stream, instance.n(), k));
+}
+
+}  // namespace pooled

@@ -1,0 +1,78 @@
+#include "binarygt/binary_decoders.hpp"
+
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace pooled {
+
+namespace {
+
+/// Marks every entry that appears in a negative test (definite zeros).
+std::vector<std::uint8_t> definite_zero_mask(const BinaryGtInstance& instance) {
+  std::vector<std::uint8_t> zero(instance.n(), 0);
+  std::vector<std::uint32_t> members;
+  for (std::uint32_t q = 0; q < instance.m(); ++q) {
+    if (instance.outcomes()[q] != 0) continue;
+    instance.query_members(q, members);
+    for (std::uint32_t entry : members) zero[entry] = 1;
+  }
+  return zero;
+}
+
+std::uint32_t count_set(const std::vector<std::uint8_t>& mask) {
+  std::uint32_t count = 0;
+  for (std::uint8_t bit : mask) count += bit;
+  return count;
+}
+
+}  // namespace
+
+BinaryDecodeResult decode_comp(const BinaryGtInstance& instance) {
+  const auto zero = definite_zero_mask(instance);
+  std::vector<std::uint32_t> support;
+  for (std::uint32_t i = 0; i < instance.n(); ++i) {
+    if (!zero[i]) support.push_back(i);
+  }
+  BinaryDecodeResult result{Signal(instance.n(), support), count_set(zero),
+                            static_cast<std::uint32_t>(support.size())};
+  return result;
+}
+
+BinaryDecodeResult decode_dd(const BinaryGtInstance& instance) {
+  const auto zero = definite_zero_mask(instance);
+  // A candidate (non-disqualified entry) is definitely defective if it is
+  // the only candidate of some positive test.
+  std::vector<std::uint8_t> definite(instance.n(), 0);
+  std::vector<std::uint32_t> members;
+  for (std::uint32_t q = 0; q < instance.m(); ++q) {
+    if (instance.outcomes()[q] == 0) continue;
+    instance.query_members(q, members);
+    std::uint32_t candidate = 0;
+    std::uint32_t candidates = 0;
+    for (std::uint32_t entry : members) {
+      if (!zero[entry]) {
+        if (candidates == 0 || entry != candidate) {
+          // Multi-edge duplicates of the same entry count once.
+          if (candidates == 0) {
+            candidate = entry;
+            candidates = 1;
+          } else {
+            candidates = 2;
+            break;
+          }
+        }
+      }
+    }
+    if (candidates == 1) definite[candidate] = 1;
+  }
+  std::vector<std::uint32_t> support;
+  for (std::uint32_t i = 0; i < instance.n(); ++i) {
+    if (definite[i]) support.push_back(i);
+  }
+  BinaryDecodeResult result{Signal(instance.n(), support), count_set(zero),
+                            static_cast<std::uint32_t>(support.size())};
+  return result;
+}
+
+}  // namespace pooled

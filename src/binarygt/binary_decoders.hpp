@@ -1,0 +1,37 @@
+// Classical non-adaptive binary group-testing decoders.
+//
+//   COMP (combinatorial orthogonal matching pursuit): every entry seen in
+//   a negative test is definitely 0; everything else is declared 1.
+//   Guarantee: no false negatives (a true positive never sits in a
+//   negative test); may over-report.
+//
+//   DD (definite defectives): start from COMP's candidate set; an entry
+//   is *definitely* 1 if some positive test contains no other candidate.
+//   Guarantee: no false positives; may under-report.
+//
+// Both run in O(total pool mass). DD at the optimal pool size is the
+// standard efficient decoder whose k ln(n/k)/ln^2 2 ... rate the paper's
+// §I.D comparison refers to (we report empirical thresholds rather than
+// constants).
+#pragma once
+
+#include <cstdint>
+
+#include "binarygt/binary_instance.hpp"
+#include "core/signal.hpp"
+
+namespace pooled {
+
+struct BinaryDecodeResult {
+  Signal estimate;
+  std::uint32_t definite_zeros = 0;   ///< entries cleared by negative tests
+  std::uint32_t declared_ones = 0;
+};
+
+/// COMP decoding.
+BinaryDecodeResult decode_comp(const BinaryGtInstance& instance);
+
+/// DD decoding.
+BinaryDecodeResult decode_dd(const BinaryGtInstance& instance);
+
+}  // namespace pooled

@@ -1,0 +1,59 @@
+#include "binarygt/binary_instance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/assert.hpp"
+
+namespace pooled {
+
+std::uint64_t optimal_gt_gamma(std::uint32_t n, std::uint32_t k) {
+  POOLED_REQUIRE(n > 0 && k > 0, "optimal_gt_gamma needs n, k > 0");
+  const double gamma =
+      std::log(2.0) * static_cast<double>(n) / static_cast<double>(k);
+  return std::clamp<std::uint64_t>(static_cast<std::uint64_t>(std::llround(gamma)),
+                                   1, n);
+}
+
+BinaryGtInstance::BinaryGtInstance(std::shared_ptr<const PoolingDesign> design,
+                                   std::uint32_t m,
+                                   std::vector<std::uint8_t> outcomes)
+    : design_(std::move(design)), m_(m), outcomes_(std::move(outcomes)) {
+  POOLED_REQUIRE(design_ != nullptr, "binary instance needs a design");
+  POOLED_REQUIRE(outcomes_.size() == m_, "outcome vector length must equal m");
+}
+
+void BinaryGtInstance::query_members(std::uint32_t query,
+                                     std::vector<std::uint32_t>& out) const {
+  POOLED_REQUIRE(query < m_, "query index out of range");
+  design_->query_members(query, out);
+}
+
+std::unique_ptr<BinaryGtInstance> make_binary_instance(
+    std::shared_ptr<const PoolingDesign> design, std::uint32_t m,
+    const Signal& truth, ThreadPool& pool) {
+  POOLED_REQUIRE(design != nullptr, "binary instance needs a design");
+  POOLED_REQUIRE(design->num_entries() == truth.n(), "design/signal mismatch");
+  std::vector<std::uint8_t> outcomes(m, 0);
+  const PoolingDesign& d = *design;
+  parallel_for_chunked(pool, 0, m, 1, [&](std::size_t lo, std::size_t hi) {
+    std::vector<std::uint32_t> members;
+    for (std::size_t q = lo; q < hi; ++q) {
+      d.query_members(static_cast<std::uint32_t>(q), members);
+      std::uint8_t hit = 0;
+      for (std::uint32_t entry : members) {
+        if (truth.is_one(entry)) {
+          hit = 1;
+          break;
+        }
+      }
+      outcomes[q] = hit;
+    }
+  });
+  return std::make_unique<BinaryGtInstance>(std::move(design), m,
+                                            std::move(outcomes));
+}
+
+}  // namespace pooled

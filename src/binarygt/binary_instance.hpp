@@ -1,0 +1,57 @@
+// Binary (OR-channel) group testing: the "presumably more difficult"
+// variant discussed in §I.D of the paper.
+//
+// A query reports only whether its pool contains *at least one*
+// one-entry. Coja-Oghlan et al. 2021 show an efficient decoder achieving
+// m_GT ~ ln^{-1}(2) k ln(n/k) for θ ≤ ln2/(1+ln2) ≈ 0.409 -- beating the
+// MN algorithm's constant for small θ despite discarding nearly all of
+// the additive information. This module lets the bench reproduce exactly
+// that comparison.
+//
+// Design note: binary GT wants much smaller pools than the quantitative
+// problem -- Γ ≈ n ln2 / k makes a test negative with probability ~1/2,
+// maximizing information. optimal_gt_gamma() computes that size.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/signal.hpp"
+#include "design/design.hpp"
+
+namespace pooled {
+
+class ThreadPool;
+
+/// Pool size maximizing per-test information: Γ = n ln2 / k (clamped to
+/// [1, n]).
+std::uint64_t optimal_gt_gamma(std::uint32_t n, std::uint32_t k);
+
+/// Observables of a binary group-testing run: the design and the 0/1
+/// outcome per test.
+class BinaryGtInstance {
+ public:
+  BinaryGtInstance(std::shared_ptr<const PoolingDesign> design, std::uint32_t m,
+                   std::vector<std::uint8_t> outcomes);
+
+  [[nodiscard]] std::uint32_t n() const { return design_->num_entries(); }
+  [[nodiscard]] std::uint32_t m() const { return m_; }
+  /// 1 = positive test (pool intersects the support), 0 = negative.
+  [[nodiscard]] const std::vector<std::uint8_t>& outcomes() const {
+    return outcomes_;
+  }
+  void query_members(std::uint32_t query, std::vector<std::uint32_t>& out) const;
+
+ private:
+  std::shared_ptr<const PoolingDesign> design_;
+  std::uint32_t m_;
+  std::vector<std::uint8_t> outcomes_;
+};
+
+/// Teacher step: runs m parallel OR-queries of `design` against `truth`.
+std::unique_ptr<BinaryGtInstance> make_binary_instance(
+    std::shared_ptr<const PoolingDesign> design, std::uint32_t m,
+    const Signal& truth, ThreadPool& pool);
+
+}  // namespace pooled

@@ -1,0 +1,28 @@
+// Common decoder interface implemented by the MN algorithm and every
+// baseline, so the comparison bench can treat them uniformly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/instance.hpp"
+#include "core/signal.hpp"
+
+namespace pooled {
+
+class ThreadPool;
+
+class Decoder {
+ public:
+  virtual ~Decoder() = default;
+
+  /// Reconstructs a weight-k estimate of the hidden signal from (G, y).
+  /// `k` is the Hamming weight (known in the teacher-student model; the
+  /// paper notes one extra all-entries query reveals it otherwise).
+  [[nodiscard]] virtual Signal decode(const Instance& instance, std::uint32_t k,
+                                      ThreadPool& pool) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace pooled

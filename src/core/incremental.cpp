@@ -1,0 +1,120 @@
+#include "core/incremental.hpp"
+
+#include <algorithm>
+
+#include "core/instance.hpp"
+#include "support/assert.hpp"
+
+namespace pooled {
+
+IncrementalMn::IncrementalMn(std::shared_ptr<const PoolingDesign> design, Signal truth,
+                             MnScore score)
+    : design_(std::move(design)), truth_(std::move(truth)), score_(score) {
+  POOLED_REQUIRE(design_ != nullptr, "incremental MN needs a design");
+  POOLED_REQUIRE(design_->num_entries() == truth_.n(),
+                 "design/signal length mismatch");
+  const std::uint32_t n = truth_.n();
+  psi_.assign(n, 0);
+  psi_multi_.assign(n, 0);
+  delta_.assign(n, 0);
+  delta_star_.assign(n, 0);
+  mark_.assign(n, 0xFFFFFFFFu);
+}
+
+std::uint32_t IncrementalMn::add_query() {
+  const auto query = static_cast<std::uint32_t>(y_.size());
+  design_->query_members(query, scratch_);
+  std::uint32_t result = 0;
+  for (std::uint32_t entry : scratch_) result += truth_.value(entry);
+  // Epoch marking (mark_[e] = last query that touched e) detects first
+  // occurrences without sorting the Γ draws.
+  for (std::uint32_t entry : scratch_) {
+    if (mark_[entry] != query) {
+      mark_[entry] = query;
+      psi_[entry] += result;
+      delta_star_[entry] += 1;
+    }
+    psi_multi_[entry] += result;
+    delta_[entry] += 1;
+  }
+  y_.push_back(result);
+  return result;
+}
+
+double IncrementalMn::score_of(std::uint32_t entry) const {
+  const double half_k = static_cast<double>(truth_.k()) / 2.0;
+  switch (score_) {
+    case MnScore::CentralizedPsi:
+      return static_cast<double>(psi_[entry]) -
+             static_cast<double>(delta_star_[entry]) * half_k;
+    case MnScore::RawPsi:
+      return static_cast<double>(psi_[entry]);
+    case MnScore::NormalizedPsi:
+      return delta_star_[entry] == 0 ? 0.0
+                                     : static_cast<double>(psi_[entry]) /
+                                           static_cast<double>(delta_star_[entry]);
+    case MnScore::MultiEdgePsi:
+      return static_cast<double>(psi_multi_[entry]) -
+             static_cast<double>(delta_[entry]) * half_k;
+  }
+  return 0.0;
+}
+
+bool IncrementalMn::matches_truth() const {
+  // Exact recovery iff the worst-ranked one-entry still beats the
+  // best-ranked zero-entry under the (score desc, index asc) total order.
+  const std::uint32_t n = truth_.n();
+  if (truth_.k() == 0) return true;
+  bool have_one = false, have_zero = false;
+  double worst_one = 0.0, best_zero = 0.0;
+  std::uint32_t worst_one_idx = 0, best_zero_idx = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const double s = score_of(i);
+    if (truth_.is_one(i)) {
+      if (!have_one || s < worst_one || (s == worst_one && i > worst_one_idx)) {
+        worst_one = s;
+        worst_one_idx = i;
+        have_one = true;
+      }
+    } else {
+      if (!have_zero || s > best_zero || (s == best_zero && i < best_zero_idx)) {
+        best_zero = s;
+        best_zero_idx = i;
+        have_zero = true;
+      }
+    }
+  }
+  if (!have_zero) return true;  // k == n
+  if (worst_one != best_zero) return worst_one > best_zero;
+  return worst_one_idx < best_zero_idx;
+}
+
+double IncrementalMn::overlap_fraction() const {
+  const std::uint32_t k = truth_.k();
+  if (k == 0) return 1.0;
+  const Signal estimate = decode();
+  return static_cast<double>(estimate.overlap(truth_)) / static_cast<double>(k);
+}
+
+Signal IncrementalMn::decode() const {
+  const std::uint32_t n = truth_.n();
+  std::vector<double> scores(n);
+  for (std::uint32_t i = 0; i < n; ++i) scores[i] = score_of(i);
+  std::vector<std::uint32_t> order(n);
+  for (std::uint32_t i = 0; i < n; ++i) order[i] = i;
+  const std::uint32_t k = truth_.k();
+  std::nth_element(order.begin(), order.begin() + k, order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     if (scores[a] != scores[b]) return scores[a] > scores[b];
+                     return a < b;
+                   });
+  order.resize(k);
+  std::sort(order.begin(), order.end());
+  return Signal(n, std::move(order));
+}
+
+std::unique_ptr<StreamedInstance> IncrementalMn::to_instance() const {
+  return std::make_unique<StreamedInstance>(design_, m(), y_);
+}
+
+}  // namespace pooled

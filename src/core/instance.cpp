@@ -1,0 +1,212 @@
+#include "core/instance.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/assert.hpp"
+
+namespace pooled {
+
+namespace {
+
+/// Sums the candidate's values over one query's raw draws (multi-edges
+/// contribute once per occurrence, exactly as the query method does).
+std::uint32_t pooled_sum(const Signal& candidate,
+                         const std::vector<std::uint32_t>& members) {
+  std::uint32_t sum = 0;
+  for (std::uint32_t entry : members) sum += candidate.value(entry);
+  return sum;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> Instance::results_for(const Signal& candidate) const {
+  POOLED_REQUIRE(candidate.n() == n(), "candidate length mismatch");
+  std::vector<std::uint32_t> y(m());
+  std::vector<std::uint32_t> members;
+  for (std::uint32_t q = 0; q < m(); ++q) {
+    query_members(q, members);
+    y[q] = pooled_sum(candidate, members);
+  }
+  return y;
+}
+
+bool Instance::is_consistent(const Signal& candidate) const {
+  POOLED_REQUIRE(candidate.n() == n(), "candidate length mismatch");
+  const auto& y = results();
+  std::vector<std::uint32_t> members;
+  for (std::uint32_t q = 0; q < m(); ++q) {
+    query_members(q, members);
+    if (pooled_sum(candidate, members) != y[q]) return false;
+  }
+  return true;
+}
+
+std::uint64_t Instance::total_result() const {
+  std::uint64_t total = 0;
+  for (std::uint32_t value : results()) total += value;
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// StoredInstance
+
+StoredInstance::StoredInstance(BipartiteMultigraph graph, std::vector<std::uint32_t> y)
+    : graph_(std::move(graph)), y_(std::move(y)) {
+  POOLED_REQUIRE(y_.size() == graph_.num_queries(),
+                 "result vector length must equal query count");
+}
+
+void StoredInstance::query_members(std::uint32_t query,
+                                   std::vector<std::uint32_t>& out) const {
+  out.clear();
+  for (const MultiEdge& e : graph_.query_row(query)) {
+    for (std::uint32_t c = 0; c < e.multiplicity; ++c) out.push_back(e.node);
+  }
+}
+
+EntryStats StoredInstance::entry_stats(ThreadPool& pool) const {
+  const std::uint32_t num = n();
+  EntryStats stats;
+  stats.psi.resize(num);
+  stats.psi_multi.resize(num);
+  stats.delta.resize(num);
+  stats.delta_star.resize(num);
+  parallel_for(pool, 0, num, [&](std::size_t i) {
+    std::uint64_t psi = 0, psi_multi = 0, delta = 0;
+    const auto row = graph_.entry_row(static_cast<std::uint32_t>(i));
+    for (const MultiEdge& e : row) {
+      psi += y_[e.node];
+      psi_multi += static_cast<std::uint64_t>(e.multiplicity) * y_[e.node];
+      delta += e.multiplicity;
+    }
+    stats.psi[i] = psi;
+    stats.psi_multi[i] = psi_multi;
+    stats.delta[i] = delta;
+    stats.delta_star[i] = static_cast<std::uint32_t>(row.size());
+  });
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// StreamedInstance
+
+StreamedInstance::StreamedInstance(std::shared_ptr<const PoolingDesign> design,
+                                   std::uint32_t m, std::vector<std::uint32_t> y)
+    : design_(std::move(design)), m_(m), y_(std::move(y)) {
+  POOLED_REQUIRE(design_ != nullptr, "streamed instance needs a design");
+  POOLED_REQUIRE(y_.size() == m_, "result vector length must equal query count");
+}
+
+void StreamedInstance::query_members(std::uint32_t query,
+                                     std::vector<std::uint32_t>& out) const {
+  POOLED_REQUIRE(query < m_, "query index out of range");
+  design_->query_members(query, out);
+}
+
+EntryStats StreamedInstance::entry_stats(ThreadPool& pool) const {
+  const std::uint32_t num = n();
+  // Shared atomic accumulators: query loads are balanced and n is large,
+  // so contention is negligible next to the regeneration cost.
+  std::vector<std::atomic<std::uint64_t>> psi(num);
+  std::vector<std::atomic<std::uint64_t>> psi_multi(num);
+  std::vector<std::atomic<std::uint64_t>> delta(num);
+  std::vector<std::atomic<std::uint32_t>> delta_star(num);
+  constexpr std::uint32_t kUnmarked = 0xFFFFFFFFu;
+  parallel_for_chunked(pool, 0, m_, 1, [&](std::size_t lo, std::size_t hi) {
+    std::vector<std::uint32_t> members;
+    // Epoch marking replaces a per-query sort: mark[e] records the last
+    // query (within this chunk) that touched entry e, so first occurrences
+    // are detected in O(1). Queries are processed once each, so distinct
+    // counting stays exact.
+    std::vector<std::uint32_t> mark(num, kUnmarked);
+    for (std::size_t q = lo; q < hi; ++q) {
+      const auto query = static_cast<std::uint32_t>(q);
+      design_->query_members(query, members);
+      const std::uint64_t yq = y_[q];
+      for (std::uint32_t entry : members) {
+        if (mark[entry] != query) {
+          mark[entry] = query;
+          psi[entry].fetch_add(yq, std::memory_order_relaxed);
+          delta_star[entry].fetch_add(1, std::memory_order_relaxed);
+        }
+        psi_multi[entry].fetch_add(yq, std::memory_order_relaxed);
+        delta[entry].fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  EntryStats stats;
+  stats.psi.resize(num);
+  stats.psi_multi.resize(num);
+  stats.delta.resize(num);
+  stats.delta_star.resize(num);
+  for (std::uint32_t i = 0; i < num; ++i) {
+    stats.psi[i] = psi[i].load(std::memory_order_relaxed);
+    stats.psi_multi[i] = psi_multi[i].load(std::memory_order_relaxed);
+    stats.delta[i] = delta[i].load(std::memory_order_relaxed);
+    stats.delta_star[i] = delta_star[i].load(std::memory_order_relaxed);
+  }
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Teacher-side construction
+
+std::vector<std::uint32_t> simulate_queries(const PoolingDesign& design,
+                                            std::uint32_t m, const Signal& truth,
+                                            ThreadPool& pool) {
+  POOLED_REQUIRE(design.num_entries() == truth.n(), "design/signal length mismatch");
+  std::vector<std::uint32_t> y(m);
+  parallel_for_chunked(pool, 0, m, 1, [&](std::size_t lo, std::size_t hi) {
+    std::vector<std::uint32_t> members;
+    for (std::size_t q = lo; q < hi; ++q) {
+      design.query_members(static_cast<std::uint32_t>(q), members);
+      y[q] = pooled_sum(truth, members);
+    }
+  });
+  return y;
+}
+
+std::unique_ptr<StoredInstance> make_stored_instance(const PoolingDesign& design,
+                                                     std::uint32_t m,
+                                                     const Signal& truth,
+                                                     ThreadPool& pool) {
+  POOLED_REQUIRE(design.num_entries() == truth.n(), "design/signal length mismatch");
+  BipartiteMultigraph::Builder builder(design.num_entries(), m);
+  std::vector<std::uint32_t> y(m);
+  std::vector<std::uint32_t> members;
+  for (std::uint32_t q = 0; q < m; ++q) {
+    design.query_members(q, members);
+    y[q] = pooled_sum(truth, members);
+    builder.add_query(members);
+  }
+  return std::make_unique<StoredInstance>(builder.finalize(&pool), std::move(y));
+}
+
+std::unique_ptr<StreamedInstance> make_streamed_instance(
+    std::shared_ptr<const PoolingDesign> design, std::uint32_t m,
+    const Signal& truth, ThreadPool& pool) {
+  POOLED_REQUIRE(design != nullptr, "streamed instance needs a design");
+  auto y = simulate_queries(*design, m, truth, pool);
+  return std::make_unique<StreamedInstance>(std::move(design), m, std::move(y));
+}
+
+std::uint32_t estimate_k_extra_query(const Signal& truth) {
+  // One additional parallel query pooling every entry once returns
+  // sum_i sigma(i) = k exactly.
+  return truth.k();
+}
+
+BipartiteMultigraph materialize_graph(const Instance& instance) {
+  BipartiteMultigraph::Builder builder(instance.n(), instance.m());
+  std::vector<std::uint32_t> members;
+  for (std::uint32_t q = 0; q < instance.m(); ++q) {
+    instance.query_members(q, members);
+    builder.add_query(members);
+  }
+  return builder.finalize();
+}
+
+}  // namespace pooled

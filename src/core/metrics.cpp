@@ -1,0 +1,23 @@
+#include "core/metrics.hpp"
+
+#include "support/assert.hpp"
+
+namespace pooled {
+
+bool exact_recovery(const Signal& estimate, const Signal& truth) {
+  return estimate == truth;
+}
+
+double overlap_fraction(const Signal& estimate, const Signal& truth) {
+  if (truth.k() == 0) return 1.0;
+  return static_cast<double>(estimate.overlap(truth)) /
+         static_cast<double>(truth.k());
+}
+
+ErrorCounts error_counts(const Signal& estimate, const Signal& truth) {
+  POOLED_REQUIRE(estimate.n() == truth.n(), "error_counts: length mismatch");
+  const std::uint32_t shared = estimate.overlap(truth);
+  return ErrorCounts{estimate.k() - shared, truth.k() - shared};
+}
+
+}  // namespace pooled

@@ -1,0 +1,22 @@
+// Reconstruction quality metrics (the quantities Figs. 3 and 4 plot).
+#pragma once
+
+#include "core/signal.hpp"
+
+namespace pooled {
+
+/// Exact recovery: estimate == truth.
+bool exact_recovery(const Signal& estimate, const Signal& truth);
+
+/// The paper's "overlap": fraction of true one-entries present in the
+/// estimate (1.0 for k = 0).
+double overlap_fraction(const Signal& estimate, const Signal& truth);
+
+/// Classification error decomposition for equal-weight estimates.
+struct ErrorCounts {
+  std::uint32_t false_positives;  ///< estimated 1, truly 0
+  std::uint32_t false_negatives;  ///< estimated 0, truly 1
+};
+ErrorCounts error_counts(const Signal& estimate, const Signal& truth);
+
+}  // namespace pooled

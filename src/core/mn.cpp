@@ -1,0 +1,104 @@
+#include "core/mn.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/parallel_sort.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/assert.hpp"
+
+namespace pooled {
+
+MnDecoder::MnDecoder(MnOptions options) : options_(options) {}
+
+std::vector<double> MnDecoder::scores_from_stats(const EntryStats& stats,
+                                                 std::uint32_t k,
+                                                 ThreadPool& pool) const {
+  const std::size_t n = stats.psi.size();
+  std::vector<double> scores(n);
+  const double half_k = static_cast<double>(k) / 2.0;
+  switch (options_.score) {
+    case MnScore::CentralizedPsi:
+      parallel_for(pool, 0, n, [&](std::size_t i) {
+        scores[i] = static_cast<double>(stats.psi[i]) -
+                    static_cast<double>(stats.delta_star[i]) * half_k;
+      });
+      break;
+    case MnScore::RawPsi:
+      parallel_for(pool, 0, n, [&](std::size_t i) {
+        scores[i] = static_cast<double>(stats.psi[i]);
+      });
+      break;
+    case MnScore::NormalizedPsi:
+      parallel_for(pool, 0, n, [&](std::size_t i) {
+        scores[i] = stats.delta_star[i] == 0
+                        ? 0.0
+                        : static_cast<double>(stats.psi[i]) /
+                              static_cast<double>(stats.delta_star[i]);
+      });
+      break;
+    case MnScore::MultiEdgePsi:
+      parallel_for(pool, 0, n, [&](std::size_t i) {
+        scores[i] = static_cast<double>(stats.psi_multi[i]) -
+                    static_cast<double>(stats.delta[i]) * half_k;
+      });
+      break;
+  }
+  return scores;
+}
+
+std::vector<std::uint32_t> select_top_k(std::vector<double>& scores, std::uint32_t k,
+                                        bool full_sort, ThreadPool& pool) {
+  POOLED_REQUIRE(k <= scores.size(), "cannot select more entries than exist");
+  std::vector<std::uint32_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0u);
+  const auto better = [&](std::uint32_t a, std::uint32_t b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;  // deterministic tie-break
+  };
+  if (full_sort) {
+    // Algorithm 1 as written: sort all n coordinates by score.
+    parallel_sort(pool, order.begin(), order.end(), better);
+  } else {
+    std::nth_element(order.begin(), order.begin() + k, order.end(), better);
+  }
+  order.resize(k);
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+MnResult MnDecoder::decode_scored(const Instance& instance, std::uint32_t k,
+                                  ThreadPool& pool) const {
+  POOLED_REQUIRE(k <= instance.n(), "weight k exceeds signal length");
+  const EntryStats stats = instance.entry_stats(pool);
+  std::vector<double> scores = scores_from_stats(stats, k, pool);
+  std::vector<double> kept = scores;  // select_top_k permutes through `order` only
+  auto support = select_top_k(scores, k, options_.full_sort, pool);
+  return MnResult{Signal(instance.n(), std::move(support)), std::move(kept)};
+}
+
+Signal MnDecoder::decode(const Instance& instance, std::uint32_t k,
+                         ThreadPool& pool) const {
+  POOLED_REQUIRE(k <= instance.n(), "weight k exceeds signal length");
+  const EntryStats stats = instance.entry_stats(pool);
+  std::vector<double> scores = scores_from_stats(stats, k, pool);
+  auto support = select_top_k(scores, k, options_.full_sort, pool);
+  return Signal(instance.n(), std::move(support));
+}
+
+std::string MnDecoder::name() const {
+  switch (options_.score) {
+    case MnScore::CentralizedPsi:
+      return "mn";
+    case MnScore::RawPsi:
+      return "mn-raw";
+    case MnScore::NormalizedPsi:
+      return "mn-normalized";
+    case MnScore::MultiEdgePsi:
+      return "mn-multiedge";
+  }
+  return "mn-?";
+}
+
+}  // namespace pooled

@@ -1,0 +1,38 @@
+#include "core/noise.hpp"
+
+#include <cmath>
+
+#include "rng/distributions.hpp"
+#include "rng/philox.hpp"
+#include "support/assert.hpp"
+
+namespace pooled {
+
+void add_symmetric_noise(std::vector<std::uint32_t>& results, double rate,
+                         std::uint64_t seed) {
+  POOLED_REQUIRE(rate >= 0.0 && rate <= 1.0, "noise rate must lie in [0,1]");
+  if (rate == 0.0) return;
+  PhiloxStream stream(seed, 0x4015Eull);
+  for (std::uint32_t& y : results) {
+    if (!bernoulli(stream, rate)) continue;
+    if (bernoulli(stream, 0.5)) {
+      ++y;
+    } else if (y > 0) {
+      --y;
+    }
+  }
+}
+
+void add_gaussian_noise(std::vector<std::uint32_t>& results, double sigma,
+                        std::uint64_t seed) {
+  POOLED_REQUIRE(sigma >= 0.0, "noise sigma must be non-negative");
+  if (sigma == 0.0) return;
+  PhiloxStream stream(seed, 0x6A755ull);
+  for (std::uint32_t& y : results) {
+    const double noise = sigma * standard_normal(stream);
+    const double perturbed = static_cast<double>(y) + std::llround(noise);
+    y = perturbed < 0.0 ? 0u : static_cast<std::uint32_t>(perturbed);
+  }
+}
+
+}  // namespace pooled

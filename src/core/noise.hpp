@@ -1,0 +1,25 @@
+// Query-noise models (robustness extension).
+//
+// The paper assumes exact counts; real measurement channels (qPCR
+// quantification, GPU count estimates) are noisy. This module perturbs
+// result vectors so the robustness ablation can measure how gracefully
+// the MN threshold degrades -- the thresholding decoder only needs the
+// score gap of Corollary 6 to survive the perturbation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pooled {
+
+/// With probability `rate` per query, shifts the result by +1 or -1
+/// (fair sign; clamped at 0). Deterministic in `seed`.
+void add_symmetric_noise(std::vector<std::uint32_t>& results, double rate,
+                         std::uint64_t seed);
+
+/// Adds discrete rounded Gaussian noise of standard deviation `sigma` to
+/// every result (clamped at 0). Deterministic in `seed`.
+void add_gaussian_noise(std::vector<std::uint32_t>& results, double sigma,
+                        std::uint64_t seed);
+
+}  // namespace pooled

@@ -1,0 +1,120 @@
+#include "core/serialize.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace pooled {
+
+namespace {
+constexpr const char* kMagic = "pooled-instance";
+constexpr const char* kVersion = "v1";
+}  // namespace
+
+std::string design_kind_name(DesignKind kind) {
+  switch (kind) {
+    case DesignKind::RandomRegular:
+      return "random-regular";
+    case DesignKind::Distinct:
+      return "distinct";
+    case DesignKind::Bernoulli:
+      return "bernoulli";
+  }
+  POOLED_REQUIRE(false, "unknown design kind");
+  return {};
+}
+
+DesignKind design_kind_from_name(const std::string& name) {
+  if (name == "random-regular") return DesignKind::RandomRegular;
+  if (name == "distinct") return DesignKind::Distinct;
+  if (name == "bernoulli") return DesignKind::Bernoulli;
+  POOLED_REQUIRE(false, "unknown design kind '" + name + "'");
+  return DesignKind::RandomRegular;
+}
+
+std::unique_ptr<StreamedInstance> InstanceSpec::to_instance() const {
+  auto design = make_design(kind, params);
+  return std::make_unique<StreamedInstance>(std::move(design), m, y);
+}
+
+InstanceSpec make_spec(DesignKind kind, const DesignParams& params,
+                       const std::vector<std::uint32_t>& results) {
+  InstanceSpec spec;
+  spec.kind = kind;
+  spec.params = params;
+  spec.m = static_cast<std::uint32_t>(results.size());
+  spec.y = results;
+  return spec;
+}
+
+void save_instance(std::ostream& os, const InstanceSpec& spec) {
+  POOLED_REQUIRE(spec.y.size() == spec.m, "spec results length mismatch");
+  os << kMagic << ' ' << kVersion << '\n';
+  os << "design " << design_kind_name(spec.kind) << '\n';
+  os << "n " << spec.params.n << '\n';
+  os << "seed " << spec.params.seed << '\n';
+  os << "gamma " << spec.params.gamma << '\n';
+  os << "p " << spec.params.p << '\n';
+  os << "m " << spec.m << '\n';
+  os << "y";
+  for (std::uint32_t value : spec.y) os << ' ' << value;
+  os << '\n';
+  POOLED_REQUIRE(static_cast<bool>(os), "instance serialization failed");
+}
+
+InstanceSpec load_instance(std::istream& is) {
+  std::string magic, version;
+  is >> magic >> version;
+  POOLED_REQUIRE(static_cast<bool>(is) && magic == kMagic,
+                 "not a pooled-instance stream");
+  POOLED_REQUIRE(version == kVersion, "unsupported format version " + version);
+  InstanceSpec spec;
+  std::string key;
+  bool saw_m = false;
+  while (is >> key) {
+    if (key == "design") {
+      std::string name;
+      POOLED_REQUIRE(static_cast<bool>(is >> name), "truncated design field");
+      spec.kind = design_kind_from_name(name);
+    } else if (key == "n") {
+      POOLED_REQUIRE(static_cast<bool>(is >> spec.params.n), "truncated n");
+    } else if (key == "seed") {
+      POOLED_REQUIRE(static_cast<bool>(is >> spec.params.seed), "truncated seed");
+    } else if (key == "gamma") {
+      POOLED_REQUIRE(static_cast<bool>(is >> spec.params.gamma), "truncated gamma");
+    } else if (key == "p") {
+      POOLED_REQUIRE(static_cast<bool>(is >> spec.params.p), "truncated p");
+    } else if (key == "m") {
+      POOLED_REQUIRE(static_cast<bool>(is >> spec.m), "truncated m");
+      saw_m = true;
+    } else if (key == "y") {
+      POOLED_REQUIRE(saw_m, "y field must follow m");
+      spec.y.resize(spec.m);
+      for (std::uint32_t i = 0; i < spec.m; ++i) {
+        POOLED_REQUIRE(static_cast<bool>(is >> spec.y[i]), "truncated y values");
+      }
+    } else {
+      POOLED_REQUIRE(false, "unknown field '" + key + "'");
+    }
+  }
+  POOLED_REQUIRE(spec.params.n > 0, "spec missing n");
+  POOLED_REQUIRE(spec.y.size() == spec.m, "spec results length mismatch");
+  return spec;
+}
+
+void save_instance_file(const std::string& path, const InstanceSpec& spec) {
+  std::ofstream os(path);
+  POOLED_REQUIRE(static_cast<bool>(os), "cannot open '" + path + "' for writing");
+  save_instance(os, spec);
+}
+
+InstanceSpec load_instance_file(const std::string& path) {
+  std::ifstream is(path);
+  POOLED_REQUIRE(static_cast<bool>(is), "cannot open '" + path + "' for reading");
+  return load_instance(is);
+}
+
+}  // namespace pooled

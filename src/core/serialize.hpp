@@ -1,0 +1,58 @@
+// Instance (de)serialization for reproducibility workflows.
+//
+// An experiment's observables are tiny thanks to the streamed design:
+// the design specification (kind + seed + shape) plus the m query
+// results fully determine the instance. The text format is versioned and
+// self-describing so archived runs stay loadable:
+//
+//   pooled-instance v1
+//   design random-regular
+//   n 10000
+//   seed 42
+//   gamma 5000
+//   p 0.5
+//   m 3
+//   y 12 9 14
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "design/design.hpp"
+
+namespace pooled {
+
+/// Everything needed to reconstruct a streamed instance.
+struct InstanceSpec {
+  DesignKind kind = DesignKind::RandomRegular;
+  DesignParams params;
+  std::uint32_t m = 0;
+  std::vector<std::uint32_t> y;
+
+  /// Rebuilds the live instance (regenerates queries from the seed).
+  [[nodiscard]] std::unique_ptr<StreamedInstance> to_instance() const;
+};
+
+/// Captures the spec of a live streamed run (results copied).
+InstanceSpec make_spec(DesignKind kind, const DesignParams& params,
+                       const std::vector<std::uint32_t>& results);
+
+/// Writes the versioned text format. Throws ContractError on bad streams.
+void save_instance(std::ostream& os, const InstanceSpec& spec);
+
+/// Parses the text format; throws ContractError on malformed input,
+/// unknown versions, or unknown design kinds.
+InstanceSpec load_instance(std::istream& is);
+
+/// Round-trip convenience over files. Throws on IO failure.
+void save_instance_file(const std::string& path, const InstanceSpec& spec);
+InstanceSpec load_instance_file(const std::string& path);
+
+/// Stable identifiers used in the format ("random-regular", ...).
+std::string design_kind_name(DesignKind kind);
+DesignKind design_kind_from_name(const std::string& name);
+
+}  // namespace pooled

@@ -1,0 +1,51 @@
+#include "core/signal.hpp"
+
+#include <algorithm>
+
+#include "rng/philox.hpp"
+#include "rng/sampling.hpp"
+#include "support/assert.hpp"
+
+namespace pooled {
+
+Signal::Signal(std::uint32_t n) : dense_(n, 0) {
+  POOLED_REQUIRE(n > 0, "signal length must be positive");
+}
+
+Signal::Signal(std::uint32_t n, std::vector<std::uint32_t> support)
+    : dense_(n, 0), support_(std::move(support)) {
+  POOLED_REQUIRE(n > 0, "signal length must be positive");
+  std::sort(support_.begin(), support_.end());
+  for (std::size_t i = 0; i < support_.size(); ++i) {
+    POOLED_REQUIRE(support_[i] < n, "support index out of range");
+    POOLED_REQUIRE(i == 0 || support_[i] != support_[i - 1],
+                   "support contains a duplicate index");
+    dense_[support_[i]] = 1;
+  }
+}
+
+Signal Signal::random(std::uint32_t n, std::uint32_t k, std::uint64_t seed) {
+  POOLED_REQUIRE(k <= n, "Hamming weight cannot exceed signal length");
+  PhiloxStream stream(seed, 0x51C7A1ull);
+  return Signal(n, sample_distinct(stream, n, k));
+}
+
+std::uint32_t Signal::overlap(const Signal& other) const {
+  POOLED_REQUIRE(other.n() == n(), "overlap requires equal-length signals");
+  std::uint32_t shared = 0;
+  auto it = other.support_.begin();
+  for (std::uint32_t index : support_) {
+    while (it != other.support_.end() && *it < index) ++it;
+    if (it == other.support_.end()) break;
+    if (*it == index) ++shared;
+  }
+  return shared;
+}
+
+std::uint32_t Signal::hamming_distance(const Signal& other) const {
+  POOLED_REQUIRE(other.n() == n(), "hamming distance requires equal lengths");
+  const std::uint32_t shared = overlap(other);
+  return (k() - shared) + (other.k() - shared);
+}
+
+}  // namespace pooled

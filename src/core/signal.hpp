@@ -1,0 +1,45 @@
+// The hidden binary signal sigma in {0,1}^n of Hamming weight k.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pooled {
+
+class Signal {
+ public:
+  /// All-zero signal of length n.
+  explicit Signal(std::uint32_t n);
+
+  /// Signal with the given support (indices of one-entries; duplicates
+  /// rejected).
+  Signal(std::uint32_t n, std::vector<std::uint32_t> support);
+
+  /// Uniform draw from all weight-k vectors (the teacher's prior).
+  static Signal random(std::uint32_t n, std::uint32_t k, std::uint64_t seed);
+
+  [[nodiscard]] std::uint32_t n() const { return static_cast<std::uint32_t>(dense_.size()); }
+  [[nodiscard]] std::uint32_t k() const { return static_cast<std::uint32_t>(support_.size()); }
+
+  /// sigma(i) as 0/1.
+  [[nodiscard]] std::uint32_t value(std::uint32_t i) const { return dense_[i]; }
+  [[nodiscard]] bool is_one(std::uint32_t i) const { return dense_[i] != 0; }
+
+  /// Sorted indices of one-entries.
+  [[nodiscard]] std::span<const std::uint32_t> support() const { return support_; }
+
+  /// Number of shared one-entries with another signal (the paper's overlap ℓ).
+  [[nodiscard]] std::uint32_t overlap(const Signal& other) const;
+
+  /// Hamming distance.
+  [[nodiscard]] std::uint32_t hamming_distance(const Signal& other) const;
+
+  bool operator==(const Signal& other) const = default;
+
+ private:
+  std::vector<std::uint8_t> dense_;
+  std::vector<std::uint32_t> support_;
+};
+
+}  // namespace pooled

@@ -1,0 +1,94 @@
+#include "core/thresholds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rng/sampling.hpp"
+#include "support/assert.hpp"
+
+namespace pooled::thresholds {
+
+namespace {
+
+double k_ln_n_over_k(std::uint64_t n, std::uint64_t k) {
+  POOLED_REQUIRE(n > 0 && k > 0 && k <= n, "thresholds need 0 < k <= n");
+  return static_cast<double>(k) *
+         std::log(static_cast<double>(n) / static_cast<double>(k));
+}
+
+}  // namespace
+
+double gamma() { return 1.0 - std::exp(-0.5); }
+
+std::uint32_t k_of(std::uint64_t n, double theta) {
+  POOLED_REQUIRE(n > 0, "k_of needs n > 0");
+  POOLED_REQUIRE(theta > 0.0 && theta < 1.0, "theta must lie in (0,1)");
+  const double k = std::round(std::pow(static_cast<double>(n), theta));
+  return static_cast<std::uint32_t>(
+      std::clamp<double>(k, 1.0, static_cast<double>(n)));
+}
+
+double theta_of(std::uint64_t n, std::uint64_t k) {
+  POOLED_REQUIRE(n > 1 && k >= 1 && k <= n, "theta_of needs 1 <= k <= n, n > 1");
+  return std::log(static_cast<double>(k)) / std::log(static_cast<double>(n));
+}
+
+double counting_bound(std::uint64_t n, std::uint64_t k) {
+  POOLED_REQUIRE(n > 0 && k > 0 && k <= n, "thresholds need 0 < k <= n");
+  return ln_binom(static_cast<double>(n), static_cast<double>(k)) /
+         std::log(static_cast<double>(k) + 1.0);
+}
+
+double m_seq(std::uint64_t n, std::uint64_t k) {
+  POOLED_REQUIRE(k >= 2, "m_seq requires k >= 2 (ln k > 0)");
+  return k_ln_n_over_k(n, k) / std::log(static_cast<double>(k));
+}
+
+double m_para(std::uint64_t n, std::uint64_t k) { return 2.0 * m_seq(n, k); }
+
+double m_mn(std::uint64_t n, std::uint64_t k) {
+  const double theta = theta_of(n, k);
+  POOLED_REQUIRE(theta < 1.0, "m_mn requires k < n");
+  const double sqrt_theta = std::sqrt(theta);
+  return 4.0 * gamma() * (1.0 + sqrt_theta) / (1.0 - sqrt_theta) *
+         k_ln_n_over_k(n, k);
+}
+
+double m_mn_finite(std::uint64_t n, std::uint64_t k) {
+  const double base = m_mn(n, k);
+  const double ln_n = std::log(static_cast<double>(n));
+  double m = base;
+  // Fixed point of m = base * (1 + sqrt(2 ln n / (4 γ m k))); the map is a
+  // contraction for m near base, a handful of iterations suffices.
+  for (int iter = 0; iter < 64; ++iter) {
+    const double correction =
+        1.0 + std::sqrt(2.0 * ln_n / (4.0 * gamma() * m * static_cast<double>(k)));
+    const double next = base * correction;
+    if (std::abs(next - m) < 1e-9 * m) return next;
+    m = next;
+  }
+  return m;
+}
+
+double m_karimi_irregular(std::uint64_t n, std::uint64_t k) {
+  return 1.72 * k_ln_n_over_k(n, k);
+}
+
+double m_karimi_sparse(std::uint64_t n, std::uint64_t k) {
+  return 1.515 * k_ln_n_over_k(n, k);
+}
+
+double m_binary_gt(std::uint64_t n, std::uint64_t k) {
+  return k_ln_n_over_k(n, k) / std::log(2.0);
+}
+
+double m_l1_donoho_tanner(std::uint64_t n, std::uint64_t k) {
+  return 2.0 * k_ln_n_over_k(n, k);
+}
+
+double m_basis_pursuit(std::uint64_t n, std::uint64_t k) {
+  POOLED_REQUIRE(n > 0 && k > 0 && k <= n, "thresholds need 0 < k <= n");
+  return 2.0 * static_cast<double>(k) * std::log(static_cast<double>(n));
+}
+
+}  // namespace pooled::thresholds

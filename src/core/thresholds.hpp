@@ -1,0 +1,56 @@
+// Theoretical query-count thresholds from the paper and related work.
+//
+// All counts are in *queries* (the paper's m), as functions of (n, k).
+// Notation: θ = ln k / ln n, γ = 1 - e^{-1/2}.
+#pragma once
+
+#include <cstdint>
+
+namespace pooled::thresholds {
+
+/// γ = 1 − e^{−1/2} ≈ 0.3935: asymptotic distinct-membership probability.
+double gamma();
+
+/// k = round(n^θ), clamped to [1, n].
+std::uint32_t k_of(std::uint64_t n, double theta);
+
+/// θ = ln k / ln n (inverse of k_of up to rounding).
+double theta_of(std::uint64_t n, std::uint64_t k);
+
+/// Folklore counting bound: ln C(n,k) / ln(k+1) -- any scheme, sequential
+/// or parallel, needs at least this many queries.
+double counting_bound(std::uint64_t n, std::uint64_t k);
+
+/// m_seq = k ln(n/k) / ln k: sharp sequential-query threshold (Eq. 1).
+/// Requires k >= 2 (ln k > 0).
+double m_seq(std::uint64_t n, std::uint64_t k);
+
+/// m_para = 2 k ln(n/k) / ln k = 2(1−θ)/θ k: sharp parallel threshold
+/// (Theorem 2 + Djackov's converse, Eq. 2).
+double m_para(std::uint64_t n, std::uint64_t k);
+
+/// Theorem 1: m_MN = 4γ (1+√θ)/(1−√θ) k ln(n/k) -- the MN algorithm's
+/// asymptotic sufficient query count.
+double m_mn(std::uint64_t n, std::uint64_t k);
+
+/// Finite-size corrected MN threshold: solves the fixed point
+/// m = m_MN (1 + sqrt(2 ln n / (4 γ m k))) from the paper's remark on
+/// convergence speed. This is the curve plotted against simulations.
+double m_mn_finite(std::uint64_t n, std::uint64_t k);
+
+/// Karimi et al. 2019 graph-code decoders: 1.72 k ln(n/k) and
+/// 1.515 k ln(n/k).
+double m_karimi_irregular(std::uint64_t n, std::uint64_t k);
+double m_karimi_sparse(std::uint64_t n, std::uint64_t k);
+
+/// Optimal *binary* (OR-channel) group testing, efficient decoder:
+/// k ln(n/k)/ln^2 2 ... the paper quotes m_GT ~ ln^{-1}(2) k ln(n/k) for
+/// θ ≤ ln2/(1+ln2) ≈ 0.409 (Coja-Oghlan et al. 2021).
+double m_binary_gt(std::uint64_t n, std::uint64_t k);
+
+/// Compressed-sensing decoders quoted in §I.B: Donoho-Tanner ℓ1
+/// threshold 2 k ln(n/k), Basis Pursuit 2 k ln n.
+double m_l1_donoho_tanner(std::uint64_t n, std::uint64_t k);
+double m_basis_pursuit(std::uint64_t n, std::uint64_t k);
+
+}  // namespace pooled::thresholds

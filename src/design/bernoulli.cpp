@@ -1,0 +1,46 @@
+#include "design/bernoulli.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "rng/distributions.hpp"
+#include "rng/philox.hpp"
+#include "support/assert.hpp"
+
+namespace pooled {
+
+BernoulliDesign::BernoulliDesign(std::uint32_t n, std::uint64_t seed, double p)
+    : n_(n), seed_(seed), p_(p) {
+  POOLED_REQUIRE(n > 0, "design needs n > 0");
+  POOLED_REQUIRE(p > 0.0 && p < 1.0, "Bernoulli design needs p in (0,1)");
+}
+
+void BernoulliDesign::query_members(std::uint32_t query,
+                                    std::vector<std::uint32_t>& out) const {
+  out.clear();
+  PhiloxStream stream(seed_, query);
+  if (p_ <= 0.2) {
+    // Geometric gap skipping: expected work O(p n) instead of O(n).
+    const double log1mp = std::log1p(-p_);
+    double position = -1.0;
+    for (;;) {
+      double u = uniform_real(stream);
+      if (u >= 1.0) u = std::nextafter(1.0, 0.0);
+      position += 1.0 + std::floor(std::log1p(-u) / log1mp);
+      if (position >= static_cast<double>(n_)) break;
+      out.push_back(static_cast<std::uint32_t>(position));
+    }
+  } else {
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      if (bernoulli(stream, p_)) out.push_back(i);
+    }
+  }
+}
+
+std::string BernoulliDesign::name() const {
+  std::ostringstream os;
+  os << "bernoulli(p=" << p_ << ")";
+  return os.str();
+}
+
+}  // namespace pooled

@@ -1,0 +1,30 @@
+// Bernoulli pooling design: entry i joins query a independently with
+// probability p. The classical i.i.d. design used throughout the group
+// testing literature; included for design ablations.
+#pragma once
+
+#include "design/design.hpp"
+
+namespace pooled {
+
+class BernoulliDesign final : public PoolingDesign {
+ public:
+  BernoulliDesign(std::uint32_t n, std::uint64_t seed, double p);
+
+  [[nodiscard]] std::uint32_t num_entries() const override { return n_; }
+  void query_members(std::uint32_t query,
+                     std::vector<std::uint32_t>& out) const override;
+  [[nodiscard]] double expected_pool_size() const override {
+    return p_ * static_cast<double>(n_);
+  }
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double p() const { return p_; }
+
+ private:
+  std::uint32_t n_;
+  std::uint64_t seed_;
+  double p_;
+};
+
+}  // namespace pooled

@@ -1,0 +1,49 @@
+#include "design/column_regular.hpp"
+
+#include <sstream>
+
+#include "rng/philox.hpp"
+#include "rng/sampling.hpp"
+#include "support/assert.hpp"
+
+namespace pooled {
+
+ColumnRegularDesign::ColumnRegularDesign(std::uint32_t n, std::uint32_t m,
+                                         std::uint32_t entry_degree,
+                                         std::uint64_t seed)
+    : n_(n), m_(m), degree_(entry_degree) {
+  POOLED_REQUIRE(n > 0 && m > 0, "column-regular design needs n, m > 0");
+  POOLED_REQUIRE(entry_degree > 0, "column-regular design needs degree > 0");
+  // Configuration model: nd half-edges, shuffled, dealt round-robin into m
+  // pools so pool sizes differ by at most one.
+  members_.reserve(static_cast<std::size_t>(n) * entry_degree);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t d = 0; d < entry_degree; ++d) members_.push_back(i);
+  }
+  PhiloxStream stream(seed, 0xC01Dull);
+  shuffle(stream, members_);
+  const std::size_t edges = members_.size();
+  offsets_.resize(m_ + 1);
+  for (std::uint32_t q = 0; q <= m_; ++q) {
+    offsets_[q] = edges * q / m_;
+  }
+}
+
+void ColumnRegularDesign::query_members(std::uint32_t query,
+                                        std::vector<std::uint32_t>& out) const {
+  POOLED_REQUIRE(query < m_, "column-regular design is bounded by m");
+  out.assign(members_.begin() + static_cast<std::ptrdiff_t>(offsets_[query]),
+             members_.begin() + static_cast<std::ptrdiff_t>(offsets_[query + 1]));
+}
+
+double ColumnRegularDesign::expected_pool_size() const {
+  return static_cast<double>(members_.size()) / static_cast<double>(m_);
+}
+
+std::string ColumnRegularDesign::name() const {
+  std::ostringstream os;
+  os << "column-regular(d=" << degree_ << ",m=" << m_ << ")";
+  return os.str();
+}
+
+}  // namespace pooled

@@ -1,0 +1,23 @@
+#include "design/design.hpp"
+
+#include "design/bernoulli.hpp"
+#include "design/distinct.hpp"
+#include "design/random_regular.hpp"
+#include "support/assert.hpp"
+
+namespace pooled {
+
+std::unique_ptr<PoolingDesign> make_design(DesignKind kind, const DesignParams& params) {
+  switch (kind) {
+    case DesignKind::RandomRegular:
+      return std::make_unique<RandomRegularDesign>(params.n, params.seed, params.gamma);
+    case DesignKind::Distinct:
+      return std::make_unique<DistinctDesign>(params.n, params.seed, params.gamma);
+    case DesignKind::Bernoulli:
+      return std::make_unique<BernoulliDesign>(params.n, params.seed, params.p);
+  }
+  POOLED_REQUIRE(false, "unknown design kind");
+  return nullptr;
+}
+
+}  // namespace pooled

@@ -1,0 +1,29 @@
+#include "design/distinct.hpp"
+
+#include <sstream>
+
+#include "rng/philox.hpp"
+#include "rng/sampling.hpp"
+#include "support/assert.hpp"
+
+namespace pooled {
+
+DistinctDesign::DistinctDesign(std::uint32_t n, std::uint64_t seed, std::uint64_t gamma)
+    : n_(n), seed_(seed), gamma_(gamma == 0 ? std::max<std::uint64_t>(1, n / 2) : gamma) {
+  POOLED_REQUIRE(n > 0, "design needs n > 0");
+  POOLED_REQUIRE(gamma_ <= n, "distinct design cannot pool more than n entries");
+}
+
+void DistinctDesign::query_members(std::uint32_t query,
+                                   std::vector<std::uint32_t>& out) const {
+  PhiloxStream stream(seed_, query);
+  out = sample_distinct(stream, n_, gamma_);
+}
+
+std::string DistinctDesign::name() const {
+  std::ostringstream os;
+  os << "distinct(gamma=" << gamma_ << ")";
+  return os.str();
+}
+
+}  // namespace pooled

@@ -1,0 +1,31 @@
+// Ablation design: Γ *distinct* entries per query (without replacement).
+//
+// The paper argues multi-edges do not hurt; this design lets the ablation
+// bench quantify that claim empirically.
+#pragma once
+
+#include "design/design.hpp"
+
+namespace pooled {
+
+class DistinctDesign final : public PoolingDesign {
+ public:
+  DistinctDesign(std::uint32_t n, std::uint64_t seed, std::uint64_t gamma = 0);
+
+  [[nodiscard]] std::uint32_t num_entries() const override { return n_; }
+  void query_members(std::uint32_t query,
+                     std::vector<std::uint32_t>& out) const override;
+  [[nodiscard]] double expected_pool_size() const override {
+    return static_cast<double>(gamma_);
+  }
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] std::uint64_t gamma() const { return gamma_; }
+
+ private:
+  std::uint32_t n_;
+  std::uint64_t seed_;
+  std::uint64_t gamma_;
+};
+
+}  // namespace pooled

@@ -1,0 +1,29 @@
+#include "design/random_regular.hpp"
+
+#include <sstream>
+
+#include "rng/philox.hpp"
+#include "rng/sampling.hpp"
+#include "support/assert.hpp"
+
+namespace pooled {
+
+RandomRegularDesign::RandomRegularDesign(std::uint32_t n, std::uint64_t seed,
+                                         std::uint64_t gamma)
+    : n_(n), seed_(seed), gamma_(gamma == 0 ? std::max<std::uint64_t>(1, n / 2) : gamma) {
+  POOLED_REQUIRE(n > 0, "design needs n > 0");
+}
+
+void RandomRegularDesign::query_members(std::uint32_t query,
+                                        std::vector<std::uint32_t>& out) const {
+  PhiloxStream stream(seed_, query);
+  sample_with_replacement(stream, n_, static_cast<std::size_t>(gamma_), out);
+}
+
+std::string RandomRegularDesign::name() const {
+  std::ostringstream os;
+  os << "random-regular(gamma=" << gamma_ << ")";
+  return os.str();
+}
+
+}  // namespace pooled

@@ -1,0 +1,31 @@
+// The paper's pooling design: every query pools exactly Γ entries chosen
+// uniformly at random *with replacement* (random regular multigraph model).
+#pragma once
+
+#include "design/design.hpp"
+
+namespace pooled {
+
+class RandomRegularDesign final : public PoolingDesign {
+ public:
+  /// gamma == 0 selects the paper's Γ = n/2 (rounded down, min 1).
+  RandomRegularDesign(std::uint32_t n, std::uint64_t seed, std::uint64_t gamma = 0);
+
+  [[nodiscard]] std::uint32_t num_entries() const override { return n_; }
+  void query_members(std::uint32_t query,
+                     std::vector<std::uint32_t>& out) const override;
+  [[nodiscard]] double expected_pool_size() const override {
+    return static_cast<double>(gamma_);
+  }
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] std::uint64_t gamma() const { return gamma_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint32_t n_;
+  std::uint64_t seed_;
+  std::uint64_t gamma_;
+};
+
+}  // namespace pooled

@@ -1,0 +1,90 @@
+#include "graph/bipartite.hpp"
+
+#include <algorithm>
+
+#include "parallel/thread_pool.hpp"
+#include "support/assert.hpp"
+
+namespace pooled {
+
+BipartiteMultigraph::Builder::Builder(std::uint32_t num_entries,
+                                      std::uint32_t expected_queries)
+    : num_entries_(num_entries) {
+  POOLED_REQUIRE(num_entries > 0, "graph needs at least one entry node");
+  query_offsets_.reserve(expected_queries + 1);
+  query_offsets_.push_back(0);
+}
+
+std::uint32_t BipartiteMultigraph::Builder::add_query(
+    std::span<const std::uint32_t> raw_samples) {
+  scratch_.assign(raw_samples.begin(), raw_samples.end());
+  std::sort(scratch_.begin(), scratch_.end());
+  for (std::size_t i = 0; i < scratch_.size();) {
+    POOLED_REQUIRE(scratch_[i] < num_entries_, "query references unknown entry");
+    std::size_t j = i;
+    while (j < scratch_.size() && scratch_[j] == scratch_[i]) ++j;
+    query_adjacency_.push_back(
+        {scratch_[i], static_cast<std::uint32_t>(j - i)});
+    i = j;
+  }
+  query_offsets_.push_back(query_adjacency_.size());
+  return static_cast<std::uint32_t>(query_offsets_.size() - 2);
+}
+
+BipartiteMultigraph BipartiteMultigraph::Builder::finalize(ThreadPool* pool) {
+  BipartiteMultigraph g;
+  g.num_entries_ = num_entries_;
+  g.num_queries_ = static_cast<std::uint32_t>(query_offsets_.size() - 1);
+  g.query_offsets_ = std::move(query_offsets_);
+  g.query_adjacency_ = std::move(query_adjacency_);
+
+  // Counting sort into the entry->query direction.
+  std::vector<std::size_t> counts(num_entries_ + 1, 0);
+  for (const MultiEdge& e : g.query_adjacency_) ++counts[e.node + 1];
+  for (std::size_t i = 1; i < counts.size(); ++i) counts[i] += counts[i - 1];
+  g.entry_offsets_ = counts;
+  g.entry_adjacency_.resize(g.query_adjacency_.size());
+  for (std::uint32_t q = 0; q < g.num_queries_; ++q) {
+    for (std::size_t slot = g.query_offsets_[q]; slot < g.query_offsets_[q + 1];
+         ++slot) {
+      const MultiEdge& e = g.query_adjacency_[slot];
+      g.entry_adjacency_[counts[e.node]++] = {q, e.multiplicity};
+    }
+  }
+  (void)pool;  // transpose is memory-bound; parallel version not worthwhile here
+
+  // Reset the builder to a clean state.
+  query_offsets_ = {0};
+  query_adjacency_.clear();
+  return g;
+}
+
+std::span<const MultiEdge> BipartiteMultigraph::query_row(std::uint32_t query) const {
+  POOLED_REQUIRE(query < num_queries_, "query index out of range");
+  return {query_adjacency_.data() + query_offsets_[query],
+          query_offsets_[query + 1] - query_offsets_[query]};
+}
+
+std::span<const MultiEdge> BipartiteMultigraph::entry_row(std::uint32_t entry) const {
+  POOLED_REQUIRE(entry < num_entries_, "entry index out of range");
+  return {entry_adjacency_.data() + entry_offsets_[entry],
+          entry_offsets_[entry + 1] - entry_offsets_[entry]};
+}
+
+std::uint64_t BipartiteMultigraph::degree(std::uint32_t entry) const {
+  std::uint64_t total = 0;
+  for (const MultiEdge& e : entry_row(entry)) total += e.multiplicity;
+  return total;
+}
+
+std::uint32_t BipartiteMultigraph::distinct_degree(std::uint32_t entry) const {
+  return static_cast<std::uint32_t>(entry_row(entry).size());
+}
+
+std::uint64_t BipartiteMultigraph::query_size(std::uint32_t query) const {
+  std::uint64_t total = 0;
+  for (const MultiEdge& e : query_row(query)) total += e.multiplicity;
+  return total;
+}
+
+}  // namespace pooled

@@ -1,0 +1,82 @@
+// Bipartite multigraph between m query nodes and n entry nodes.
+//
+// This is the object the paper calls G = (V ∪ F, E): edges carry
+// multiplicities because the pooling design samples entries *with
+// replacement*. Stored as CSR in both directions so decoders can walk
+// either ∂a_i (entries of a query) or ∂x_j / ∂*x_j (queries of an entry).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pooled {
+
+class ThreadPool;
+
+/// One (neighbor, multiplicity) adjacency slot.
+struct MultiEdge {
+  std::uint32_t node;
+  std::uint32_t multiplicity;
+};
+
+class BipartiteMultigraph {
+ public:
+  /// Incrementally builds the query->entry side; the entry->query side is
+  /// materialized by finalize().
+  class Builder {
+   public:
+    Builder(std::uint32_t num_entries, std::uint32_t expected_queries = 0);
+
+    /// Appends one query given its raw membership draws (duplicates allowed,
+    /// order irrelevant). Returns the query index.
+    std::uint32_t add_query(std::span<const std::uint32_t> raw_samples);
+
+    /// Builds both CSR directions. The builder is left empty.
+    BipartiteMultigraph finalize(ThreadPool* pool = nullptr);
+
+    [[nodiscard]] std::uint32_t num_queries() const {
+      return static_cast<std::uint32_t>(query_offsets_.size() - 1);
+    }
+
+   private:
+    std::uint32_t num_entries_;
+    std::vector<std::size_t> query_offsets_;
+    std::vector<MultiEdge> query_adjacency_;
+    std::vector<std::uint32_t> scratch_;
+  };
+
+  [[nodiscard]] std::uint32_t num_entries() const { return num_entries_; }
+  [[nodiscard]] std::uint32_t num_queries() const { return num_queries_; }
+
+  /// Distinct entries of query a (each with its multiplicity).
+  [[nodiscard]] std::span<const MultiEdge> query_row(std::uint32_t query) const;
+
+  /// Distinct queries containing entry x (each with its multiplicity).
+  [[nodiscard]] std::span<const MultiEdge> entry_row(std::uint32_t entry) const;
+
+  /// Δ_x: total membership count of an entry (multi-edges counted fully).
+  [[nodiscard]] std::uint64_t degree(std::uint32_t entry) const;
+
+  /// Δ*_x: number of distinct queries containing the entry.
+  [[nodiscard]] std::uint32_t distinct_degree(std::uint32_t entry) const;
+
+  /// Γ_a with multiplicity: total pool size of a query.
+  [[nodiscard]] std::uint64_t query_size(std::uint32_t query) const;
+
+  /// Number of stored (distinct) adjacency slots, both directions equal.
+  [[nodiscard]] std::size_t stored_edges() const { return query_adjacency_.size(); }
+
+ private:
+  friend class Builder;
+  BipartiteMultigraph() = default;
+
+  std::uint32_t num_entries_ = 0;
+  std::uint32_t num_queries_ = 0;
+  std::vector<std::size_t> query_offsets_;   // size m+1
+  std::vector<MultiEdge> query_adjacency_;   // grouped by query
+  std::vector<std::size_t> entry_offsets_;   // size n+1
+  std::vector<MultiEdge> entry_adjacency_;   // grouped by entry
+};
+
+}  // namespace pooled

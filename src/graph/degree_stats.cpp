@@ -1,0 +1,60 @@
+#include "graph/degree_stats.hpp"
+
+#include <cmath>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/assert.hpp"
+
+namespace pooled {
+
+double gamma_distinct() { return 1.0 - std::exp(-0.5); }
+
+DegreeStats compute_degree_stats(const BipartiteMultigraph& graph, ThreadPool& pool) {
+  const std::uint32_t n = graph.num_entries();
+  DegreeStats stats;
+  stats.delta.resize(n);
+  stats.delta_star.resize(n);
+  parallel_for(pool, 0, n, [&](std::size_t i) {
+    const auto entry = static_cast<std::uint32_t>(i);
+    stats.delta[i] = graph.degree(entry);
+    stats.delta_star[i] = graph.distinct_degree(entry);
+  });
+  stats.delta_min = stats.delta_max = stats.delta.empty() ? 0 : stats.delta[0];
+  stats.delta_star_min = stats.delta_star_max =
+      stats.delta_star.empty() ? 0 : stats.delta_star[0];
+  double delta_sum = 0.0;
+  double star_sum = 0.0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    delta_sum += static_cast<double>(stats.delta[i]);
+    star_sum += static_cast<double>(stats.delta_star[i]);
+    stats.delta_min = std::min(stats.delta_min, stats.delta[i]);
+    stats.delta_max = std::max(stats.delta_max, stats.delta[i]);
+    stats.delta_star_min = std::min(stats.delta_star_min, stats.delta_star[i]);
+    stats.delta_star_max = std::max(stats.delta_star_max, stats.delta_star[i]);
+  }
+  stats.delta_mean = delta_sum / static_cast<double>(n);
+  stats.delta_star_mean = star_sum / static_cast<double>(n);
+  return stats;
+}
+
+std::size_t count_concentration_violations(const DegreeStats& stats,
+                                           std::uint32_t num_queries, double c) {
+  const double n = static_cast<double>(stats.delta.size());
+  POOLED_REQUIRE(n > 1, "concentration check needs n > 1");
+  const double m = static_cast<double>(num_queries);
+  const double slack = c * std::sqrt(m * std::log(n));
+  const double delta_center = m / 2.0;
+  const double star_center = gamma_distinct() * m;
+  std::size_t violations = 0;
+  for (std::size_t i = 0; i < stats.delta.size(); ++i) {
+    const double d = static_cast<double>(stats.delta[i]);
+    const double s = static_cast<double>(stats.delta_star[i]);
+    if (std::abs(d - delta_center) > slack || std::abs(s - star_center) > slack) {
+      ++violations;
+    }
+  }
+  return violations;
+}
+
+}  // namespace pooled

@@ -1,0 +1,37 @@
+// Degree statistics of a pooling graph and the paper's concentration
+// event R (Eq. 3): every entry's degree Δ_i is m/2 + O(sqrt(m ln n)) and
+// its distinct degree Δ*_i is (1 - e^{-1/2}) m + O(sqrt(m ln n)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite.hpp"
+
+namespace pooled {
+
+class ThreadPool;
+
+struct DegreeStats {
+  std::vector<std::uint64_t> delta;        ///< Δ_i: membership with multiplicity
+  std::vector<std::uint32_t> delta_star;   ///< Δ*_i: distinct queries
+  double delta_mean = 0.0;
+  double delta_star_mean = 0.0;
+  std::uint64_t delta_min = 0, delta_max = 0;
+  std::uint32_t delta_star_min = 0, delta_star_max = 0;
+};
+
+/// Computes per-entry degrees in parallel.
+DegreeStats compute_degree_stats(const BipartiteMultigraph& graph, ThreadPool& pool);
+
+/// Checks the concentration event R with constant `c` in the O(.):
+/// |Δ_i - m/2| <= c sqrt(m ln n) and |Δ*_i - γ m| <= c sqrt(m ln n) for all i,
+/// where γ = 1 - e^{-1/2}. Returns the number of violating entries.
+std::size_t count_concentration_violations(const DegreeStats& stats,
+                                           std::uint32_t num_queries, double c);
+
+/// γ = 1 - e^{-1/2}: probability that an entry lands in a fixed query
+/// under the paper's design (Γ = n/2 draws with replacement), n -> ∞.
+double gamma_distinct();
+
+}  // namespace pooled

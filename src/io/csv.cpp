@@ -1,0 +1,79 @@
+#include "io/csv.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace pooled {
+
+CsvWriter::CsvWriter(std::ostream& os, char separator) : os_(os), sep_(separator) {}
+
+void CsvWriter::header(const std::vector<std::string>& names) {
+  POOLED_REQUIRE(!row_open_ && rows_ == 0, "header must be written first");
+  columns_ = names.size();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) os_ << sep_;
+    os_ << names[i];
+  }
+  os_ << '\n';
+}
+
+void CsvWriter::separator_if_needed() {
+  if (row_open_) {
+    os_ << sep_;
+  } else {
+    row_open_ = true;
+    cells_in_row_ = 0;
+  }
+  ++cells_in_row_;
+}
+
+CsvWriter& CsvWriter::cell(const std::string& value) {
+  separator_if_needed();
+  os_ << value;
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(double value) {
+  separator_if_needed();
+  os_ << format_compact(value, 6);
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(std::int64_t value) {
+  separator_if_needed();
+  os_ << value;
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(std::uint64_t value) {
+  separator_if_needed();
+  os_ << value;
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  POOLED_REQUIRE(row_open_, "end_row without any cells");
+  if (columns_ != 0) {
+    POOLED_REQUIRE(cells_in_row_ == columns_, "row width differs from header");
+  }
+  os_ << '\n';
+  row_open_ = false;
+  ++rows_;
+}
+
+std::string format_compact(double value, int precision) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::abs(value) < 1e15) {
+    std::ostringstream os;
+    os << static_cast<long long>(value);
+    return os.str();
+  }
+  std::ostringstream os;
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+}  // namespace pooled

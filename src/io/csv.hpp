@@ -1,0 +1,44 @@
+// CSV emission for bench outputs (paper-figure data series).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pooled {
+
+/// Streaming CSV writer: header once, then typed cells row by row.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os, char separator = ',');
+
+  void header(const std::vector<std::string>& names);
+
+  CsvWriter& cell(const std::string& value);
+  CsvWriter& cell(double value);
+  CsvWriter& cell(std::int64_t value);
+  CsvWriter& cell(std::uint64_t value);
+  CsvWriter& cell(std::uint32_t value) { return cell(static_cast<std::uint64_t>(value)); }
+  CsvWriter& cell(int value) { return cell(static_cast<std::int64_t>(value)); }
+
+  /// Terminates the current row.
+  void end_row();
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+ private:
+  void separator_if_needed();
+
+  std::ostream& os_;
+  char sep_;
+  bool row_open_ = false;
+  std::size_t columns_ = 0;
+  std::size_t cells_in_row_ = 0;
+  std::size_t rows_ = 0;
+};
+
+/// Formats a double compactly ("0.25", "1234", "3.1416") for tables.
+std::string format_compact(double value, int precision = 4);
+
+}  // namespace pooled

@@ -1,0 +1,32 @@
+#include "io/gnuplot.hpp"
+
+#include <fstream>
+
+#include "io/csv.hpp"
+
+namespace pooled {
+
+bool write_dat_file(const std::string& path, const std::string& comment,
+                    const std::vector<std::string>& columns,
+                    const std::vector<DataSeries>& series) {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << "# " << comment << '\n';
+  os << "#";
+  for (const auto& column : columns) os << ' ' << column;
+  os << '\n';
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    if (s > 0) os << "\n\n";  // gnuplot index separator
+    os << "# series: " << series[s].label << '\n';
+    for (const auto& row : series[s].rows) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        if (c > 0) os << ' ';
+        os << format_compact(row[c], 8);
+      }
+      os << '\n';
+    }
+  }
+  return static_cast<bool>(os);
+}
+
+}  // namespace pooled

@@ -1,0 +1,22 @@
+// gnuplot-compatible .dat series emission (the paper's figures were
+// produced with gnuplot; POOLED_OUT_DIR makes the benches drop the same
+// artifacts).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pooled {
+
+struct DataSeries {
+  std::string label;
+  std::vector<std::vector<double>> rows;  ///< fixed column count per series
+};
+
+/// Writes whitespace-separated blocks (one per series, separated by two
+/// blank lines -- gnuplot `index` convention). Returns false on IO error.
+bool write_dat_file(const std::string& path, const std::string& comment,
+                    const std::vector<std::string>& columns,
+                    const std::vector<DataSeries>& series);
+
+}  // namespace pooled

@@ -1,0 +1,40 @@
+#include "io/table.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace pooled {
+
+ConsoleTable::ConsoleTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  POOLED_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void ConsoleTable::add_row(std::vector<std::string> cells) {
+  POOLED_REQUIRE(cells.size() == header_.size(), "row width differs from header");
+  rows_.push_back(std::move(cells));
+}
+
+void ConsoleTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c] << std::string(widths[c] - row[c].size() + 2, ' ');
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace pooled

@@ -1,0 +1,26 @@
+// Aligned console tables for bench/report output.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pooled {
+
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Prints with column alignment and a separator under the header.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pooled

@@ -1,0 +1,49 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace pooled {
+
+bool cholesky_factor(DenseMatrix& a) {
+  const std::size_t n = a.dim();
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a.at(j, j);
+    for (std::size_t p = 0; p < j; ++p) diag -= a.at(j, p) * a.at(j, p);
+    if (diag <= 0.0) return false;
+    const double root = std::sqrt(diag);
+    a.at(j, j) = root;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double value = a.at(i, j);
+      for (std::size_t p = 0; p < j; ++p) value -= a.at(i, p) * a.at(j, p);
+      a.at(i, j) = value / root;
+    }
+  }
+  return true;
+}
+
+std::vector<double> cholesky_solve(const DenseMatrix& l, std::vector<double> b) {
+  const std::size_t n = l.dim();
+  POOLED_REQUIRE(b.size() == n, "cholesky_solve dimension mismatch");
+  // Forward substitution L z = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double value = b[i];
+    for (std::size_t j = 0; j < i; ++j) value -= l.at(i, j) * b[j];
+    b[i] = value / l.at(i, i);
+  }
+  // Back substitution L^T x = z.
+  for (std::size_t i = n; i-- > 0;) {
+    double value = b[i];
+    for (std::size_t j = i + 1; j < n; ++j) value -= l.at(j, i) * b[j];
+    b[i] = value / l.at(i, i);
+  }
+  return b;
+}
+
+std::vector<double> solve_spd(DenseMatrix a, std::vector<double> b) {
+  if (!cholesky_factor(a)) return {};
+  return cholesky_solve(a, std::move(b));
+}
+
+}  // namespace pooled

@@ -1,0 +1,37 @@
+// Small dense symmetric-positive-definite solver (Cholesky) used by the
+// orthogonal matching pursuit baseline for its least-squares updates.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pooled {
+
+/// Row-major square dense matrix.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  explicit DenseMatrix(std::size_t dim) : dim_(dim), data_(dim * dim, 0.0) {}
+
+  [[nodiscard]] std::size_t dim() const { return dim_; }
+  double& at(std::size_t r, std::size_t c) { return data_[r * dim_ + c]; }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    return data_[r * dim_ + c];
+  }
+
+ private:
+  std::size_t dim_ = 0;
+  std::vector<double> data_;
+};
+
+/// In-place lower Cholesky factorization A = L L^T (lower triangle of `a`
+/// is overwritten by L). Returns false if A is not positive definite.
+bool cholesky_factor(DenseMatrix& a);
+
+/// Solves L L^T x = b given the factor from cholesky_factor.
+std::vector<double> cholesky_solve(const DenseMatrix& l, std::vector<double> b);
+
+/// Convenience: solves the SPD system A x = b; returns empty on failure.
+std::vector<double> solve_spd(DenseMatrix a, std::vector<double> b);
+
+}  // namespace pooled

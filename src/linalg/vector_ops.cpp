@@ -1,0 +1,64 @@
+#include "linalg/vector_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+
+#include "support/assert.hpp"
+
+namespace pooled {
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  POOLED_REQUIRE(x.size() == y.size(), "axpy dimension mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  POOLED_REQUIRE(x.size() == y.size(), "dot dimension mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+double nrm2(std::span<const double> x) { return std::sqrt(dot(x, x)); }
+
+void scale(std::span<double> x, double alpha) {
+  for (double& v : x) v *= alpha;
+}
+
+void subtract(std::span<const double> a, std::span<const double> b,
+              std::vector<double>& out) {
+  POOLED_REQUIRE(a.size() == b.size(), "subtract dimension mismatch");
+  out.resize(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+}
+
+void soft_threshold(std::span<double> x, double tau) {
+  for (double& v : x) {
+    if (v > tau) {
+      v -= tau;
+    } else if (v < -tau) {
+      v += tau;
+    } else {
+      v = 0.0;
+    }
+  }
+}
+
+std::vector<std::uint32_t> top_k_indices(std::span<const double> values,
+                                         std::size_t k) {
+  k = std::min(k, values.size());
+  std::vector<std::uint32_t> order(values.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::nth_element(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k),
+                   order.end(), [&](std::uint32_t a, std::uint32_t b) {
+                     if (values[a] != values[b]) return values[a] > values[b];
+                     return a < b;
+                   });
+  order.resize(k);
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+}  // namespace pooled

@@ -1,0 +1,33 @@
+// Dense vector kernels shared by the iterative decoders.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pooled {
+
+/// y += alpha * x
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// <x, y>
+double dot(std::span<const double> x, std::span<const double> y);
+
+/// ||x||_2
+double nrm2(std::span<const double> x);
+
+/// x *= alpha
+void scale(std::span<double> x, double alpha);
+
+/// out = a - b
+void subtract(std::span<const double> a, std::span<const double> b,
+              std::vector<double>& out);
+
+/// Soft-thresholding operator: sign(x) * max(|x| - tau, 0), elementwise.
+void soft_threshold(std::span<double> x, double tau);
+
+/// Indices of the `k` largest values (ties broken by lower index).
+std::vector<std::uint32_t> top_k_indices(std::span<const double> values,
+                                         std::size_t k);
+
+}  // namespace pooled

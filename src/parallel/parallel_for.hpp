@@ -1,0 +1,69 @@
+// Range-parallel loops on top of ThreadPool.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+
+#include "parallel/thread_pool.hpp"
+#include "support/assert.hpp"
+
+namespace pooled {
+
+/// Splits [begin, end) into contiguous chunks of at least `grain` elements
+/// and runs body(chunk_begin, chunk_end) across the pool.
+///
+/// The chunk decomposition is a pure function of (range, grain, pool
+/// width), so the set of chunks -- and therefore any per-chunk
+/// accumulation order -- is reproducible.
+template <typename Body>
+void parallel_for_chunked(ThreadPool& pool, std::size_t begin, std::size_t end,
+                          std::size_t grain, Body&& body) {
+  if (begin >= end) return;
+  const std::size_t total = end - begin;
+  grain = std::max<std::size_t>(grain, 1);
+  // Aim for ~4 chunks per execution lane to allow load balancing.
+  const std::size_t target_chunks =
+      std::max<std::size_t>(1, std::min(total / grain, std::size_t{pool.size()} * 4));
+  const std::size_t chunk = (total + target_chunks - 1) / target_chunks;
+  const std::size_t chunk_count = (total + chunk - 1) / chunk;
+  pool.run_tasks(chunk_count, [&](std::size_t index) {
+    const std::size_t lo = begin + index * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    body(lo, hi);
+  });
+}
+
+/// Element-wise parallel loop: body(i) for i in [begin, end).
+template <typename Body>
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end, Body&& body) {
+  parallel_for_chunked(pool, begin, end, 1024,
+                       [&](std::size_t lo, std::size_t hi) {
+                         for (std::size_t i = lo; i < hi; ++i) body(i);
+                       });
+}
+
+/// Parallel reduction: maps chunks with `body(lo, hi) -> T` and combines
+/// partials left-to-right with `combine` (deterministic order).
+template <typename T, typename Body, typename Combine>
+T parallel_reduce(ThreadPool& pool, std::size_t begin, std::size_t end, T identity,
+                  Body&& body, Combine&& combine, std::size_t grain = 1024) {
+  if (begin >= end) return identity;
+  const std::size_t total = end - begin;
+  grain = std::max<std::size_t>(grain, 1);
+  const std::size_t target_chunks =
+      std::max<std::size_t>(1, std::min(total / grain, std::size_t{pool.size()} * 4));
+  const std::size_t chunk = (total + target_chunks - 1) / target_chunks;
+  const std::size_t chunk_count = (total + chunk - 1) / chunk;
+  std::vector<T> partials(chunk_count, identity);
+  pool.run_tasks(chunk_count, [&](std::size_t index) {
+    const std::size_t lo = begin + index * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    partials[index] = body(lo, hi);
+  });
+  T result = identity;
+  for (const T& partial : partials) result = combine(result, partial);
+  return result;
+}
+
+}  // namespace pooled

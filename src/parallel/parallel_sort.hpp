@@ -1,0 +1,58 @@
+// Parallel merge sort (stable chunk sort + pairwise parallel merges).
+//
+// The paper's Algorithm 1 ends with sorting the n score values; this is
+// the parallel sort the "Parallelized Reconstruction" discussion refers
+// to. For p execution lanes: p locally-sorted runs, then log p rounds of
+// pairwise merges, each round executed as a task batch.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace pooled {
+
+template <typename Iter, typename Compare>
+void parallel_sort(ThreadPool& pool, Iter begin, Iter end, Compare comp) {
+  const std::size_t total = static_cast<std::size_t>(end - begin);
+  const std::size_t lanes = pool.size();
+  if (total < 4096 || lanes == 1) {
+    std::sort(begin, end, comp);
+    return;
+  }
+  // Phase 1: sort `runs` contiguous chunks independently.
+  std::size_t runs = lanes;
+  const std::size_t chunk = (total + runs - 1) / runs;
+  std::vector<std::size_t> bounds;  // run boundaries: bounds[i]..bounds[i+1]
+  for (std::size_t off = 0; off < total; off += chunk) bounds.push_back(off);
+  bounds.push_back(total);
+  runs = bounds.size() - 1;
+  pool.run_tasks(runs, [&](std::size_t r) {
+    std::sort(begin + static_cast<std::ptrdiff_t>(bounds[r]),
+              begin + static_cast<std::ptrdiff_t>(bounds[r + 1]), comp);
+  });
+  // Phase 2: merge adjacent run pairs until one run remains.
+  while (bounds.size() > 2) {
+    const std::size_t pairs = (bounds.size() - 1) / 2;
+    pool.run_tasks(pairs, [&](std::size_t p) {
+      const std::size_t lo = bounds[2 * p];
+      const std::size_t mid = bounds[2 * p + 1];
+      const std::size_t hi = bounds[2 * p + 2];
+      std::inplace_merge(begin + static_cast<std::ptrdiff_t>(lo),
+                         begin + static_cast<std::ptrdiff_t>(mid),
+                         begin + static_cast<std::ptrdiff_t>(hi), comp);
+    });
+    std::vector<std::size_t> next;
+    for (std::size_t i = 0; i < bounds.size(); i += 2) next.push_back(bounds[i]);
+    if (next.back() != total) next.push_back(total);
+    bounds = std::move(next);
+  }
+}
+
+template <typename Iter>
+void parallel_sort(ThreadPool& pool, Iter begin, Iter end) {
+  parallel_sort(pool, begin, end, std::less<>());
+}
+
+}  // namespace pooled

@@ -1,0 +1,59 @@
+// Two-pass blocked parallel exclusive prefix sum.
+#pragma once
+
+#include <numeric>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "support/assert.hpp"
+
+namespace pooled {
+
+/// In-place exclusive prefix sum over `values`; returns the grand total.
+/// values[i] becomes sum of the original values[0..i).
+template <typename T>
+T parallel_exclusive_scan(ThreadPool& pool, std::vector<T>& values) {
+  const std::size_t total = values.size();
+  if (total == 0) return T{};
+  const std::size_t lanes = pool.size();
+  if (total < 4096 || lanes == 1) {
+    T running{};
+    for (auto& value : values) {
+      const T next = running + value;
+      value = running;
+      running = next;
+    }
+    return running;
+  }
+  const std::size_t chunk = (total + lanes - 1) / lanes;
+  const std::size_t chunk_count = (total + chunk - 1) / chunk;
+  std::vector<T> block_totals(chunk_count, T{});
+  // Pass 1: local exclusive scans, record block totals.
+  pool.run_tasks(chunk_count, [&](std::size_t b) {
+    const std::size_t lo = b * chunk;
+    const std::size_t hi = std::min(total, lo + chunk);
+    T running{};
+    for (std::size_t i = lo; i < hi; ++i) {
+      const T next = running + values[i];
+      values[i] = running;
+      running = next;
+    }
+    block_totals[b] = running;
+  });
+  // Scan of block totals (small, sequential).
+  T grand{};
+  for (auto& block : block_totals) {
+    const T next = grand + block;
+    block = grand;
+    grand = next;
+  }
+  // Pass 2: add block offsets.
+  pool.run_tasks(chunk_count, [&](std::size_t b) {
+    const std::size_t lo = b * chunk;
+    const std::size_t hi = std::min(total, lo + chunk);
+    for (std::size_t i = lo; i < hi; ++i) values[i] += block_totals[b];
+  });
+  return grand;
+}
+
+}  // namespace pooled

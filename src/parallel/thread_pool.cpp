@@ -1,0 +1,97 @@
+#include "parallel/thread_pool.hpp"
+
+#include "support/assert.hpp"
+#include "support/env.hpp"
+
+namespace pooled {
+
+thread_local bool ThreadPool::inside_task_ = false;
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  // The calling thread participates, so spawn one fewer worker.
+  if (threads > 1) {
+    workers_.reserve(threads - 1);
+    for (unsigned i = 0; i + 1 < threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::participate(Batch& batch) {
+  // Claim and execute tasks until the batch drains.
+  for (;;) {
+    const std::size_t index = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (index >= batch.count) break;
+    batch.fn(index);
+    if (batch.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  inside_task_ = true;  // nested run_tasks from a worker executes inline
+  std::shared_ptr<Batch> seen;
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] { return stop_ || (current_ != nullptr && current_ != seen); });
+      if (stop_) return;
+      batch = current_;
+      seen = batch;
+    }
+    participate(*batch);
+  }
+}
+
+void ThreadPool::run_tasks(std::size_t count,
+                           const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (inside_task_ || workers_.empty() || count == 1) {
+    // Inline execution: nested call, single-threaded pool, or trivial batch.
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::lock_guard<std::mutex> batch_lock(batch_mutex_);
+  auto batch = std::make_shared<Batch>();
+  batch->fn = fn;
+  batch->count = count;
+  batch->remaining.store(count, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    current_ = batch;
+  }
+  cv_.notify_all();
+  inside_task_ = true;
+  participate(*batch);
+  inside_task_ = false;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] {
+      return batch->remaining.load(std::memory_order_acquire) == 0;
+    });
+    current_ = nullptr;
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(static_cast<unsigned>(env_i64("POOLED_THREADS", 0)));
+  return pool;
+}
+
+}  // namespace pooled

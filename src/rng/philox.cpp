@@ -1,0 +1,77 @@
+#include "rng/philox.hpp"
+
+#include "rng/splitmix64.hpp"
+
+namespace pooled {
+
+namespace {
+
+constexpr std::uint32_t kPhiloxM0 = 0xD2511F53u;
+constexpr std::uint32_t kPhiloxM1 = 0xCD9E8D57u;
+constexpr std::uint32_t kWeyl0 = 0x9E3779B9u;  // golden ratio
+constexpr std::uint32_t kWeyl1 = 0xBB67AE85u;  // sqrt(3) - 1
+
+inline void mulhilo(std::uint32_t a, std::uint32_t b, std::uint32_t& hi,
+                    std::uint32_t& lo) {
+  const std::uint64_t product = static_cast<std::uint64_t>(a) * b;
+  hi = static_cast<std::uint32_t>(product >> 32);
+  lo = static_cast<std::uint32_t>(product);
+}
+
+inline void philox_round(std::array<std::uint32_t, 4>& ctr,
+                         std::array<std::uint32_t, 2>& key) {
+  std::uint32_t hi0, lo0, hi1, lo1;
+  mulhilo(kPhiloxM0, ctr[0], hi0, lo0);
+  mulhilo(kPhiloxM1, ctr[2], hi1, lo1);
+  ctr = {hi1 ^ ctr[1] ^ key[0], lo1, hi0 ^ ctr[3] ^ key[1], lo0};
+  key[0] += kWeyl0;
+  key[1] += kWeyl1;
+}
+
+}  // namespace
+
+std::array<std::uint32_t, 4> philox4x32(const std::array<std::uint32_t, 4>& counter,
+                                        const std::array<std::uint32_t, 2>& key) {
+  std::array<std::uint32_t, 4> ctr = counter;
+  std::array<std::uint32_t, 2> k = key;
+  for (int round = 0; round < 10; ++round) philox_round(ctr, k);
+  return ctr;
+}
+
+PhiloxStream::PhiloxStream(std::uint64_t seed, std::uint64_t stream)
+    : stream_(splitmix64_mix(stream ^ 0xA5A5A5A5A5A5A5A5ull)) {
+  const std::uint64_t mixed = splitmix64_mix(seed);
+  key_ = {static_cast<std::uint32_t>(mixed), static_cast<std::uint32_t>(mixed >> 32)};
+}
+
+void PhiloxStream::rewind() {
+  block_ = 0;
+  buffered_ = 0;
+}
+
+void PhiloxStream::seek(std::uint64_t index) {
+  block_ = index / 2;
+  buffered_ = 0;
+  if (index % 2 == 1) {
+    refill();
+    --buffered_;  // discard the first output of the block
+  }
+}
+
+void PhiloxStream::refill() {
+  const std::array<std::uint32_t, 4> counter = {
+      static_cast<std::uint32_t>(block_), static_cast<std::uint32_t>(block_ >> 32),
+      static_cast<std::uint32_t>(stream_), static_cast<std::uint32_t>(stream_ >> 32)};
+  const auto out = philox4x32(counter, key_);
+  buffer_[0] = (static_cast<std::uint64_t>(out[1]) << 32) | out[0];
+  buffer_[1] = (static_cast<std::uint64_t>(out[3]) << 32) | out[2];
+  buffered_ = 2;
+  ++block_;
+}
+
+PhiloxStream::result_type PhiloxStream::operator()() {
+  if (buffered_ == 0) refill();
+  return buffer_[2 - buffered_--];
+}
+
+}  // namespace pooled

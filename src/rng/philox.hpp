@@ -1,0 +1,50 @@
+// Philox4x32-10 counter-based RNG (Salmon et al., SC'11).
+//
+// Counter-based generation is the backbone of the streamed pooling design:
+// query j of an instance draws its entries from the keyed stream
+// (seed, j), so any query can be regenerated on demand without storing the
+// design graph. O(1) seek, no sequential state shared between threads.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace pooled {
+
+/// Raw Philox4x32-10 block function: 128-bit counter + 64-bit key ->
+/// four 32-bit outputs.
+std::array<std::uint32_t, 4> philox4x32(const std::array<std::uint32_t, 4>& counter,
+                                        const std::array<std::uint32_t, 2>& key);
+
+/// Buffered stream of 64-bit outputs from a (seed, stream) keyed Philox.
+///
+/// Distinct (seed, stream) pairs yield statistically independent streams;
+/// the same pair always replays the identical sequence.
+class PhiloxStream {
+ public:
+  using result_type = std::uint64_t;
+
+  PhiloxStream(std::uint64_t seed, std::uint64_t stream);
+
+  result_type operator()();
+
+  /// Repositions the stream at its beginning (replay support).
+  void rewind();
+
+  /// Jumps so the next output is the `index`-th of the stream (0-based).
+  void seek(std::uint64_t index);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+ private:
+  void refill();
+
+  std::array<std::uint32_t, 2> key_;
+  std::uint64_t stream_;
+  std::uint64_t block_ = 0;     // next 128-bit block index
+  std::array<std::uint64_t, 2> buffer_{};
+  unsigned buffered_ = 0;       // unread entries in buffer_
+};
+
+}  // namespace pooled

@@ -1,0 +1,26 @@
+#include "rng/sampling.hpp"
+
+#include <array>
+#include <cmath>
+
+namespace pooled {
+
+double stirling_tail(double k) {
+  // Exact values of ln(k!) - [k ln k - k + 0.5 ln(2 pi k)] for k < 10.
+  static constexpr std::array<double, 10> kTable = {
+      0.0810614667953272,  0.0413406959554092, 0.0276779256849983,
+      0.02079067210376509, 0.0166446911898211, 0.0138761288230707,
+      0.0118967099458917,  0.0104112652619720, 0.00925546218271273,
+      0.00833056343336287};
+  if (k < 10.0) return kTable[static_cast<std::size_t>(k)];
+  const double kp1_sq = (k + 1.0) * (k + 1.0);
+  return (1.0 / 12.0 - (1.0 / 360.0 - 1.0 / 1260.0 / kp1_sq) / kp1_sq) / (k + 1.0);
+}
+
+double ln_binom(double n, double k) {
+  if (k < 0.0 || k > n) return -std::numeric_limits<double>::infinity();
+  if (k == 0.0 || k == n) return 0.0;
+  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) - std::lgamma(n - k + 1.0);
+}
+
+}  // namespace pooled

@@ -1,0 +1,41 @@
+// SplitMix64 (Steele, Lea, Flood 2014): the standard seed-expansion mixer.
+//
+// Used to derive well-distributed state words from arbitrary user seeds and
+// as a cheap standalone generator in tests.
+#pragma once
+
+#include <cstdint>
+
+namespace pooled {
+
+/// One SplitMix64 output step, advancing `state`.
+inline std::uint64_t splitmix64_next(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Stateless mix: maps x to a well-distributed 64-bit value.
+inline std::uint64_t splitmix64_mix(std::uint64_t x) {
+  std::uint64_t state = x;
+  return splitmix64_next(state);
+}
+
+/// Minimal engine wrapper satisfying UniformRandomBitGenerator.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  result_type operator()() { return splitmix64_next(state_); }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace pooled

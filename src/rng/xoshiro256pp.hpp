@@ -1,0 +1,65 @@
+// xoshiro256++ 1.0 (Blackman & Vigna 2019).
+//
+// The library's general-purpose sequential generator: fast, 256-bit state,
+// passes BigCrush. Streams for parallel work should instead use
+// PhiloxStream (counter-based, O(1) seek) -- see philox.hpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "rng/splitmix64.hpp"
+
+namespace pooled {
+
+class Xoshiro256pp {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the 256-bit state via SplitMix64 expansion of `seed`.
+  explicit Xoshiro256pp(std::uint64_t seed = 0xC0FFEEull) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64_next(sm);
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Equivalent to 2^128 calls; used to carve independent sequential streams.
+  void jump() {
+    static constexpr std::array<std::uint64_t, 4> kJump = {
+        0x180EC6D33CFD0ABAull, 0xD5A61266F0C9392Cull, 0xA9582618E03FC9AAull,
+        0x39ABDC4529B1661Cull};
+    std::array<std::uint64_t, 4> acc = {0, 0, 0, 0};
+    for (std::uint64_t word : kJump) {
+      for (int bit = 0; bit < 64; ++bit) {
+        if (word & (std::uint64_t{1} << bit)) {
+          for (int i = 0; i < 4; ++i) acc[static_cast<std::size_t>(i)] ^= state_[static_cast<std::size_t>(i)];
+        }
+        (void)(*this)();
+      }
+    }
+    state_ = acc;
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int s) {
+    return (x << s) | (x >> (64 - s));
+  }
+
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace pooled

@@ -1,0 +1,68 @@
+#include "sim/montecarlo.hpp"
+
+#include <mutex>
+
+#include "core/metrics.hpp"
+#include "core/noise.hpp"
+#include "parallel/thread_pool.hpp"
+#include "rng/splitmix64.hpp"
+#include "support/assert.hpp"
+
+namespace pooled {
+
+TrialSeeds trial_seeds(std::uint64_t seed_base, std::uint64_t trial_index) {
+  // Two decorrelated streams per trial via SplitMix mixing.
+  const std::uint64_t root = splitmix64_mix(seed_base ^ (trial_index * 0x9E3779B97F4A7C15ull));
+  return TrialSeeds{splitmix64_mix(root ^ 0xDE516Eull), splitmix64_mix(root ^ 0x516A1ull)};
+}
+
+std::unique_ptr<Instance> build_trial_instance(const TrialConfig& config,
+                                               std::uint64_t trial_index,
+                                               Signal& truth_out, ThreadPool& pool) {
+  const TrialSeeds seeds = trial_seeds(config.seed_base, trial_index);
+  DesignParams params;
+  params.n = config.n;
+  params.seed = seeds.design_seed;
+  params.gamma = config.gamma;
+  params.p = config.p;
+  std::shared_ptr<const PoolingDesign> design = make_design(config.design, params);
+  truth_out = Signal::random(config.n, config.k, seeds.signal_seed);
+  auto y = simulate_queries(*design, config.m, truth_out, pool);
+  if (config.noise_rate > 0.0) {
+    add_symmetric_noise(y, config.noise_rate, seeds.design_seed ^ 0x4015Eull);
+  }
+  if (config.streamed) {
+    return std::make_unique<StreamedInstance>(std::move(design), config.m,
+                                              std::move(y));
+  }
+  // Stored backend: materialize the graph for the same queries.
+  auto stored_graph = materialize_graph(
+      StreamedInstance(design, config.m, std::vector<std::uint32_t>(config.m, 0)));
+  return std::make_unique<StoredInstance>(std::move(stored_graph), std::move(y));
+}
+
+TrialResult run_trial(const TrialConfig& config, const Decoder& decoder,
+                      std::uint64_t trial_index, ThreadPool& pool) {
+  POOLED_REQUIRE(config.k <= config.n, "trial config: k exceeds n");
+  Signal truth(1);
+  const auto instance = build_trial_instance(config, trial_index, truth, pool);
+  const Signal estimate = decoder.decode(*instance, config.k, pool);
+  return TrialResult{exact_recovery(estimate, truth),
+                     overlap_fraction(estimate, truth)};
+}
+
+AggregateResult run_trials(const TrialConfig& config, const Decoder& decoder,
+                           std::uint32_t trials, ThreadPool& pool) {
+  AggregateResult aggregate;
+  aggregate.trials = trials;
+  std::mutex mu;
+  pool.run_tasks(trials, [&](std::size_t t) {
+    const TrialResult result = run_trial(config, decoder, t, pool);
+    std::lock_guard<std::mutex> lock(mu);
+    if (result.exact) ++aggregate.successes;
+    aggregate.overlap.add(result.overlap);
+  });
+  return aggregate;
+}
+
+}  // namespace pooled

@@ -1,0 +1,68 @@
+#include "sim/sweep.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace pooled {
+
+std::vector<SweepPoint> sweep_queries(TrialConfig config, const Decoder& decoder,
+                                      const std::vector<std::uint32_t>& m_values,
+                                      std::uint32_t trials, ThreadPool& pool) {
+  std::vector<SweepPoint> points;
+  points.reserve(m_values.size());
+  for (std::uint32_t m : m_values) {
+    config.m = m;
+    const AggregateResult agg = run_trials(config, decoder, trials, pool);
+    SweepPoint point;
+    point.m = m;
+    point.success_rate = agg.success_rate();
+    point.success_ci = agg.success_ci();
+    point.overlap_mean = agg.overlap.mean();
+    point.overlap_stderr = agg.overlap.stderr_mean();
+    points.push_back(point);
+  }
+  return points;
+}
+
+std::vector<std::uint32_t> linear_grid(std::uint32_t lo, std::uint32_t hi,
+                                       std::uint32_t points) {
+  POOLED_REQUIRE(points >= 2 && hi > lo, "grid needs points >= 2 and hi > lo");
+  std::vector<std::uint32_t> grid;
+  grid.reserve(points);
+  for (std::uint32_t i = 0; i < points; ++i) {
+    const double f = static_cast<double>(i) / static_cast<double>(points - 1);
+    grid.push_back(lo + static_cast<std::uint32_t>(
+                            std::llround(f * static_cast<double>(hi - lo))));
+  }
+  grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+  return grid;
+}
+
+std::vector<std::uint32_t> log_grid(std::uint32_t lo, std::uint32_t hi,
+                                    std::uint32_t points) {
+  POOLED_REQUIRE(points >= 2 && hi > lo && lo > 0,
+                 "log grid needs points >= 2 and hi > lo > 0");
+  std::vector<std::uint32_t> grid;
+  grid.reserve(points);
+  const double log_lo = std::log(static_cast<double>(lo));
+  const double log_hi = std::log(static_cast<double>(hi));
+  for (std::uint32_t i = 0; i < points; ++i) {
+    const double f = static_cast<double>(i) / static_cast<double>(points - 1);
+    grid.push_back(static_cast<std::uint32_t>(
+        std::llround(std::exp(log_lo + f * (log_hi - log_lo)))));
+  }
+  std::sort(grid.begin(), grid.end());
+  grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+  return grid;
+}
+
+std::uint32_t first_m_reaching(const std::vector<SweepPoint>& sweep, double target) {
+  for (const SweepPoint& point : sweep) {
+    if (point.success_rate >= target) return point.m;
+  }
+  return 0;
+}
+
+}  // namespace pooled

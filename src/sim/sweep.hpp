@@ -1,0 +1,35 @@
+// Parameter sweeps producing the rows Figs. 3 and 4 plot.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/montecarlo.hpp"
+
+namespace pooled {
+
+struct SweepPoint {
+  std::uint32_t m = 0;
+  double success_rate = 0.0;
+  Interval success_ci{0.0, 0.0};
+  double overlap_mean = 0.0;
+  double overlap_stderr = 0.0;
+};
+
+/// Evaluates `decoder` at every m in `m_values` with `trials` runs each.
+std::vector<SweepPoint> sweep_queries(TrialConfig config, const Decoder& decoder,
+                                      const std::vector<std::uint32_t>& m_values,
+                                      std::uint32_t trials, ThreadPool& pool);
+
+/// Evenly spaced integer grid [lo, hi] with `points` values.
+std::vector<std::uint32_t> linear_grid(std::uint32_t lo, std::uint32_t hi,
+                                       std::uint32_t points);
+
+/// Log-spaced integer grid (deduplicated, ascending).
+std::vector<std::uint32_t> log_grid(std::uint32_t lo, std::uint32_t hi,
+                                    std::uint32_t points);
+
+/// Smallest m in the sweep whose success rate reaches `target`; 0 if none.
+std::uint32_t first_m_reaching(const std::vector<SweepPoint>& sweep, double target);
+
+}  // namespace pooled

@@ -1,0 +1,58 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace pooled {
+
+Histogram::Histogram(double low, double high, std::size_t bins)
+    : low_(low), high_(high), counts_(bins, 0) {
+  POOLED_REQUIRE(high > low, "histogram range must be non-empty");
+  POOLED_REQUIRE(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double value) {
+  const double span = high_ - low_;
+  auto bin = static_cast<std::ptrdiff_t>(
+      std::floor((value - low_) / span * static_cast<double>(counts_.size())));
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  POOLED_REQUIRE(other.counts_.size() == counts_.size() && other.low_ == low_ &&
+                     other.high_ == high_,
+                 "histogram merge requires identical binning");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
+double Histogram::bin_low(std::size_t bin) const {
+  return low_ + (high_ - low_) * static_cast<double>(bin) /
+                    static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_high(std::size_t bin) const { return bin_low(bin + 1); }
+
+std::string Histogram::render(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (std::uint64_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[b]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    os << '[';
+    os.width(10);
+    os << bin_low(b) << ") ";
+    os << std::string(bar, '#') << ' ' << counts_[b] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace pooled

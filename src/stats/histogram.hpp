@@ -1,0 +1,35 @@
+// Fixed-bin histogram for score-separation diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pooled {
+
+/// Equal-width histogram over [low, high); out-of-range samples clamp to
+/// the edge bins so mass is never silently dropped.
+class Histogram {
+ public:
+  Histogram(double low, double high, std::size_t bins);
+
+  void add(double value);
+  void merge(const Histogram& other);
+
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const { return counts_[bin]; }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] double bin_low(std::size_t bin) const;
+  [[nodiscard]] double bin_high(std::size_t bin) const;
+
+  /// ASCII rendering (one line per bin), used by example programs.
+  [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+ private:
+  double low_;
+  double high_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace pooled

@@ -1,0 +1,40 @@
+#include "stats/intervals.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace pooled {
+
+Interval wilson_interval(std::uint64_t successes, std::uint64_t trials, double z) {
+  POOLED_REQUIRE(trials > 0, "wilson_interval: trials must be positive");
+  POOLED_REQUIRE(successes <= trials, "wilson_interval: successes exceed trials");
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double spread =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return {std::max(0.0, center - spread), std::min(1.0, center + spread)};
+}
+
+double binary_entropy(double p) {
+  POOLED_REQUIRE(p >= 0.0 && p <= 1.0, "binary_entropy: p must lie in [0,1]");
+  if (p == 0.0 || p == 1.0) return 0.0;
+  return -p * std::log(p) - (1.0 - p) * std::log(1.0 - p);
+}
+
+double chernoff_upper(double np, double delta) {
+  POOLED_REQUIRE(np >= 0.0 && delta >= 0.0, "chernoff_upper: arguments non-negative");
+  return std::exp(-np * delta * delta / (2.0 + delta));
+}
+
+double chernoff_lower(double np, double delta) {
+  POOLED_REQUIRE(np >= 0.0 && delta >= 0.0 && delta <= 1.0,
+                 "chernoff_lower: delta must lie in [0,1]");
+  return std::exp(-np * delta * delta / 2.0);
+}
+
+}  // namespace pooled

@@ -1,0 +1,28 @@
+// Confidence intervals and tail bounds used by the simulation harness and
+// the theoretical-threshold module.
+#pragma once
+
+#include <cstdint>
+
+namespace pooled {
+
+struct Interval {
+  double low;
+  double high;
+};
+
+/// Wilson score interval for a binomial proportion (successes/trials) at
+/// normal quantile z (1.96 ~ 95%).
+Interval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                         double z = 1.96);
+
+/// Binary entropy H(p) in nats; H(0)=H(1)=0.
+double binary_entropy(double p);
+
+/// Chernoff upper-tail exponent for Bin(n,p): bound on P[X >= (1+delta)np].
+double chernoff_upper(double np, double delta);
+
+/// Chernoff lower-tail exponent for Bin(n,p): bound on P[X <= (1-delta)np].
+double chernoff_lower(double np, double delta);
+
+}  // namespace pooled

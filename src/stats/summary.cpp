@@ -1,0 +1,65 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace pooled {
+
+void RunningStats::add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(count_ + other.count_);
+  const double delta = other.mean_ - mean_;
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::stderr_mean() const {
+  if (count_ == 0) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+double quantile(std::vector<double> values, double q) {
+  POOLED_REQUIRE(!values.empty(), "quantile of empty sample");
+  POOLED_REQUIRE(q >= 0.0 && q <= 1.0, "quantile order must lie in [0,1]");
+  std::sort(values.begin(), values.end());
+  const double position = q * static_cast<double>(values.size() - 1);
+  const auto lower = static_cast<std::size_t>(position);
+  const std::size_t upper = std::min(lower + 1, values.size() - 1);
+  const double frac = position - static_cast<double>(lower);
+  return values[lower] * (1.0 - frac) + values[upper] * frac;
+}
+
+double median(std::vector<double> values) { return quantile(std::move(values), 0.5); }
+
+}  // namespace pooled

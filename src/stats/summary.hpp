@@ -1,0 +1,41 @@
+// Streaming summary statistics (Welford) and order statistics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pooled {
+
+/// Numerically stable running mean/variance/min/max accumulator.
+class RunningStats {
+ public:
+  void add(double value);
+
+  /// Merges another accumulator (parallel reduction support).
+  void merge(const RunningStats& other);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  /// Standard error of the mean.
+  [[nodiscard]] double stderr_mean() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// q-th quantile (0<=q<=1) by linear interpolation; copies and sorts.
+double quantile(std::vector<double> values, double q);
+
+/// Median convenience wrapper.
+double median(std::vector<double> values);
+
+}  // namespace pooled

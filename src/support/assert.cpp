@@ -1,0 +1,23 @@
+#include "support/assert.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace pooled::detail {
+
+void contract_failure(const char* condition, const std::string& message,
+                      std::source_location where) {
+  std::ostringstream os;
+  os << "contract violation: " << message << " [" << condition << "] at "
+     << where.file_name() << ':' << where.line();
+  throw ContractError(os.str());
+}
+
+void assert_failure(const char* condition, std::source_location where) {
+  std::fprintf(stderr, "pooled assertion failed: %s at %s:%u\n", condition,
+               where.file_name(), static_cast<unsigned>(where.line()));
+  std::abort();
+}
+
+}  // namespace pooled::detail

@@ -1,0 +1,50 @@
+// Contract checking for the pooled library.
+//
+// Two tiers:
+//   POOLED_REQUIRE(cond, msg)  -- precondition on public API boundaries.
+//     Always evaluated; throws pooled::ContractError so callers (and the
+//     test suite) can observe violations.
+//   POOLED_ASSERT(cond)        -- internal invariant on hot paths.
+//     Compiled out unless POOLED_ENABLE_ASSERTS or a debug build.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace pooled {
+
+/// Thrown when a POOLED_REQUIRE precondition fails.
+class ContractError : public std::logic_error {
+ public:
+  explicit ContractError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void contract_failure(const char* condition, const std::string& message,
+                                   std::source_location where);
+[[noreturn]] void assert_failure(const char* condition, std::source_location where);
+}  // namespace detail
+
+}  // namespace pooled
+
+#define POOLED_REQUIRE(cond, msg)                                                  \
+  do {                                                                             \
+    if (!(cond)) {                                                                 \
+      ::pooled::detail::contract_failure(#cond, (msg),                             \
+                                         std::source_location::current());         \
+    }                                                                              \
+  } while (false)
+
+#if defined(POOLED_ENABLE_ASSERTS) || !defined(NDEBUG)
+#define POOLED_ASSERT(cond)                                                        \
+  do {                                                                             \
+    if (!(cond)) {                                                                 \
+      ::pooled::detail::assert_failure(#cond, std::source_location::current());    \
+    }                                                                              \
+  } while (false)
+#else
+#define POOLED_ASSERT(cond) \
+  do {                      \
+  } while (false)
+#endif

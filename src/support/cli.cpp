@@ -1,0 +1,121 @@
+#include "support/cli.hpp"
+
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace pooled {
+
+CliParser::CliParser(std::string program_name) : program_(std::move(program_name)) {}
+
+void CliParser::add_i64(const std::string& name, const std::string& help,
+                        std::int64_t def) {
+  options_[name] = Option{Kind::I64, help, std::to_string(def)};
+}
+
+void CliParser::add_f64(const std::string& name, const std::string& help, double def) {
+  std::ostringstream os;
+  os << def;
+  options_[name] = Option{Kind::F64, help, os.str()};
+}
+
+void CliParser::add_string(const std::string& name, const std::string& help,
+                           std::string def) {
+  options_[name] = Option{Kind::String, help, std::move(def)};
+}
+
+void CliParser::add_flag(const std::string& name, const std::string& help) {
+  options_[name] = Option{Kind::Flag, help, "0"};
+}
+
+void CliParser::set_value(const std::string& name, const std::string& value) {
+  auto it = options_.find(name);
+  POOLED_REQUIRE(it != options_.end(), "unknown option --" + name);
+  if (it->second.kind == Kind::I64) {
+    char* end = nullptr;
+    (void)std::strtoll(value.c_str(), &end, 10);
+    POOLED_REQUIRE(end != value.c_str() && *end == '\0',
+                   "option --" + name + " expects an integer, got '" + value + "'");
+  } else if (it->second.kind == Kind::F64) {
+    char* end = nullptr;
+    (void)std::strtod(value.c_str(), &end);
+    POOLED_REQUIRE(end != value.c_str() && *end == '\0',
+                   "option --" + name + " expects a number, got '" + value + "'");
+  }
+  it->second.value = value;
+}
+
+void CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    POOLED_REQUIRE(arg.size() > 2 && arg[0] == '-' && arg[1] == '-',
+                   "expected --option, got '" + arg + "'");
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      set_value(arg.substr(0, eq), arg.substr(eq + 1));
+      continue;
+    }
+    auto it = options_.find(arg);
+    POOLED_REQUIRE(it != options_.end(), "unknown option --" + arg);
+    if (it->second.kind == Kind::Flag) {
+      // .assign sidesteps a GCC 12 -Wrestrict false positive on operator=.
+      it->second.value.assign(1, '1');
+    } else {
+      POOLED_REQUIRE(i + 1 < argc, "option --" + arg + " expects a value");
+      set_value(arg, argv[++i]);
+    }
+  }
+}
+
+const CliParser::Option& CliParser::find(const std::string& name, Kind kind) const {
+  auto it = options_.find(name);
+  POOLED_REQUIRE(it != options_.end(), "option --" + name + " was never declared");
+  POOLED_REQUIRE(it->second.kind == kind, "option --" + name + " accessed as wrong type");
+  return it->second;
+}
+
+std::int64_t CliParser::i64(const std::string& name) const {
+  return std::strtoll(find(name, Kind::I64).value.c_str(), nullptr, 10);
+}
+
+double CliParser::f64(const std::string& name) const {
+  return std::strtod(find(name, Kind::F64).value.c_str(), nullptr);
+}
+
+const std::string& CliParser::string(const std::string& name) const {
+  return find(name, Kind::String).value;
+}
+
+bool CliParser::flag(const std::string& name) const {
+  return find(name, Kind::Flag).value == "1";
+}
+
+std::string CliParser::help_text() const {
+  std::ostringstream os;
+  os << "usage: " << program_ << " [options]\n";
+  for (const auto& [name, opt] : options_) {
+    os << "  --" << name;
+    switch (opt.kind) {
+      case Kind::I64:
+        os << " <int>";
+        break;
+      case Kind::F64:
+        os << " <float>";
+        break;
+      case Kind::String:
+        os << " <str>";
+        break;
+      case Kind::Flag:
+        break;
+    }
+    os << "  " << opt.help << " (default: " << opt.value << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace pooled

@@ -1,0 +1,60 @@
+// Minimal command-line option parser for the examples and bench drivers.
+//
+// Supports `--name value`, `--name=value` and boolean `--flag` forms.
+// Unknown options are rejected so typos fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pooled {
+
+/// Declarative command-line parser.
+///
+/// Usage:
+///   CliParser cli("quickstart");
+///   cli.add_i64("n", "signal length", 10000);
+///   cli.add_f64("theta", "sparsity exponent", 0.3);
+///   cli.add_flag("verbose", "print per-query detail");
+///   cli.parse(argc, argv);           // throws ContractError on bad input
+///   auto n = cli.i64("n");
+class CliParser {
+ public:
+  explicit CliParser(std::string program_name);
+
+  void add_i64(const std::string& name, const std::string& help, std::int64_t def);
+  void add_f64(const std::string& name, const std::string& help, double def);
+  void add_string(const std::string& name, const std::string& help, std::string def);
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv; recognizes --help (sets help_requested()).
+  void parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::int64_t i64(const std::string& name) const;
+  [[nodiscard]] double f64(const std::string& name) const;
+  [[nodiscard]] const std::string& string(const std::string& name) const;
+  [[nodiscard]] bool flag(const std::string& name) const;
+
+  [[nodiscard]] bool help_requested() const { return help_requested_; }
+  [[nodiscard]] std::string help_text() const;
+
+ private:
+  enum class Kind { I64, F64, String, Flag };
+  struct Option {
+    Kind kind;
+    std::string help;
+    std::string value;  // textual; flags use "0"/"1"
+  };
+
+  const Option& find(const std::string& name, Kind kind) const;
+  void set_value(const std::string& name, const std::string& value);
+
+  std::string program_;
+  std::map<std::string, Option> options_;
+  bool help_requested_ = false;
+};
+
+}  // namespace pooled

@@ -1,0 +1,60 @@
+#include "support/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+#include "support/env.hpp"
+
+namespace pooled {
+
+namespace {
+
+LogLevel parse_level(const std::string& text) {
+  if (text == "debug") return LogLevel::Debug;
+  if (text == "info") return LogLevel::Info;
+  if (text == "warn") return LogLevel::Warn;
+  if (text == "error") return LogLevel::Error;
+  if (text == "off") return LogLevel::Off;
+  return LogLevel::Warn;
+}
+
+std::atomic<int>& level_storage() {
+  static std::atomic<int> level{
+      static_cast<int>(parse_level(env_string("POOLED_LOG_LEVEL").value_or("warn")))};
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug:
+      return "DEBUG";
+    case LogLevel::Info:
+      return "INFO";
+    case LogLevel::Warn:
+      return "WARN";
+    case LogLevel::Error:
+      return "ERROR";
+    case LogLevel::Off:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(level_storage().load()); }
+
+void set_log_level(LogLevel level) { level_storage().store(static_cast<int>(level)); }
+
+namespace detail {
+
+void log_emit(LogLevel level, const std::string& message) {
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  std::fprintf(stderr, "[pooled %s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace detail
+
+}  // namespace pooled

@@ -1,0 +1,47 @@
+// Tiny leveled logger for the simulation drivers.
+//
+// Not a general-purpose logging framework: single sink (stderr), no
+// formatting DSL. POOLED_LOG_LEVEL (env) selects the minimum level.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pooled {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Current minimum level (from POOLED_LOG_LEVEL: debug|info|warn|error|off).
+LogLevel log_level();
+
+/// Overrides the level programmatically (tests use this).
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+/// Streaming log statement: LOG(Info) << "m=" << m;
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() {
+    if (level_ >= log_level()) detail::log_emit(level_, os_.str());
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace pooled
+
+#define POOLED_LOG(level) ::pooled::LogLine(::pooled::LogLevel::level)

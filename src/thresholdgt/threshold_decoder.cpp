@@ -1,0 +1,66 @@
+#include "thresholdgt/threshold_decoder.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/assert.hpp"
+
+namespace pooled {
+
+ThresholdDecodeResult decode_threshold_mn(const ThresholdGtInstance& instance,
+                                          std::uint32_t k, ThreadPool& pool) {
+  const std::uint32_t n = instance.n();
+  const std::uint32_t m = instance.m();
+  POOLED_REQUIRE(k <= n, "weight k exceeds signal length");
+
+  double positives = 0.0;
+  for (std::uint8_t outcome : instance.outcomes()) positives += outcome;
+  const double mean_outcome = m == 0 ? 0.0 : positives / static_cast<double>(m);
+
+  // Integer per-entry statistics (positive-test count and distinct-query
+  // count), accumulated exactly: Σ_{a ∈ ∂*x_i} (y_a − ȳ) = psi_i − Δ*_i ȳ.
+  // Keeping the accumulation integral makes the result independent of the
+  // chunking / thread count.
+  std::vector<std::atomic<std::uint32_t>> psi(n);
+  std::vector<std::atomic<std::uint32_t>> delta_star(n);
+  constexpr std::uint32_t kUnmarked = 0xFFFFFFFFu;
+  parallel_for_chunked(pool, 0, m, 1, [&](std::size_t lo, std::size_t hi) {
+    std::vector<std::uint32_t> members;
+    std::vector<std::uint32_t> mark(n, kUnmarked);
+    for (std::size_t q = lo; q < hi; ++q) {
+      const auto query = static_cast<std::uint32_t>(q);
+      instance.query_members(query, members);
+      const std::uint32_t outcome = instance.outcomes()[q];
+      for (std::uint32_t entry : members) {
+        if (mark[entry] != query) {
+          mark[entry] = query;
+          psi[entry].fetch_add(outcome, std::memory_order_relaxed);
+          delta_star[entry].fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  });
+
+  std::vector<double> scores(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    scores[i] = static_cast<double>(psi[i].load(std::memory_order_relaxed)) -
+                static_cast<double>(delta_star[i].load(std::memory_order_relaxed)) *
+                    mean_outcome;
+  }
+
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::nth_element(order.begin(), order.begin() + k, order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     if (scores[a] != scores[b]) return scores[a] > scores[b];
+                     return a < b;
+                   });
+  order.resize(k);
+  std::sort(order.begin(), order.end());
+  return ThresholdDecodeResult{Signal(n, std::move(order)), std::move(scores)};
+}
+
+}  // namespace pooled

@@ -1,0 +1,33 @@
+// MN-style scoring decoder for threshold group testing.
+//
+// Rationale: conditioned on entry i being a one-entry, a query containing
+// i needs only T-1 further ones to fire, so P[positive | i ∈ pool,
+// σ(i)=1] > P[positive | i ∈ pool, σ(i)=0]. Summing the *centered*
+// outcomes over an entry's (distinct) queries therefore separates one-
+// from zero-entries -- exactly the MN thresholding idea transplanted to
+// the one-bit channel:
+//
+//   score_i = Σ_{a ∈ ∂*x_i} (y_a − ȳ),   ȳ = mean outcome.
+//
+// Taking the k largest scores gives the estimate. No optimality claim is
+// made (the paper calls the tight analysis open); the bench measures what
+// this simple transplant achieves empirically across T.
+#pragma once
+
+#include <vector>
+
+#include "thresholdgt/threshold_instance.hpp"
+
+namespace pooled {
+
+class ThreadPool;
+
+struct ThresholdDecodeResult {
+  Signal estimate;
+  std::vector<double> scores;
+};
+
+ThresholdDecodeResult decode_threshold_mn(const ThresholdGtInstance& instance,
+                                          std::uint32_t k, ThreadPool& pool);
+
+}  // namespace pooled

@@ -1,0 +1,63 @@
+#include "thresholdgt/threshold_instance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/assert.hpp"
+
+namespace pooled {
+
+std::uint64_t threshold_gt_gamma(std::uint32_t n, std::uint32_t k,
+                                 std::uint32_t threshold) {
+  POOLED_REQUIRE(n > 0 && k > 0 && threshold > 0,
+                 "threshold_gt_gamma needs n, k, T > 0");
+  const double gamma = static_cast<double>(threshold) * static_cast<double>(n) /
+                       static_cast<double>(k);
+  return std::clamp<std::uint64_t>(
+      static_cast<std::uint64_t>(std::llround(gamma)), 1, n);
+}
+
+ThresholdGtInstance::ThresholdGtInstance(std::shared_ptr<const PoolingDesign> design,
+                                         std::uint32_t m, std::uint32_t threshold,
+                                         std::vector<std::uint8_t> outcomes)
+    : design_(std::move(design)),
+      m_(m),
+      threshold_(threshold),
+      outcomes_(std::move(outcomes)) {
+  POOLED_REQUIRE(design_ != nullptr, "threshold instance needs a design");
+  POOLED_REQUIRE(threshold_ > 0, "threshold must be positive");
+  POOLED_REQUIRE(outcomes_.size() == m_, "outcome vector length must equal m");
+}
+
+void ThresholdGtInstance::query_members(std::uint32_t query,
+                                        std::vector<std::uint32_t>& out) const {
+  POOLED_REQUIRE(query < m_, "query index out of range");
+  design_->query_members(query, out);
+}
+
+std::unique_ptr<ThresholdGtInstance> make_threshold_instance(
+    std::shared_ptr<const PoolingDesign> design, std::uint32_t m,
+    std::uint32_t threshold, const Signal& truth, ThreadPool& pool) {
+  POOLED_REQUIRE(design != nullptr, "threshold instance needs a design");
+  POOLED_REQUIRE(design->num_entries() == truth.n(), "design/signal mismatch");
+  std::vector<std::uint8_t> outcomes(m, 0);
+  const PoolingDesign& d = *design;
+  parallel_for_chunked(pool, 0, m, 1, [&](std::size_t lo, std::size_t hi) {
+    std::vector<std::uint32_t> members;
+    for (std::size_t q = lo; q < hi; ++q) {
+      d.query_members(static_cast<std::uint32_t>(q), members);
+      std::uint32_t count = 0;
+      for (std::uint32_t entry : members) {
+        count += truth.value(entry);
+        if (count >= threshold) break;
+      }
+      outcomes[q] = count >= threshold ? 1 : 0;
+    }
+  });
+  return std::make_unique<ThresholdGtInstance>(std::move(design), m, threshold,
+                                               std::move(outcomes));
+}
+
+}  // namespace pooled

@@ -1,0 +1,117 @@
+// Tests for the partially-parallel (L-batch) extension.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adaptive/batched.hpp"
+#include "core/instance.hpp"
+#include "core/thresholds.hpp"
+#include "design/random_regular.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/assert.hpp"
+
+namespace pooled {
+namespace {
+
+TEST(Batched, StopsAndSucceedsWithReasonableBudget) {
+  ThreadPool pool(2);
+  const std::uint32_t n = 300, k = 5;
+  auto design = std::make_shared<RandomRegularDesign>(n, 7);
+  const Signal truth = Signal::random(n, k, 11);
+  BatchedConfig config;
+  config.batch_size = 32;
+  config.max_rounds = 200;
+  config.min_queries = 2 * k;
+  const BatchedOutcome outcome = run_batched(design, truth, config, pool);
+  EXPECT_TRUE(outcome.stopped);
+  EXPECT_TRUE(outcome.success);
+  EXPECT_EQ(outcome.total_queries, outcome.rounds * config.batch_size);
+  // Should stop within a small multiple of the MN threshold.
+  EXPECT_LT(outcome.total_queries,
+            5.0 * thresholds::m_mn_finite(n, k) + 4 * config.batch_size);
+}
+
+TEST(Batched, TotalQueriesIsRoundsTimesBatch) {
+  ThreadPool pool(1);
+  const std::uint32_t n = 200, k = 4;
+  auto design = std::make_shared<RandomRegularDesign>(n, 13);
+  const Signal truth = Signal::random(n, k, 17);
+  for (std::uint32_t batch : {1u, 8u, 64u}) {
+    BatchedConfig config;
+    config.batch_size = batch;
+    config.max_rounds = 3000 / batch + 5;
+    config.min_queries = k;
+    const BatchedOutcome outcome = run_batched(design, truth, config, pool);
+    EXPECT_EQ(outcome.total_queries, outcome.rounds * batch);
+  }
+}
+
+TEST(Batched, SmallerBatchesNeverUseMoreQueriesOnAverage) {
+  // Finer batches can stop closer to the true requirement; aggregate over
+  // trials to smooth noise.
+  ThreadPool pool(2);
+  const std::uint32_t n = 250, k = 4;
+  double total_small = 0.0, total_large = 0.0;
+  for (int trial = 0; trial < 8; ++trial) {
+    auto design = std::make_shared<RandomRegularDesign>(n, 100 + trial);
+    const Signal truth = Signal::random(n, k, 200 + trial);
+    BatchedConfig small;
+    small.batch_size = 4;
+    small.max_rounds = 2000;
+    small.min_queries = k;
+    BatchedConfig large = small;
+    large.batch_size = 128;
+    large.max_rounds = 100;
+    total_small += run_batched(design, truth, small, pool).total_queries;
+    total_large += run_batched(design, truth, large, pool).total_queries;
+  }
+  EXPECT_LE(total_small, total_large + 1e-9);
+}
+
+TEST(Batched, MaxRoundsBoundsWork) {
+  ThreadPool pool(1);
+  const std::uint32_t n = 400, k = 8;
+  auto design = std::make_shared<RandomRegularDesign>(n, 19);
+  const Signal truth = Signal::random(n, k, 23);
+  BatchedConfig config;
+  config.batch_size = 1;
+  config.max_rounds = 3;  // far too few queries to stop
+  config.min_queries = 100;
+  const BatchedOutcome outcome = run_batched(design, truth, config, pool);
+  EXPECT_FALSE(outcome.stopped);
+  EXPECT_EQ(outcome.rounds, 3u);
+  EXPECT_EQ(outcome.total_queries, 3u);
+}
+
+TEST(Batched, RejectsZeroBatch) {
+  ThreadPool pool(1);
+  auto design = std::make_shared<RandomRegularDesign>(50, 1);
+  const Signal truth = Signal::random(50, 3, 2);
+  BatchedConfig config;
+  config.batch_size = 0;
+  EXPECT_THROW(run_batched(design, truth, config, pool), ContractError);
+}
+
+TEST(Batched, StoppingRuleIsObservableOnly) {
+  // A stopped run's estimate must be consistent with its own data by
+  // construction -- re-verify through an independent replay.
+  ThreadPool pool(1);
+  const std::uint32_t n = 150, k = 3;
+  auto design = std::make_shared<RandomRegularDesign>(n, 29);
+  const Signal truth = Signal::random(n, k, 31);
+  BatchedConfig config;
+  config.batch_size = 16;
+  config.max_rounds = 500;
+  config.min_queries = k;
+  const BatchedOutcome outcome = run_batched(design, truth, config, pool);
+  ASSERT_TRUE(outcome.stopped);
+  // Replay: with the same design and the stop point m, the MN estimate at
+  // m queries must explain the data.
+  const auto instance = make_streamed_instance(design, outcome.total_queries,
+                                               truth, pool);
+  // The run succeeded, so the consistent signal is the truth itself.
+  EXPECT_TRUE(instance->is_consistent(truth));
+}
+
+}  // namespace
+}  // namespace pooled

@@ -1,0 +1,152 @@
+// Unit tests for the bipartite multigraph and degree statistics.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "graph/bipartite.hpp"
+#include "graph/degree_stats.hpp"
+#include "parallel/thread_pool.hpp"
+#include "rng/philox.hpp"
+#include "rng/sampling.hpp"
+#include "support/assert.hpp"
+
+namespace pooled {
+namespace {
+
+BipartiteMultigraph tiny_graph() {
+  // Fig. 1 of the paper: 7 entries, 5 queries (multi-edges on query 3).
+  BipartiteMultigraph::Builder builder(7, 5);
+  builder.add_query(std::vector<std::uint32_t>{0, 1, 2});       // a1
+  builder.add_query(std::vector<std::uint32_t>{1, 3, 4});       // a2
+  builder.add_query(std::vector<std::uint32_t>{0, 0, 1, 4});    // a3 multi
+  builder.add_query(std::vector<std::uint32_t>{5, 6, 4});       // a4
+  builder.add_query(std::vector<std::uint32_t>{6, 2, 0});       // a5
+  return builder.finalize();
+}
+
+TEST(Bipartite, ShapeAndCounts) {
+  const auto g = tiny_graph();
+  EXPECT_EQ(g.num_entries(), 7u);
+  EXPECT_EQ(g.num_queries(), 5u);
+}
+
+TEST(Bipartite, QueryRowsAggregateMultiplicity) {
+  const auto g = tiny_graph();
+  const auto row = g.query_row(2);  // {0,0,1,4}
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0].node, 0u);
+  EXPECT_EQ(row[0].multiplicity, 2u);
+  EXPECT_EQ(row[1].node, 1u);
+  EXPECT_EQ(row[1].multiplicity, 1u);
+  EXPECT_EQ(row[2].node, 4u);
+  EXPECT_EQ(row[2].multiplicity, 1u);
+  EXPECT_EQ(g.query_size(2), 4u);
+}
+
+TEST(Bipartite, EntryRowsAreTheExactTranspose) {
+  const auto g = tiny_graph();
+  // Entry 0 appears in queries 0 (x1), 2 (x2 via multiplicity 2), 4 (x1).
+  const auto row = g.entry_row(0);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0].node, 0u);
+  EXPECT_EQ(row[0].multiplicity, 1u);
+  EXPECT_EQ(row[1].node, 2u);
+  EXPECT_EQ(row[1].multiplicity, 2u);
+  EXPECT_EQ(row[2].node, 4u);
+  EXPECT_EQ(row[2].multiplicity, 1u);
+}
+
+TEST(Bipartite, DegreesCountMultiplicityDistinctDegreesDoNot) {
+  const auto g = tiny_graph();
+  EXPECT_EQ(g.degree(0), 4u);          // 1 + 2 + 1
+  EXPECT_EQ(g.distinct_degree(0), 3u); // three distinct queries
+  EXPECT_EQ(g.degree(3), 1u);
+  EXPECT_EQ(g.distinct_degree(3), 1u);
+  EXPECT_EQ(g.degree(5), 1u);
+}
+
+TEST(Bipartite, TotalEdgeMassBalances) {
+  const auto g = tiny_graph();
+  std::uint64_t by_queries = 0, by_entries = 0;
+  for (std::uint32_t q = 0; q < g.num_queries(); ++q) by_queries += g.query_size(q);
+  for (std::uint32_t x = 0; x < g.num_entries(); ++x) by_entries += g.degree(x);
+  EXPECT_EQ(by_queries, by_entries);
+  EXPECT_EQ(by_queries, 16u);
+}
+
+TEST(Bipartite, EmptyQueryIsRepresentable) {
+  BipartiteMultigraph::Builder builder(3);
+  builder.add_query(std::vector<std::uint32_t>{});
+  builder.add_query(std::vector<std::uint32_t>{1});
+  const auto g = builder.finalize();
+  EXPECT_EQ(g.query_row(0).size(), 0u);
+  EXPECT_EQ(g.query_size(0), 0u);
+  EXPECT_EQ(g.distinct_degree(1), 1u);
+}
+
+TEST(Bipartite, RejectsOutOfRangeEntry) {
+  BipartiteMultigraph::Builder builder(3);
+  EXPECT_THROW(builder.add_query(std::vector<std::uint32_t>{3}), ContractError);
+}
+
+TEST(Bipartite, RejectsOutOfRangeAccess) {
+  const auto g = tiny_graph();
+  EXPECT_THROW(g.query_row(5), ContractError);
+  EXPECT_THROW(g.entry_row(7), ContractError);
+}
+
+TEST(Bipartite, BuilderReturnsSequentialQueryIds) {
+  BipartiteMultigraph::Builder builder(4);
+  EXPECT_EQ(builder.add_query(std::vector<std::uint32_t>{0}), 0u);
+  EXPECT_EQ(builder.add_query(std::vector<std::uint32_t>{1}), 1u);
+  EXPECT_EQ(builder.num_queries(), 2u);
+}
+
+TEST(Bipartite, StoredEdgesCountsDistinctSlots) {
+  const auto g = tiny_graph();
+  EXPECT_EQ(g.stored_edges(), 15u);  // 16 draws, one duplicate collapsed
+}
+
+TEST(DegreeStats, MatchesDirectComputation) {
+  const auto g = tiny_graph();
+  ThreadPool pool(2);
+  const DegreeStats stats = compute_degree_stats(g, pool);
+  ASSERT_EQ(stats.delta.size(), 7u);
+  for (std::uint32_t x = 0; x < 7; ++x) {
+    EXPECT_EQ(stats.delta[x], g.degree(x));
+    EXPECT_EQ(stats.delta_star[x], g.distinct_degree(x));
+  }
+  EXPECT_EQ(stats.delta_max, 4u);
+  EXPECT_EQ(stats.delta_min, 1u);
+  const double mean = 16.0 / 7.0;
+  EXPECT_NEAR(stats.delta_mean, mean, 1e-12);
+}
+
+TEST(DegreeStats, ConcentrationHoldsForPaperDesignAtScale) {
+  // Random regular design, n = 4000, m = 300: Δ ~ Bin(m n/2, 1/n) with
+  // mean 150; event R should hold comfortably at c = 4.
+  const std::uint32_t n = 4000, m = 300;
+  BipartiteMultigraph::Builder builder(n, m);
+  std::vector<std::uint32_t> members;
+  for (std::uint32_t q = 0; q < m; ++q) {
+    PhiloxStream stream(777, q);
+    sample_with_replacement(stream, n, n / 2, members);
+    builder.add_query(members);
+  }
+  const auto g = builder.finalize();
+  ThreadPool pool(2);
+  const DegreeStats stats = compute_degree_stats(g, pool);
+  EXPECT_NEAR(stats.delta_mean, m / 2.0, 3.0);
+  EXPECT_NEAR(stats.delta_star_mean, gamma_distinct() * m, 3.0);
+  EXPECT_EQ(count_concentration_violations(stats, m, 4.0), 0u);
+  // With a tiny constant the check must trip (sanity of the checker).
+  EXPECT_GT(count_concentration_violations(stats, m, 0.01), 0u);
+}
+
+TEST(DegreeStats, GammaConstant) {
+  EXPECT_NEAR(gamma_distinct(), 0.3934693402873666, 1e-15);
+}
+
+}  // namespace
+}  // namespace pooled

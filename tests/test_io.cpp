@@ -1,0 +1,119 @@
+// Tests for CSV, console tables, and gnuplot .dat emission.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "io/csv.hpp"
+#include "io/gnuplot.hpp"
+#include "io/table.hpp"
+#include "support/assert.hpp"
+
+namespace pooled {
+namespace {
+
+TEST(Csv, HeaderAndRows) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.header({"m", "rate", "label"});
+  csv.cell(std::uint64_t{100}).cell(0.5).cell(std::string("theta=0.3"));
+  csv.end_row();
+  EXPECT_EQ(os.str(), "m,rate,label\n100,0.5,theta=0.3\n");
+  EXPECT_EQ(csv.rows_written(), 1u);
+}
+
+TEST(Csv, EnforcesRowWidth) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.header({"a", "b"});
+  csv.cell(std::uint64_t{1});
+  EXPECT_THROW(csv.end_row(), ContractError);
+}
+
+TEST(Csv, EndRowWithoutCellsThrows) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  EXPECT_THROW(csv.end_row(), ContractError);
+}
+
+TEST(Csv, HeaderMustComeFirst) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.cell(std::uint64_t{1});
+  csv.end_row();
+  EXPECT_THROW(csv.header({"late"}), ContractError);
+}
+
+TEST(Csv, NoHeaderAllowsFreeformRows) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.cell(std::uint64_t{1}).cell(std::uint64_t{2});
+  csv.end_row();
+  csv.cell(std::uint64_t{3});
+  csv.end_row();
+  EXPECT_EQ(os.str(), "1,2\n3\n");
+}
+
+TEST(Csv, CustomSeparator) {
+  std::ostringstream os;
+  CsvWriter csv(os, '\t');
+  csv.cell(std::string("a")).cell(std::string("b"));
+  csv.end_row();
+  EXPECT_EQ(os.str(), "a\tb\n");
+}
+
+TEST(FormatCompact, IntegersAndFloats) {
+  EXPECT_EQ(format_compact(1234.0), "1234");
+  EXPECT_EQ(format_compact(-2.0), "-2");
+  EXPECT_EQ(format_compact(0.25), "0.25");
+  EXPECT_EQ(format_compact(3.14159, 3), "3.14");
+}
+
+TEST(Table, AlignsColumns) {
+  ConsoleTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "12345"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("12345"), std::string::npos);
+  EXPECT_NE(text.find("-----"), std::string::npos);
+  // 4 lines: header, rule, two rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+}
+
+TEST(Table, RejectsBadRows) {
+  ConsoleTable table({"only"});
+  EXPECT_THROW(table.add_row({"a", "b"}), ContractError);
+  EXPECT_THROW(ConsoleTable({}), ContractError);
+}
+
+TEST(Gnuplot, WritesSeriesBlocks) {
+  const auto path = std::filesystem::temp_directory_path() / "pooled_test.dat";
+  std::vector<DataSeries> series(2);
+  series[0].label = "theta=0.1";
+  series[0].rows = {{1.0, 2.0}, {3.0, 4.0}};
+  series[1].label = "theta=0.2";
+  series[1].rows = {{5.0, 6.0}};
+  ASSERT_TRUE(write_dat_file(path.string(), "test output", {"x", "y"}, series));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  EXPECT_NE(text.find("# test output"), std::string::npos);
+  EXPECT_NE(text.find("# series: theta=0.1"), std::string::npos);
+  EXPECT_NE(text.find("3 4"), std::string::npos);
+  EXPECT_NE(text.find("\n\n\n"), std::string::npos);  // index separator
+  std::filesystem::remove(path);
+}
+
+TEST(Gnuplot, FailsOnUnwritablePath) {
+  EXPECT_FALSE(write_dat_file("/nonexistent-dir/x.dat", "c", {"x"}, {}));
+}
+
+}  // namespace
+}  // namespace pooled

@@ -1,0 +1,138 @@
+// Tests for the query-noise models and noisy-trial plumbing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/mn.hpp"
+#include "core/noise.hpp"
+#include "core/thresholds.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sim/montecarlo.hpp"
+#include "support/assert.hpp"
+
+namespace pooled {
+namespace {
+
+TEST(SymmetricNoise, ZeroRateIsIdentity) {
+  std::vector<std::uint32_t> y = {5, 0, 3, 7};
+  const auto original = y;
+  add_symmetric_noise(y, 0.0, 1);
+  EXPECT_EQ(y, original);
+}
+
+TEST(SymmetricNoise, PerturbsAtTheRequestedRate) {
+  std::vector<std::uint32_t> y(20000, 10);
+  add_symmetric_noise(y, 0.3, 2);
+  int changed = 0;
+  for (auto v : y) changed += (v != 10);
+  // +-1 with fair sign: essentially every selected query changes.
+  EXPECT_NEAR(changed / 20000.0, 0.3, 0.02);
+  for (auto v : y) {
+    EXPECT_GE(v, 9u);
+    EXPECT_LE(v, 11u);
+  }
+}
+
+TEST(SymmetricNoise, NeverUnderflowsZero) {
+  std::vector<std::uint32_t> y(1000, 0);
+  add_symmetric_noise(y, 1.0, 3);
+  for (auto v : y) EXPECT_LE(v, 1u);
+}
+
+TEST(SymmetricNoise, DeterministicInSeed) {
+  std::vector<std::uint32_t> a(100, 5), b(100, 5), c(100, 5);
+  add_symmetric_noise(a, 0.5, 7);
+  add_symmetric_noise(b, 0.5, 7);
+  add_symmetric_noise(c, 0.5, 8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(SymmetricNoise, RejectsBadRate) {
+  std::vector<std::uint32_t> y = {1};
+  EXPECT_THROW(add_symmetric_noise(y, -0.1, 1), ContractError);
+  EXPECT_THROW(add_symmetric_noise(y, 1.1, 1), ContractError);
+}
+
+TEST(GaussianNoise, MomentsRoughlyMatch) {
+  std::vector<std::uint32_t> y(20000, 100);
+  add_gaussian_noise(y, 3.0, 4);
+  double sum = 0.0, sum_sq = 0.0;
+  for (auto v : y) {
+    const double d = static_cast<double>(v) - 100.0;
+    sum += d;
+    sum_sq += d * d;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.0, 0.1);
+  // Rounding adds ~1/12 variance.
+  EXPECT_NEAR(sum_sq / 20000.0, 9.0, 0.5);
+}
+
+TEST(GaussianNoise, SigmaZeroIsIdentity) {
+  std::vector<std::uint32_t> y = {2, 4};
+  add_gaussian_noise(y, 0.0, 5);
+  EXPECT_EQ(y, (std::vector<std::uint32_t>{2, 4}));
+}
+
+TEST(NoisyTrials, MnToleratesMildNoiseAboveThreshold) {
+  ThreadPool pool(4);
+  TrialConfig config;
+  config.n = 500;
+  config.k = 6;
+  config.m = static_cast<std::uint32_t>(
+      2.0 * thresholds::m_mn_finite(config.n, config.k));
+  config.seed_base = 11;
+  config.noise_rate = 0.05;
+  const AggregateResult agg = run_trials(config, MnDecoder(), 10, pool);
+  EXPECT_GE(agg.success_rate(), 0.7);
+}
+
+TEST(NoisyTrials, HeavyNoiseDegradesOverlapNotCatastrophically) {
+  ThreadPool pool(4);
+  TrialConfig config;
+  config.n = 500;
+  config.k = 6;
+  config.m = static_cast<std::uint32_t>(
+      2.0 * thresholds::m_mn_finite(config.n, config.k));
+  config.seed_base = 13;
+  config.noise_rate = 0.5;
+  const AggregateResult agg = run_trials(config, MnDecoder(), 10, pool);
+  // +-1 noise shifts scores by O(sqrt(m)) << the m/2 gap: overlap stays high.
+  EXPECT_GE(agg.overlap.mean(), 0.8);
+}
+
+TEST(NoisyTrials, NoiseRateZeroMatchesCleanPath) {
+  ThreadPool pool(1);
+  TrialConfig clean;
+  clean.n = 300;
+  clean.k = 5;
+  clean.m = 120;
+  clean.seed_base = 17;
+  TrialConfig noisy = clean;
+  noisy.noise_rate = 0.0;
+  const MnDecoder decoder;
+  const TrialResult a = run_trial(clean, decoder, 2, pool);
+  const TrialResult b = run_trial(noisy, decoder, 2, pool);
+  EXPECT_EQ(a.exact, b.exact);
+  EXPECT_DOUBLE_EQ(a.overlap, b.overlap);
+}
+
+TEST(NoisyTrials, StoredBackendCarriesTheSameNoisyResults) {
+  ThreadPool pool(1);
+  TrialConfig config;
+  config.n = 200;
+  config.k = 4;
+  config.m = 60;
+  config.seed_base = 19;
+  config.noise_rate = 0.3;
+  Signal t1(1), t2(1);
+  config.streamed = true;
+  const auto streamed = build_trial_instance(config, 0, t1, pool);
+  config.streamed = false;
+  const auto stored = build_trial_instance(config, 0, t2, pool);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(streamed->results(), stored->results());
+}
+
+}  // namespace
+}  // namespace pooled

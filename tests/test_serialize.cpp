@@ -1,0 +1,113 @@
+// Tests for instance (de)serialization.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "core/metrics.hpp"
+#include "core/mn.hpp"
+#include "core/serialize.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/assert.hpp"
+
+namespace pooled {
+namespace {
+
+InstanceSpec sample_spec() {
+  DesignParams params;
+  params.n = 500;
+  params.seed = 77;
+  params.gamma = 0;
+  params.p = 0.5;
+  Signal truth = Signal::random(500, 7, 3);
+  ThreadPool pool(1);
+  auto design = make_design(DesignKind::RandomRegular, params);
+  const auto y = simulate_queries(*design, 40, truth, pool);
+  return make_spec(DesignKind::RandomRegular, params, y);
+}
+
+TEST(Serialize, RoundTripPreservesEverything) {
+  const InstanceSpec original = sample_spec();
+  std::stringstream buffer;
+  save_instance(buffer, original);
+  const InstanceSpec loaded = load_instance(buffer);
+  EXPECT_EQ(loaded.kind, original.kind);
+  EXPECT_EQ(loaded.params.n, original.params.n);
+  EXPECT_EQ(loaded.params.seed, original.params.seed);
+  EXPECT_EQ(loaded.params.gamma, original.params.gamma);
+  EXPECT_DOUBLE_EQ(loaded.params.p, original.params.p);
+  EXPECT_EQ(loaded.m, original.m);
+  EXPECT_EQ(loaded.y, original.y);
+}
+
+TEST(Serialize, ReloadedInstanceDecodesIdentically) {
+  ThreadPool pool(1);
+  const InstanceSpec original = sample_spec();
+  std::stringstream buffer;
+  save_instance(buffer, original);
+  const InstanceSpec loaded = load_instance(buffer);
+  const auto a = original.to_instance();
+  const auto b = loaded.to_instance();
+  const MnDecoder decoder;
+  EXPECT_EQ(decoder.decode(*a, 7, pool), decoder.decode(*b, 7, pool));
+  // Regenerated queries are identical (same seed, same design).
+  std::vector<std::uint32_t> ma, mb;
+  a->query_members(5, ma);
+  b->query_members(5, mb);
+  EXPECT_EQ(ma, mb);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "pooled_spec_test.inst").string();
+  const InstanceSpec original = sample_spec();
+  save_instance_file(path, original);
+  const InstanceSpec loaded = load_instance_file(path);
+  EXPECT_EQ(loaded.y, original.y);
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, KindNamesRoundTrip) {
+  for (auto kind : {DesignKind::RandomRegular, DesignKind::Distinct,
+                    DesignKind::Bernoulli}) {
+    EXPECT_EQ(design_kind_from_name(design_kind_name(kind)), kind);
+  }
+  EXPECT_THROW(design_kind_from_name("nope"), ContractError);
+}
+
+TEST(Serialize, RejectsWrongMagic) {
+  std::stringstream buffer("other-format v1\n");
+  EXPECT_THROW(load_instance(buffer), ContractError);
+}
+
+TEST(Serialize, RejectsUnknownVersion) {
+  std::stringstream buffer("pooled-instance v999\nn 10\nm 0\ny\n");
+  EXPECT_THROW(load_instance(buffer), ContractError);
+}
+
+TEST(Serialize, RejectsTruncatedResults) {
+  std::stringstream buffer(
+      "pooled-instance v1\ndesign random-regular\nn 10\nseed 1\ngamma 0\n"
+      "p 0.5\nm 3\ny 1 2\n");
+  EXPECT_THROW(load_instance(buffer), ContractError);
+}
+
+TEST(Serialize, RejectsUnknownField) {
+  std::stringstream buffer(
+      "pooled-instance v1\ndesign random-regular\nbogus 3\n");
+  EXPECT_THROW(load_instance(buffer), ContractError);
+}
+
+TEST(Serialize, RejectsMissingN) {
+  std::stringstream buffer("pooled-instance v1\ndesign random-regular\nm 0\ny\n");
+  EXPECT_THROW(load_instance(buffer), ContractError);
+}
+
+TEST(Serialize, FileErrorsSurface) {
+  EXPECT_THROW(load_instance_file("/does/not/exist.inst"), ContractError);
+  EXPECT_THROW(save_instance_file("/does/not/exist/dir/x.inst", sample_spec()),
+               ContractError);
+}
+
+}  // namespace
+}  // namespace pooled

@@ -1,0 +1,226 @@
+// Unit tests: Signal model and the two Instance backends.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include "core/instance.hpp"
+#include "core/signal.hpp"
+#include "design/random_regular.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/assert.hpp"
+
+namespace pooled {
+namespace {
+
+TEST(Signal, AllZeroConstruction) {
+  Signal s(10);
+  EXPECT_EQ(s.n(), 10u);
+  EXPECT_EQ(s.k(), 0u);
+  for (std::uint32_t i = 0; i < 10; ++i) EXPECT_FALSE(s.is_one(i));
+}
+
+TEST(Signal, SupportConstructionSortsAndMarks) {
+  Signal s(8, {5, 1, 3});
+  EXPECT_EQ(s.k(), 3u);
+  const auto support = s.support();
+  EXPECT_EQ(support[0], 1u);
+  EXPECT_EQ(support[1], 3u);
+  EXPECT_EQ(support[2], 5u);
+  EXPECT_TRUE(s.is_one(1));
+  EXPECT_FALSE(s.is_one(0));
+  EXPECT_EQ(s.value(3), 1u);
+  EXPECT_EQ(s.value(4), 0u);
+}
+
+TEST(Signal, RejectsBadSupport) {
+  EXPECT_THROW(Signal(5, {5}), ContractError);       // out of range
+  EXPECT_THROW(Signal(5, {2, 2}), ContractError);    // duplicate
+  EXPECT_THROW(Signal(0), ContractError);            // empty signal
+}
+
+TEST(Signal, RandomHasExactWeightAndIsReproducible) {
+  const Signal a = Signal::random(1000, 31, 77);
+  EXPECT_EQ(a.n(), 1000u);
+  EXPECT_EQ(a.k(), 31u);
+  const Signal b = Signal::random(1000, 31, 77);
+  EXPECT_EQ(a, b);
+  const Signal c = Signal::random(1000, 31, 78);
+  EXPECT_NE(a, c);
+}
+
+TEST(Signal, RandomIsUniformOverPositions) {
+  const std::uint32_t n = 30, k = 6;
+  std::vector<int> counts(n, 0);
+  const int draws = 30000;
+  for (int t = 0; t < draws; ++t) {
+    const Signal s = Signal::random(n, k, 1000 + t);
+    for (auto i : s.support()) ++counts[i];
+  }
+  const double expected = draws * static_cast<double>(k) / n;
+  for (int c : counts) EXPECT_NEAR(c, expected, 6.0 * std::sqrt(expected));
+}
+
+TEST(Signal, OverlapAndHamming) {
+  const Signal a(10, {1, 2, 3});
+  const Signal b(10, {2, 3, 4});
+  EXPECT_EQ(a.overlap(b), 2u);
+  EXPECT_EQ(b.overlap(a), 2u);
+  EXPECT_EQ(a.hamming_distance(b), 2u);
+  EXPECT_EQ(a.overlap(a), 3u);
+  EXPECT_EQ(a.hamming_distance(a), 0u);
+  const Signal c(10, {7});
+  EXPECT_EQ(a.overlap(c), 0u);
+  EXPECT_EQ(a.hamming_distance(c), 4u);
+}
+
+TEST(Signal, OverlapRejectsLengthMismatch) {
+  const Signal a(10, {1});
+  const Signal b(11, {1});
+  EXPECT_THROW(a.overlap(b), ContractError);
+}
+
+class InstanceBackends : public ::testing::TestWithParam<bool> {
+ protected:
+  // Builds the same logical instance through either backend.
+  std::unique_ptr<Instance> build(std::uint32_t n, std::uint32_t m,
+                                  const Signal& truth, ThreadPool& pool) const {
+    auto design = std::make_shared<RandomRegularDesign>(n, 4242);
+    if (GetParam()) {
+      return make_streamed_instance(design, m, truth, pool);
+    }
+    return make_stored_instance(*design, m, truth, pool);
+  }
+};
+
+TEST_P(InstanceBackends, ShapeAndResultsRange) {
+  ThreadPool pool(2);
+  const std::uint32_t n = 200, m = 40;
+  const Signal truth = Signal::random(n, 10, 5);
+  const auto instance = build(n, m, truth, pool);
+  EXPECT_EQ(instance->n(), n);
+  EXPECT_EQ(instance->m(), m);
+  ASSERT_EQ(instance->results().size(), m);
+  // Each result is at most the total one-mass a pool can see.
+  for (auto y : instance->results()) EXPECT_LE(y, n);
+}
+
+TEST_P(InstanceBackends, ResultsMatchManualRecount) {
+  ThreadPool pool(2);
+  const std::uint32_t n = 150, m = 25;
+  const Signal truth = Signal::random(n, 12, 6);
+  const auto instance = build(n, m, truth, pool);
+  std::vector<std::uint32_t> members;
+  for (std::uint32_t q = 0; q < m; ++q) {
+    instance->query_members(q, members);
+    std::uint32_t expected = 0;
+    for (auto i : members) expected += truth.value(i);
+    EXPECT_EQ(instance->results()[q], expected) << "query " << q;
+  }
+}
+
+TEST_P(InstanceBackends, TruthIsAlwaysConsistent) {
+  ThreadPool pool(2);
+  const Signal truth = Signal::random(100, 7, 9);
+  const auto instance = build(100, 30, truth, pool);
+  EXPECT_TRUE(instance->is_consistent(truth));
+}
+
+TEST_P(InstanceBackends, WrongCandidateIsInconsistentAtThisScale) {
+  ThreadPool pool(2);
+  const Signal truth = Signal::random(100, 7, 9);
+  const auto instance = build(100, 30, truth, pool);
+  // Shift the support by one position: results almost surely change.
+  std::vector<std::uint32_t> support(truth.support().begin(),
+                                     truth.support().end());
+  support[0] = (support[0] + 1) % 100;
+  while (std::count(support.begin(), support.end(), support[0]) > 1) {
+    support[0] = (support[0] + 1) % 100;
+  }
+  EXPECT_FALSE(instance->is_consistent(Signal(100, support)));
+}
+
+TEST_P(InstanceBackends, ResultsForTruthEqualsResults) {
+  ThreadPool pool(2);
+  const Signal truth = Signal::random(120, 9, 10);
+  const auto instance = build(120, 20, truth, pool);
+  EXPECT_EQ(instance->results_for(truth), instance->results());
+}
+
+TEST_P(InstanceBackends, EntryStatsInvariants) {
+  ThreadPool pool(2);
+  const std::uint32_t n = 300, m = 50;
+  const Signal truth = Signal::random(n, 15, 11);
+  const auto instance = build(n, m, truth, pool);
+  const EntryStats stats = instance->entry_stats(pool);
+  ASSERT_EQ(stats.psi.size(), n);
+  std::uint64_t total_delta = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    EXPECT_LE(stats.delta_star[i], m);
+    EXPECT_GE(stats.delta[i], stats.delta_star[i]);  // multiplicity >= distinct
+    EXPECT_GE(stats.psi_multi[i], stats.psi[i]);
+    total_delta += stats.delta[i];
+  }
+  // Total edge mass = m * Γ = m * n/2.
+  EXPECT_EQ(total_delta, static_cast<std::uint64_t>(m) * (n / 2));
+}
+
+TEST_P(InstanceBackends, TotalResultMatchesSum) {
+  ThreadPool pool(1);
+  const Signal truth = Signal::random(80, 5, 13);
+  const auto instance = build(80, 15, truth, pool);
+  std::uint64_t total = 0;
+  for (auto y : instance->results()) total += y;
+  EXPECT_EQ(instance->total_result(), total);
+}
+
+INSTANTIATE_TEST_SUITE_P(StoredAndStreamed, InstanceBackends,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Streamed" : "Stored";
+                         });
+
+TEST(InstanceEquivalence, BackendsProduceIdenticalObservables) {
+  ThreadPool pool(2);
+  const std::uint32_t n = 400, m = 60;
+  const Signal truth = Signal::random(n, 20, 3);
+  auto design = std::make_shared<RandomRegularDesign>(n, 999);
+  const auto streamed = make_streamed_instance(design, m, truth, pool);
+  const auto stored = make_stored_instance(*design, m, truth, pool);
+  EXPECT_EQ(streamed->results(), stored->results());
+  const EntryStats s1 = streamed->entry_stats(pool);
+  const EntryStats s2 = stored->entry_stats(pool);
+  EXPECT_EQ(s1.psi, s2.psi);
+  EXPECT_EQ(s1.psi_multi, s2.psi_multi);
+  EXPECT_EQ(s1.delta, s2.delta);
+  EXPECT_EQ(s1.delta_star, s2.delta_star);
+}
+
+TEST(Instance, MaterializeGraphRoundTrips) {
+  ThreadPool pool(1);
+  const std::uint32_t n = 100, m = 12;
+  const Signal truth = Signal::random(n, 6, 21);
+  auto design = std::make_shared<RandomRegularDesign>(n, 31);
+  const auto streamed = make_streamed_instance(design, m, truth, pool);
+  const auto graph = materialize_graph(*streamed);
+  EXPECT_EQ(graph.num_entries(), n);
+  EXPECT_EQ(graph.num_queries(), m);
+  // Pool sizes must equal Γ.
+  for (std::uint32_t q = 0; q < m; ++q) EXPECT_EQ(graph.query_size(q), n / 2);
+}
+
+TEST(Instance, EstimateKExtraQuery) {
+  const Signal truth = Signal::random(500, 22, 2);
+  EXPECT_EQ(estimate_k_extra_query(truth), 22u);
+}
+
+TEST(Instance, StoredRejectsMismatchedResultLength) {
+  BipartiteMultigraph::Builder builder(4);
+  builder.add_query(std::vector<std::uint32_t>{0, 1});
+  EXPECT_THROW(StoredInstance(builder.finalize(), {1, 2}), ContractError);
+}
+
+}  // namespace
+}  // namespace pooled

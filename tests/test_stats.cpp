@@ -1,0 +1,219 @@
+// Unit tests for summaries, intervals, entropy, histograms, quantiles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "stats/histogram.hpp"
+#include "stats/intervals.hpp"
+#include "stats/summary.hpp"
+#include "support/assert.hpp"
+
+namespace pooled {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.stderr_mean(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats stats;
+  stats.add(5.0);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 5.0);
+}
+
+TEST(RunningStats, KnownMeanAndVariance) {
+  RunningStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(v);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsSingleStream) {
+  std::mt19937 gen(3);
+  std::normal_distribution<double> dist(1.0, 2.0);
+  RunningStats whole, a, b;
+  for (int i = 0; i < 2000; ++i) {
+    const double v = dist(gen);
+    whole.add(v);
+    (i % 2 == 0 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats empty, filled;
+  filled.add(1.0);
+  filled.add(3.0);
+  RunningStats lhs = filled;
+  lhs.merge(empty);
+  EXPECT_EQ(lhs.count(), 2u);
+  EXPECT_DOUBLE_EQ(lhs.mean(), 2.0);
+  RunningStats rhs = empty;
+  rhs.merge(filled);
+  EXPECT_EQ(rhs.count(), 2u);
+  EXPECT_DOUBLE_EQ(rhs.mean(), 2.0);
+}
+
+TEST(RunningStats, NumericallyStableOnOffsetData) {
+  RunningStats stats;
+  const double offset = 1e9;
+  for (double v : {offset + 1.0, offset + 2.0, offset + 3.0}) stats.add(v);
+  EXPECT_NEAR(stats.variance(), 1.0, 1e-6);
+}
+
+TEST(Quantile, EndpointsAndMedian) {
+  std::vector<double> values = {3.0, 1.0, 2.0, 5.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(median(values), 3.0);
+}
+
+TEST(Quantile, InterpolatesBetweenOrderStatistics) {
+  std::vector<double> values = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(values, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.5), 5.0);
+}
+
+TEST(Quantile, RejectsBadInput) {
+  EXPECT_THROW(quantile({}, 0.5), ContractError);
+  EXPECT_THROW(quantile({1.0}, 1.5), ContractError);
+}
+
+TEST(Wilson, CenterAndCoverageShape) {
+  const Interval iv = wilson_interval(50, 100);
+  EXPECT_GT(iv.low, 0.39);
+  EXPECT_LT(iv.high, 0.61);
+  EXPECT_LT(iv.low, 0.5);
+  EXPECT_GT(iv.high, 0.5);
+}
+
+TEST(Wilson, ExtremeProportionsStayInUnitInterval) {
+  const Interval zero = wilson_interval(0, 20);
+  EXPECT_GE(zero.low, 0.0);
+  EXPECT_GT(zero.high, 0.0);  // never collapses to a point at 0
+  const Interval one = wilson_interval(20, 20);
+  EXPECT_LT(one.low, 1.0);
+  EXPECT_LE(one.high, 1.0);
+}
+
+TEST(Wilson, WidthShrinksWithTrials) {
+  const Interval small = wilson_interval(5, 10);
+  const Interval large = wilson_interval(500, 1000);
+  EXPECT_LT(large.high - large.low, small.high - small.low);
+}
+
+TEST(Wilson, RejectsBadInput) {
+  EXPECT_THROW(wilson_interval(1, 0), ContractError);
+  EXPECT_THROW(wilson_interval(5, 4), ContractError);
+}
+
+TEST(BinaryEntropy, KnownValues) {
+  EXPECT_DOUBLE_EQ(binary_entropy(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binary_entropy(1.0), 0.0);
+  EXPECT_NEAR(binary_entropy(0.5), std::log(2.0), 1e-12);
+  EXPECT_NEAR(binary_entropy(0.25), binary_entropy(0.75), 1e-12);  // symmetry
+}
+
+TEST(BinaryEntropy, MaximizedAtHalf) {
+  for (double p : {0.1, 0.3, 0.45, 0.6, 0.9}) {
+    EXPECT_LT(binary_entropy(p), binary_entropy(0.5));
+  }
+}
+
+TEST(Chernoff, BoundsDecreaseWithDeviationAndMass) {
+  EXPECT_GT(chernoff_upper(10, 0.1), chernoff_upper(10, 0.5));
+  EXPECT_GT(chernoff_upper(10, 0.5), chernoff_upper(100, 0.5));
+  EXPECT_GT(chernoff_lower(10, 0.1), chernoff_lower(10, 0.5));
+  EXPECT_LE(chernoff_upper(10, 0.0), 1.0);
+  EXPECT_LE(chernoff_lower(0, 0.5), 1.0);
+}
+
+TEST(Chernoff, LowerBoundIsActuallyABoundOnSimulatedBinomial) {
+  // Empirical check: P[X <= (1-d) np] <= exp(-np d^2/2) for Bin(200, 0.5).
+  std::mt19937 gen(7);
+  std::binomial_distribution<int> dist(200, 0.5);
+  const double np = 100.0, d = 0.3;
+  int hits = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (dist(gen) <= (1.0 - d) * np) ++hits;
+  }
+  EXPECT_LE(hits / static_cast<double>(kDraws), chernoff_lower(np, d) + 0.01);
+}
+
+TEST(Histogram, BinAssignmentAndTotals) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(5.0);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.count(5), 1u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdgeBins) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-100.0);
+  h.add(100.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, BinEdgesArithmetic) {
+  Histogram h(2.0, 4.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(0), 2.5);
+  EXPECT_DOUBLE_EQ(h.bin_low(3), 3.5);
+  EXPECT_DOUBLE_EQ(h.bin_high(3), 4.0);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  Histogram a(0.0, 1.0, 2), b(0.0, 1.0, 2);
+  a.add(0.1);
+  b.add(0.9);
+  b.add(0.2);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.count(0), 2u);
+  EXPECT_EQ(a.count(1), 1u);
+}
+
+TEST(Histogram, MergeRejectsMismatchedBinning) {
+  Histogram a(0.0, 1.0, 2), b(0.0, 2.0, 2), c(0.0, 1.0, 3);
+  EXPECT_THROW(a.merge(b), ContractError);
+  EXPECT_THROW(a.merge(c), ContractError);
+}
+
+TEST(Histogram, RenderContainsEveryBin) {
+  Histogram h(0.0, 1.0, 3);
+  h.add(0.1);
+  h.add(0.5);
+  const std::string text = h.render(20);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+}
+
+TEST(Histogram, RejectsDegenerateConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), ContractError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), ContractError);
+}
+
+}  // namespace
+}  // namespace pooled

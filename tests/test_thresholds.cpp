@@ -1,0 +1,170 @@
+// Tests for the theoretical threshold formulas (Theorems 1-2 and §I.B).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/thresholds.hpp"
+#include "support/assert.hpp"
+
+namespace pooled::thresholds {
+namespace {
+
+TEST(Thresholds, GammaValue) {
+  EXPECT_NEAR(gamma(), 1.0 - std::exp(-0.5), 1e-15);
+}
+
+TEST(Thresholds, KOfMatchesPower) {
+  EXPECT_EQ(k_of(1000, 0.3), 8u);     // 1000^0.3 = 7.94 -> 8
+  EXPECT_EQ(k_of(10000, 0.3), 16u);   // 10^1.2 = 15.85 -> 16
+  EXPECT_EQ(k_of(100, 0.5), 10u);
+  EXPECT_EQ(k_of(1000000, 0.1), 4u);  // 10^0.6 = 3.98 -> 4
+}
+
+TEST(Thresholds, KOfClampsAndValidates) {
+  EXPECT_GE(k_of(2, 0.01), 1u);
+  EXPECT_THROW(k_of(0, 0.3), ContractError);
+  EXPECT_THROW(k_of(100, 0.0), ContractError);
+  EXPECT_THROW(k_of(100, 1.0), ContractError);
+}
+
+TEST(Thresholds, ThetaOfInvertsKOf) {
+  for (double theta : {0.1, 0.2, 0.3, 0.4, 0.6}) {
+    const std::uint64_t n = 100000;
+    const std::uint32_t k = k_of(n, theta);
+    EXPECT_NEAR(theta_of(n, k), theta, 0.03);
+  }
+}
+
+TEST(Thresholds, ParallelIsTwiceSequential) {
+  for (std::uint64_t n : {1000ull, 100000ull}) {
+    const std::uint32_t k = k_of(n, 0.3);
+    EXPECT_NEAR(m_para(n, k), 2.0 * m_seq(n, k), 1e-9);
+  }
+}
+
+TEST(Thresholds, ClosedFormIdentity) {
+  // m_para = 2 (1-θ)/θ k exactly when k = n^θ without rounding.
+  const double theta = 0.5;
+  const std::uint64_t n = 1 << 20;          // k = 2^10 exact
+  const std::uint64_t k = 1 << 10;
+  EXPECT_NEAR(theta_of(n, k), theta, 1e-12);
+  EXPECT_NEAR(m_para(n, k), 2.0 * (1.0 - theta) / theta * static_cast<double>(k),
+              1e-6);
+}
+
+TEST(Thresholds, CountingBoundTracksSequentialThreshold) {
+  // m_seq is the asymptotic form of the counting bound; at finite sizes
+  // the exact ln C(n,k) carries a +k lower-order term, so the two agree
+  // only up to a (1 + 1/ln(n/k))-ish factor. Check the ratio band and
+  // that it tightens as n grows at fixed theta.
+  double previous_ratio = 10.0;
+  for (std::uint64_t n : {1000ull, 100000ull, 10000000ull}) {
+    const std::uint32_t k = k_of(n, 0.3);
+    const double ratio = counting_bound(n, k) / m_seq(n, k);
+    EXPECT_GT(ratio, 0.7);
+    EXPECT_LT(ratio, 1.4);
+    EXPECT_LT(ratio, previous_ratio + 0.02);
+    previous_ratio = ratio;
+  }
+}
+
+TEST(Thresholds, MnFormulaMatchesHandComputation) {
+  const std::uint64_t n = 10000;
+  const std::uint64_t k = 16;
+  const double theta = std::log(16.0) / std::log(10000.0);
+  const double expected = 4.0 * (1.0 - std::exp(-0.5)) *
+                          (1.0 + std::sqrt(theta)) / (1.0 - std::sqrt(theta)) *
+                          16.0 * std::log(10000.0 / 16.0);
+  EXPECT_NEAR(m_mn(n, k), expected, 1e-9);
+}
+
+TEST(Thresholds, MnGrowsWithTheta) {
+  const std::uint64_t n = 100000;
+  double previous = 0.0;
+  for (double theta : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6}) {
+    const double factor = (1.0 + std::sqrt(theta)) / (1.0 - std::sqrt(theta));
+    EXPECT_GT(factor, previous);  // the (1+√θ)/(1−√θ) factor is increasing
+    previous = factor;
+  }
+  (void)n;
+}
+
+TEST(Thresholds, FiniteSizeCorrectionExceedsAsymptotic) {
+  for (std::uint64_t n : {100ull, 1000ull, 100000ull}) {
+    const std::uint32_t k = k_of(n, 0.3);
+    EXPECT_GT(m_mn_finite(n, k), m_mn(n, k));
+  }
+}
+
+TEST(Thresholds, FiniteSizeCorrectionVanishesAsymptotically) {
+  const double ratio_small =
+      m_mn_finite(100, k_of(100, 0.3)) / m_mn(100, k_of(100, 0.3));
+  const double ratio_large =
+      m_mn_finite(10'000'000, k_of(10'000'000, 0.3)) /
+      m_mn(10'000'000, k_of(10'000'000, 0.3));
+  EXPECT_GT(ratio_small, ratio_large);
+  EXPECT_LT(ratio_large, 1.2);
+}
+
+TEST(Thresholds, FiniteSizeIsAFixedPoint) {
+  const std::uint64_t n = 10000;
+  const std::uint32_t k = k_of(n, 0.3);
+  const double m = m_mn_finite(n, k);
+  const double rhs = m_mn(n, k) * (1.0 + std::sqrt(2.0 * std::log(static_cast<double>(n)) /
+                                                   (4.0 * gamma() * m * k)));
+  EXPECT_NEAR(m, rhs, 1e-6 * m);
+}
+
+TEST(Thresholds, OrderingOfLiteratureBounds) {
+  // For moderate θ the paper's narrative ordering must hold:
+  // counting <= m_seq < m_para << karimi < MN (the MN constant is larger
+  // than the graph-code constants -- MN trades constants for simplicity),
+  // and Donoho-Tanner <= basis pursuit.
+  const std::uint64_t n = 100000;
+  const std::uint32_t k = k_of(n, 0.3);
+  EXPECT_LE(counting_bound(n, k), m_para(n, k));
+  EXPECT_LT(m_seq(n, k), m_para(n, k));
+  EXPECT_LT(m_para(n, k), m_karimi_sparse(n, k));
+  EXPECT_LT(m_karimi_sparse(n, k), m_karimi_irregular(n, k));
+  EXPECT_LT(m_karimi_irregular(n, k), m_mn(n, k));
+  EXPECT_LE(m_l1_donoho_tanner(n, k), m_basis_pursuit(n, k));
+}
+
+TEST(Thresholds, BinaryGtConstant) {
+  const std::uint64_t n = 10000;
+  const std::uint32_t k = k_of(n, 0.3);
+  EXPECT_NEAR(m_binary_gt(n, k),
+              16.0 * std::log(10000.0 / 16.0) / std::log(2.0), 1e-9);
+}
+
+TEST(Thresholds, MnThetaLimitMatchesAlaouiDirection) {
+  // For θ -> 1 the factor (1+√θ)/(1−√θ) diverges: the sublinear formula
+  // hands over to the linear-regime analysis, growing without bound.
+  const std::uint64_t n = 1u << 30;
+  const double m_low = m_mn(n, k_of(n, 0.5));
+  const double m_high = m_mn(n, k_of(n, 0.9));
+  EXPECT_GT(m_high / static_cast<double>(k_of(n, 0.9)),
+            m_low / static_cast<double>(k_of(n, 0.5)));
+}
+
+TEST(Thresholds, SequentialRequiresKAtLeastTwo) {
+  EXPECT_THROW(m_seq(100, 1), ContractError);
+  EXPECT_THROW(m_para(100, 1), ContractError);
+}
+
+TEST(Thresholds, InputValidation) {
+  EXPECT_THROW(counting_bound(0, 1), ContractError);
+  EXPECT_THROW(counting_bound(10, 0), ContractError);
+  EXPECT_THROW(counting_bound(10, 11), ContractError);
+  EXPECT_THROW(m_mn(10, 10), ContractError);  // theta == 1
+}
+
+TEST(Thresholds, PaperHivExampleLandsNearTheta03) {
+  // §I.D: n = 10^4 random probes from a population with ~16 expected
+  // positives "describes the situation quite well" as θ = 0.3.
+  EXPECT_EQ(k_of(10000, 0.3), 16u);
+  EXPECT_NEAR(theta_of(10000, 16), 0.3, 0.01);
+}
+
+}  // namespace
+}  // namespace pooled::thresholds

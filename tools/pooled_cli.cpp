@@ -1,0 +1,244 @@
+// pooled_cli: command-line driver for pooled-data experiments.
+//
+// Subcommands:
+//   simulate    draw a signal, run the parallel queries, save the
+//               observables (and the hidden truth separately)
+//   decode      load observables, run a decoder, report the estimate
+//   sweep       success-rate sweep over m, CSV to stdout
+//   thresholds  print every theoretical threshold for (n, theta)
+//
+// Examples:
+//   pooled_cli simulate --n 10000 --theta 0.3 --budget 1.4 --out run.inst
+//   pooled_cli decode --in run.inst --k 16 --decoder mn
+//   pooled_cli sweep --n 1000 --theta 0.3 --trials 20
+//   pooled_cli thresholds --n 10000 --theta 0.3
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+
+#include "baselines/fista.hpp"
+#include "baselines/iht.hpp"
+#include "baselines/omp_pursuit.hpp"
+#include "baselines/peeling.hpp"
+#include "core/instance.hpp"
+#include "core/metrics.hpp"
+#include "core/mn.hpp"
+#include "core/serialize.hpp"
+#include "core/thresholds.hpp"
+#include "io/csv.hpp"
+#include "io/table.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sim/montecarlo.hpp"
+#include "sim/sweep.hpp"
+#include "support/assert.hpp"
+#include "support/cli.hpp"
+
+namespace {
+
+using namespace pooled;
+
+int usage() {
+  std::fputs(
+      "usage: pooled_cli <simulate|decode|sweep|thresholds> [options]\n"
+      "       pooled_cli <subcommand> --help for options\n",
+      stderr);
+  return 2;
+}
+
+const Decoder& decoder_by_name(const std::string& name) {
+  static const MnDecoder mn;
+  static const OmpDecoder omp;
+  static const FistaDecoder fista;
+  static const IhtDecoder iht;
+  static const PeelingDecoder peeling;
+  if (name == "mn") return mn;
+  if (name == "omp") return omp;
+  if (name == "fista") return fista;
+  if (name == "iht") return iht;
+  if (name == "peeling") return peeling;
+  POOLED_REQUIRE(false, "unknown decoder '" + name +
+                            "' (expected mn|omp|fista|iht|peeling)");
+  return mn;
+}
+
+int cmd_simulate(int argc, const char* const* argv) {
+  CliParser cli("pooled_cli simulate");
+  cli.add_i64("n", "signal length", 10000);
+  cli.add_f64("theta", "sparsity exponent", 0.3);
+  cli.add_i64("k", "explicit weight (overrides theta when > 0)", 0);
+  cli.add_f64("budget", "queries as multiple of m_MN(finite)", 1.4);
+  cli.add_i64("m", "explicit query count (overrides budget when > 0)", 0);
+  cli.add_i64("seed", "random seed", 1);
+  cli.add_string("out", "observables output file", "run.inst");
+  cli.add_string("truth-out", "hidden-truth output file (support indices)", "");
+  cli.parse(argc, argv);
+  if (cli.help_requested()) {
+    std::fputs(cli.help_text().c_str(), stdout);
+    return 0;
+  }
+  const auto n = static_cast<std::uint32_t>(cli.i64("n"));
+  const std::uint32_t k = cli.i64("k") > 0
+                              ? static_cast<std::uint32_t>(cli.i64("k"))
+                              : thresholds::k_of(n, cli.f64("theta"));
+  const std::uint32_t m =
+      cli.i64("m") > 0
+          ? static_cast<std::uint32_t>(cli.i64("m"))
+          : static_cast<std::uint32_t>(
+                cli.f64("budget") *
+                thresholds::m_mn_finite(n, std::max<std::uint32_t>(k, 2)));
+  const auto seed = static_cast<std::uint64_t>(cli.i64("seed"));
+  ThreadPool pool;
+  const Signal truth = Signal::random(n, k, seed);
+  DesignParams params;
+  params.n = n;
+  params.seed = seed + 1;
+  auto design = make_design(DesignKind::RandomRegular, params);
+  const auto y = simulate_queries(*design, m, truth, pool);
+  save_instance_file(cli.string("out"),
+                     make_spec(DesignKind::RandomRegular, params, y));
+  std::printf("wrote %s (n=%u k=%u m=%u)\n", cli.string("out").c_str(), n, k, m);
+  if (!cli.string("truth-out").empty()) {
+    std::ofstream os(cli.string("truth-out"));
+    for (auto i : truth.support()) os << i << '\n';
+    std::printf("wrote %s (%u support indices)\n",
+                cli.string("truth-out").c_str(), k);
+  }
+  return 0;
+}
+
+int cmd_decode(int argc, const char* const* argv) {
+  CliParser cli("pooled_cli decode");
+  cli.add_string("in", "observables input file", "run.inst");
+  cli.add_i64("k", "Hamming weight to decode", 16);
+  cli.add_string("decoder", "mn|omp|fista|iht|peeling", "mn");
+  cli.add_string("truth", "optional truth file to score against", "");
+  cli.parse(argc, argv);
+  if (cli.help_requested()) {
+    std::fputs(cli.help_text().c_str(), stdout);
+    return 0;
+  }
+  ThreadPool pool;
+  const InstanceSpec spec = load_instance_file(cli.string("in"));
+  const auto instance = spec.to_instance();
+  const auto k = static_cast<std::uint32_t>(cli.i64("k"));
+  const Decoder& decoder = decoder_by_name(cli.string("decoder"));
+  const Signal estimate = decoder.decode(*instance, k, pool);
+  std::printf("decoded %s with %s: support =", cli.string("in").c_str(),
+              decoder.name().c_str());
+  for (auto i : estimate.support()) std::printf(" %u", i);
+  std::printf("\nconsistent with observations: %s\n",
+              instance->is_consistent(estimate) ? "yes" : "no");
+  if (!cli.string("truth").empty()) {
+    std::ifstream is(cli.string("truth"));
+    POOLED_REQUIRE(static_cast<bool>(is), "cannot open truth file");
+    std::vector<std::uint32_t> support;
+    std::uint32_t index;
+    while (is >> index) support.push_back(index);
+    const Signal truth(instance->n(), support);
+    std::printf("exact=%s overlap=%.1f%%\n",
+                exact_recovery(estimate, truth) ? "yes" : "no",
+                100.0 * overlap_fraction(estimate, truth));
+  }
+  return 0;
+}
+
+int cmd_sweep(int argc, const char* const* argv) {
+  CliParser cli("pooled_cli sweep");
+  cli.add_i64("n", "signal length", 1000);
+  cli.add_f64("theta", "sparsity exponent", 0.3);
+  cli.add_i64("trials", "trials per grid point", 20);
+  cli.add_i64("points", "grid points", 12);
+  cli.add_f64("max-factor", "grid top as multiple of m_MN(finite)", 2.5);
+  cli.add_string("decoder", "mn|omp|fista|iht|peeling", "mn");
+  cli.add_i64("seed", "seed base", 1);
+  cli.parse(argc, argv);
+  if (cli.help_requested()) {
+    std::fputs(cli.help_text().c_str(), stdout);
+    return 0;
+  }
+  ThreadPool pool;
+  TrialConfig config;
+  config.n = static_cast<std::uint32_t>(cli.i64("n"));
+  config.k = thresholds::k_of(config.n, cli.f64("theta"));
+  config.seed_base = static_cast<std::uint64_t>(cli.i64("seed"));
+  const double m_star =
+      thresholds::m_mn_finite(config.n, std::max<std::uint32_t>(config.k, 2));
+  const auto grid = linear_grid(
+      std::max<std::uint32_t>(2, static_cast<std::uint32_t>(0.2 * m_star)),
+      static_cast<std::uint32_t>(cli.f64("max-factor") * m_star),
+      static_cast<std::uint32_t>(cli.i64("points")));
+  const auto sweep =
+      sweep_queries(config, decoder_by_name(cli.string("decoder")), grid,
+                    static_cast<std::uint32_t>(cli.i64("trials")), pool);
+  CsvWriter csv(std::cout);
+  csv.header({"m", "success_rate", "ci_low", "ci_high", "overlap"});
+  for (const SweepPoint& point : sweep) {
+    csv.cell(point.m)
+        .cell(point.success_rate)
+        .cell(point.success_ci.low)
+        .cell(point.success_ci.high)
+        .cell(point.overlap_mean);
+    csv.end_row();
+  }
+  return 0;
+}
+
+int cmd_thresholds(int argc, const char* const* argv) {
+  CliParser cli("pooled_cli thresholds");
+  cli.add_i64("n", "signal length", 10000);
+  cli.add_f64("theta", "sparsity exponent", 0.3);
+  cli.parse(argc, argv);
+  if (cli.help_requested()) {
+    std::fputs(cli.help_text().c_str(), stdout);
+    return 0;
+  }
+  const auto n = static_cast<std::uint64_t>(cli.i64("n"));
+  const std::uint32_t k = thresholds::k_of(n, cli.f64("theta"));
+  const std::uint64_t k2 = std::max<std::uint32_t>(k, 2);
+  ConsoleTable table({"threshold", "queries", "source"});
+  table.add_row({"counting bound", format_compact(thresholds::counting_bound(n, k2), 5),
+                 "folklore lower bound"});
+  table.add_row({"m_seq", format_compact(thresholds::m_seq(n, k2), 5),
+                 "sequential optimum (Eq. 1)"});
+  table.add_row({"m_para (IT)", format_compact(thresholds::m_para(n, k2), 5),
+                 "Theorem 2 / Djackov"});
+  table.add_row({"binary GT", format_compact(thresholds::m_binary_gt(n, k2), 5),
+                 "Coja-Oghlan et al. 2021 (theta<=0.409)"});
+  table.add_row({"Karimi sparse", format_compact(thresholds::m_karimi_sparse(n, k2), 5),
+                 "graph codes, 1.515 k ln(n/k)"});
+  table.add_row({"Karimi irregular",
+                 format_compact(thresholds::m_karimi_irregular(n, k2), 5),
+                 "graph codes, 1.72 k ln(n/k)"});
+  table.add_row({"l1 (Donoho-Tanner)",
+                 format_compact(thresholds::m_l1_donoho_tanner(n, k2), 5),
+                 "compressed sensing"});
+  table.add_row({"basis pursuit", format_compact(thresholds::m_basis_pursuit(n, k2), 5),
+                 "2 k ln n"});
+  table.add_row({"m_MN asymptotic", format_compact(thresholds::m_mn(n, k2), 5),
+                 "Theorem 1"});
+  table.add_row({"m_MN finite-size", format_compact(thresholds::m_mn_finite(n, k2), 5),
+                 "Theorem 1 + Section V remark"});
+  std::printf("thresholds for n=%llu, k=%u (theta=%.3f)\n",
+              static_cast<unsigned long long>(n), k, thresholds::theta_of(n, k2));
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "simulate") return cmd_simulate(argc - 1, argv + 1);
+    if (command == "decode") return cmd_decode(argc - 1, argv + 1);
+    if (command == "sweep") return cmd_sweep(argc - 1, argv + 1);
+    if (command == "thresholds") return cmd_thresholds(argc - 1, argv + 1);
+  } catch (const pooled::ContractError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
