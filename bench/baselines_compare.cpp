@@ -10,16 +10,11 @@
 #include <cstdio>
 #include <memory>
 
-#include "baselines/fista.hpp"
-#include "baselines/iht.hpp"
-#include "baselines/omp_pursuit.hpp"
-#include "baselines/peeling.hpp"
-#include "baselines/random_guess.hpp"
 #include "bench_common.hpp"
 #include "core/metrics.hpp"
-#include "core/mn.hpp"
 #include "core/thresholds.hpp"
 #include "design/column_regular.hpp"
+#include "engine/registry.hpp"
 #include "io/table.hpp"
 #include "parallel/thread_pool.hpp"
 #include "sim/montecarlo.hpp"
@@ -37,7 +32,8 @@ AggregateResult run_peeling_sparse(std::uint32_t n, std::uint32_t k,
                                    ThreadPool& pool) {
   AggregateResult agg;
   agg.trials = trials;
-  const PeelingDecoder decoder;
+  const auto decoder_ptr = make_decoder("peeling");
+  const Decoder& decoder = *decoder_ptr;
   for (std::uint32_t t = 0; t < trials; ++t) {
     const TrialSeeds seeds = trial_seeds(seed_base, t);
     auto design = std::make_shared<ColumnRegularDesign>(n, m, degree,
@@ -77,17 +73,16 @@ int main() {
   const auto grid = linear_grid(static_cast<std::uint32_t>(0.2 * m_star),
                                 static_cast<std::uint32_t>(2.5 * m_star), 7);
 
-  const MnDecoder mn;
-  const OmpDecoder omp;
-  const FistaDecoder fista;
-  const IhtDecoder iht;
-  const RandomGuessDecoder random_guess;
-  const std::vector<const Decoder*> decoders = {&mn, &omp, &fista, &iht,
-                                                &random_guess};
+  // Every contender comes from the registry -- the same specs the CLI
+  // and serve mode accept.
+  std::vector<std::shared_ptr<const Decoder>> decoders;
+  for (const char* spec : {"mn", "omp", "fista", "iht", "random"}) {
+    decoders.push_back(make_decoder(spec));
+  }
 
   ConsoleTable table({"decoder", "m", "success", "overlap"});
   std::vector<DataSeries> series;
-  for (const Decoder* decoder : decoders) {
+  for (const auto& decoder : decoders) {
     TrialConfig config;
     config.n = n;
     config.k = k;

@@ -1,0 +1,124 @@
+// ENG: batch decoding throughput -- jobs/sec vs threads and window size.
+//
+// The workload is a serve-shaped stream: J spec-backed MN decode jobs
+// (the engine rebuilds each instance from its spec, exactly what the
+// protocol path does), executed through BatchEngine with pools of
+// 1..hardware threads and several in-flight windows. The headline the
+// paper's parallel-depth claim predicts: jobs/sec scales with thread
+// count, since independent decodes have no shared state beyond the pool.
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/thresholds.hpp"
+#include "engine/batch_engine.hpp"
+#include "io/table.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sim/montecarlo.hpp"
+
+namespace {
+
+using namespace pooled;
+
+std::vector<DecodeJob> make_jobs(std::uint32_t n, std::uint32_t k, std::uint32_t m,
+                                 std::uint32_t count) {
+  ThreadPool setup_pool;
+  std::vector<DecodeJob> jobs;
+  jobs.reserve(count);
+  for (std::uint32_t j = 0; j < count; ++j) {
+    const TrialSeeds seeds = trial_seeds(/*seed_base=*/0xE61E, j);
+    DesignParams params;
+    params.n = n;
+    params.seed = seeds.design_seed;
+    auto design = make_design(DesignKind::RandomRegular, params);
+    const Signal truth = Signal::random(n, k, seeds.signal_seed);
+    const auto y = simulate_queries(*design, m, truth, setup_pool);
+    DecodeJob job;
+    job.spec = make_spec(DesignKind::RandomRegular, params, y);
+    job.decoder = "mn";
+    job.k = k;
+    job.truth_support.emplace(truth.support().begin(), truth.support().end());
+    job.check_consistency = false;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pooled;
+  const BenchConfig cfg = bench_config(/*default_trials=*/48,
+                                       /*default_max_n=*/400);
+  Timer timer;
+  bench::banner("ENG: engine throughput",
+                "batched decode jobs/sec vs threads and in-flight window", cfg);
+
+  const auto n = static_cast<std::uint32_t>(cfg.max_n);
+  const std::uint32_t k = thresholds::k_of(n, 0.3);
+  const auto m = static_cast<std::uint32_t>(1.5 * thresholds::m_mn_finite(n, k));
+  const auto job_count = static_cast<std::uint32_t>(cfg.trials);
+  std::printf("   n=%u k=%u m=%u jobs=%u (jobs override: POOLED_TRIALS)\n\n",
+              n, k, m, job_count);
+  const std::vector<DecodeJob> jobs = make_jobs(n, k, m, job_count);
+
+  // Always report 1 vs N threads, even on small machines (a pool of 2 on
+  // one core shows the scheduling overhead instead of the speedup).
+  const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<unsigned> thread_counts = {1, 2};
+  if (hardware > 2) thread_counts.push_back(hardware);
+
+  // Baseline: one thread at the default window, measured up front so
+  // every row's speedup column is meaningful.
+  double single_thread_rate = 0.0;
+  {
+    ThreadPool pool(1);
+    const BatchEngine engine(pool);
+    Timer batch_timer;
+    const auto reports = engine.run(jobs);
+    single_thread_rate = static_cast<double>(reports.size()) / batch_timer.seconds();
+  }
+
+  ConsoleTable table({"threads", "window", "batch secs", "jobs/sec", "speedup"});
+  std::vector<DataSeries> series;
+  for (unsigned threads : thread_counts) {
+    ThreadPool pool(threads);
+    DataSeries s;
+    s.label = "threads=" + std::to_string(threads);
+    for (std::size_t window : {std::size_t{1}, std::size_t{8}, std::size_t{0}}) {
+      EngineOptions options;
+      options.max_in_flight = window;
+      const BatchEngine engine(pool, options);
+      Timer batch_timer;
+      const auto reports = engine.run(jobs);
+      const double secs = batch_timer.seconds();
+      for (const DecodeReport& report : reports) {
+        if (!report.ok()) {
+          std::fprintf(stderr, "   job %zu FAILED: %s\n", report.index,
+                       report.error.c_str());
+          return 1;
+        }
+      }
+      const double rate = static_cast<double>(jobs.size()) / secs;
+      const double speedup = rate / single_thread_rate;
+      // window 0 = one barrier-free batch over all jobs
+      const std::size_t effective = window > 0 ? window : jobs.size();
+      table.add_row({std::to_string(threads),
+                     window > 0 ? format_compact(static_cast<double>(window))
+                                : std::string("all"),
+                     format_compact(secs, 3), format_compact(rate, 4),
+                     format_compact(speedup, 3)});
+      s.rows.push_back({static_cast<double>(effective), rate,
+                        static_cast<double>(threads)});
+    }
+    series.push_back(std::move(s));
+  }
+  table.print(std::cout);
+  std::printf("\n   (speedup is relative to threads=1 at the default window)\n");
+  bench::maybe_write_dat(cfg, "engine_throughput.dat",
+                         "decode jobs/sec vs in-flight window per thread count",
+                         {"window", "jobs_per_sec", "threads"}, series);
+  bench::footer(timer);
+  return 0;
+}

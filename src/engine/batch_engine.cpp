@@ -1,0 +1,127 @@
+#include "engine/batch_engine.hpp"
+
+#include <algorithm>
+#include <exception>
+
+#include "core/decoder.hpp"
+#include "core/metrics.hpp"
+#include "engine/registry.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/assert.hpp"
+#include "support/timer.hpp"
+
+namespace pooled {
+
+namespace {
+
+DecodeReport execute(const DecodeJob& job, std::size_t index, ThreadPool& pool) {
+  const Timer timer;
+  DecodeReport report;
+  report.index = index;
+  report.k = job.k;
+
+  InstanceBundle bundle;
+  if (job.instance) {
+    bundle.instance = job.instance;
+  } else if (job.build) {
+    bundle = job.build(pool);
+  } else {
+    POOLED_REQUIRE(job.spec.has_value(), "decode job has no instance source");
+    bundle.instance = job.spec->to_instance();
+  }
+  POOLED_REQUIRE(bundle.instance != nullptr, "decode job produced a null instance");
+  if (job.truth_support) bundle.truth_support = job.truth_support;
+
+  std::shared_ptr<const Decoder> owned;
+  const Decoder* decoder = job.decoder_override;
+  if (decoder == nullptr) {
+    owned = make_decoder(job.decoder);
+    decoder = owned.get();
+  }
+
+  const Instance& instance = *bundle.instance;
+  report.decoder_name = decoder->name();
+  report.n = instance.n();
+  const Signal estimate = decoder->decode(instance, job.k, pool);
+  report.support.assign(estimate.support().begin(), estimate.support().end());
+  report.consistent = job.check_consistency && instance.is_consistent(estimate);
+  if (bundle.truth_support) {
+    const Signal truth(instance.n(), *bundle.truth_support);
+    report.scored = true;
+    report.exact = exact_recovery(estimate, truth);
+    report.overlap = overlap_fraction(estimate, truth);
+  }
+  report.seconds = timer.seconds();
+  return report;
+}
+
+DecodeReport failure_report(const DecodeJob& job, std::size_t index,
+                            std::exception_ptr error) {
+  DecodeReport report;
+  report.index = index;
+  report.k = job.k;
+  try {
+    std::rethrow_exception(std::move(error));
+  } catch (const std::exception& e) {
+    report.error = e.what();
+  } catch (...) {
+    report.error = "unknown error";
+  }
+  if (report.error.empty()) report.error = "unknown error";
+  return report;
+}
+
+}  // namespace
+
+BatchEngine::BatchEngine(ThreadPool& pool, EngineOptions options)
+    : pool_(pool), options_(options) {}
+
+std::size_t BatchEngine::window() const {
+  return options_.max_in_flight > 0 ? options_.max_in_flight
+                                    : std::size_t{4} * pool_.size();
+}
+
+DecodeReport BatchEngine::run_one(const DecodeJob& job, std::size_t index) const {
+  if (!options_.capture_errors) return execute(job, index, pool_);
+  try {
+    return execute(job, index, pool_);
+  } catch (...) {
+    return failure_report(job, index, std::current_exception());
+  }
+}
+
+std::vector<DecodeReport> BatchEngine::run(const std::vector<DecodeJob>& jobs) const {
+  std::vector<DecodeReport> reports(jobs.size());
+  if (jobs.empty()) return reports;
+  // Unbounded: one batch, dynamic load balancing, no barriers. Bounded:
+  // windows of max_in_flight with a barrier between them. Either way
+  // each slot writes only its own submission index, so report order is
+  // deterministic by construction. Exceptions never escape into pool
+  // workers -- they are captured per slot and either folded into the
+  // report or rethrown (in submission order) after the window drains.
+  const std::size_t window_size =
+      options_.max_in_flight > 0 ? options_.max_in_flight : jobs.size();
+  for (std::size_t offset = 0; offset < jobs.size(); offset += window_size) {
+    const std::size_t count = std::min(window_size, jobs.size() - offset);
+    std::vector<std::exception_ptr> failures(count);
+    pool_.run_tasks(count, [&](std::size_t slot) {
+      const std::size_t index = offset + slot;
+      try {
+        reports[index] = execute(jobs[index], index, pool_);
+      } catch (...) {
+        if (options_.capture_errors) {
+          reports[index] =
+              failure_report(jobs[index], index, std::current_exception());
+        } else {
+          failures[slot] = std::current_exception();
+        }
+      }
+    });
+    for (const std::exception_ptr& failure : failures) {
+      if (failure) std::rethrow_exception(failure);
+    }
+  }
+  return reports;
+}
+
+}  // namespace pooled

@@ -1,0 +1,104 @@
+// Concurrent batch decoding over the shared ThreadPool.
+//
+// The engine treats independent decodes as schedulable jobs: submit a
+// vector of DecodeJobs and get one DecodeReport per job, in *submission
+// order* regardless of completion order, pool width, or in-flight
+// window. Jobs execute concurrently with a bounded window so a large
+// batch never materializes more than `max_in_flight` instances at once.
+// This is the seam the serve mode, the Monte-Carlo harness, and the
+// throughput bench all plug into.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/serialize.hpp"
+
+namespace pooled {
+
+class Decoder;
+class ThreadPool;
+
+/// Instance plus (optionally) the hidden truth it was generated from.
+struct InstanceBundle {
+  std::shared_ptr<const Instance> instance;
+  std::optional<std::vector<std::uint32_t>> truth_support;
+};
+
+/// One decode request. Exactly one instance source must be set; they are
+/// consulted in order: prebuilt `instance`, lazy `build` (invoked on a
+/// worker, so expensive construction overlaps with other jobs), then
+/// serialized `spec`.
+struct DecodeJob {
+  std::shared_ptr<const Instance> instance;
+  std::function<InstanceBundle(ThreadPool&)> build;
+  std::optional<InstanceSpec> spec;
+
+  std::string decoder = "mn";  ///< registry spec (see engine/registry.hpp)
+  const Decoder* decoder_override = nullptr;  ///< bypasses the registry when set
+  std::uint32_t k = 0;
+  /// Truth support to score against (overrides the builder's, when both set).
+  std::optional<std::vector<std::uint32_t>> truth_support;
+  /// Verify the estimate against every observed query result. Costs one
+  /// pass over the design (comparable to the original simulation), so
+  /// bulk Monte-Carlo callers turn it off.
+  bool check_consistency = true;
+};
+
+/// Outcome of one job; `index` is the job's submission position.
+struct DecodeReport {
+  std::size_t index = 0;
+  std::string decoder_name;
+  std::uint32_t n = 0;
+  std::uint32_t k = 0;
+  std::vector<std::uint32_t> support;  ///< estimate's one-entries, sorted
+  bool consistent = false;             ///< estimate explains every query
+  bool scored = false;                 ///< a truth support was provided
+  bool exact = false;
+  double overlap = 0.0;
+  double seconds = 0.0;  ///< wall time incl. instance construction
+  std::string error;     ///< non-empty => job failed, other fields unset
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+struct EngineOptions {
+  /// When > 0, jobs run in windows of this many at a time -- an upper
+  /// bound on buffered results and (for prebuilt-instance batches
+  /// assembled window by window) on live instances. 0 = one barrier-free
+  /// batch over all jobs; lazy/spec-backed jobs then still materialize
+  /// at most pool-width instances at once, since construction happens
+  /// inside the worker task.
+  std::size_t max_in_flight = 0;
+  /// Capture per-job failures into DecodeReport::error instead of
+  /// failing the whole batch. When false, the first failure (in
+  /// submission order) rethrows once its window drains.
+  bool capture_errors = true;
+};
+
+class BatchEngine {
+ public:
+  explicit BatchEngine(ThreadPool& pool, EngineOptions options = {});
+
+  /// Executes every job; reports come back indexed 0..jobs.size()-1 in
+  /// submission order. Results are byte-identical to running each job's
+  /// decode sequentially, for any pool size or window.
+  [[nodiscard]] std::vector<DecodeReport> run(const std::vector<DecodeJob>& jobs) const;
+
+  /// Executes one job on the calling thread (decoders still use the pool
+  /// internally). Honors capture_errors.
+  [[nodiscard]] DecodeReport run_one(const DecodeJob& job, std::size_t index = 0) const;
+
+  /// Streaming chunk size: max_in_flight when bounded, else 4x pool
+  /// width (used by serve_stream to cap request buffering).
+  [[nodiscard]] std::size_t window() const;
+
+ private:
+  ThreadPool& pool_;
+  EngineOptions options_;
+};
+
+}  // namespace pooled

@@ -1,0 +1,239 @@
+#include "engine/protocol.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace pooled {
+
+namespace {
+
+constexpr const char* kJobMagic = "pooled-job";
+constexpr const char* kResultMagic = "pooled-result";
+constexpr const char* kVersion = "v1";
+constexpr const char* kEnd = "end";
+
+bool is_blank(const std::string& line) {
+  return std::all_of(line.begin(), line.end(),
+                     [](unsigned char c) { return std::isspace(c) != 0; });
+}
+
+std::string trimmed(const std::string& line) {
+  const auto first = line.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return {};
+  const auto last = line.find_last_not_of(" \t\r");
+  return line.substr(first, last - first + 1);
+}
+
+/// Newlines in free-text fields would break the line framing.
+std::string one_line(std::string text) {
+  std::replace(text.begin(), text.end(), '\n', ' ');
+  std::replace(text.begin(), text.end(), '\r', ' ');
+  return text;
+}
+
+/// Reads lines until the magic header of `kind` appears; nullopt at EOF.
+std::optional<std::string> read_header(std::istream& is, const char* kind) {
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!is_blank(line)) break;
+  }
+  if (!is) return std::nullopt;
+  std::istringstream header(line);
+  std::string magic, version;
+  header >> magic >> version;
+  POOLED_REQUIRE(magic == kind,
+                 std::string("expected a ") + kind + " frame, got '" + line + "'");
+  POOLED_REQUIRE(version == kVersion,
+                 std::string("unsupported ") + kind + " version " + version);
+  return line;
+}
+
+}  // namespace
+
+void save_job(std::ostream& os, const DecodeJob& job) {
+  POOLED_REQUIRE(job.spec.has_value(),
+                 "only spec-backed jobs are serializable (prebuilt/lazy "
+                 "instances have no textual form)");
+  POOLED_REQUIRE(job.decoder_override == nullptr,
+                 "decoder overrides have no textual form; use a registry spec");
+  os << kJobMagic << ' ' << kVersion << '\n';
+  os << "decoder " << job.decoder << '\n';
+  os << "k " << job.k << '\n';
+  if (job.truth_support) {
+    os << "truth";
+    for (std::uint32_t i : *job.truth_support) os << ' ' << i;
+    os << '\n';
+  }
+  os << "instance\n";
+  save_instance(os, *job.spec);
+  os << kEnd << '\n';
+  POOLED_REQUIRE(static_cast<bool>(os), "job serialization failed");
+}
+
+std::optional<DecodeJob> load_job(std::istream& is) {
+  if (!read_header(is, kJobMagic)) return std::nullopt;
+  DecodeJob job;
+  bool saw_k = false;
+  bool saw_instance = false;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (is_blank(line)) continue;
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "decoder") {
+      POOLED_REQUIRE(static_cast<bool>(fields >> job.decoder),
+                     "truncated decoder field");
+    } else if (key == "k") {
+      POOLED_REQUIRE(static_cast<bool>(fields >> job.k), "truncated k field");
+      saw_k = true;
+    } else if (key == "truth") {
+      std::vector<std::uint32_t> support;
+      std::uint32_t index = 0;
+      while (fields >> index) support.push_back(index);
+      job.truth_support = std::move(support);
+    } else if (key == "instance") {
+      // The embedded instance block runs to the frame's `end` line;
+      // load_instance consumes its whole stream, hence the copy.
+      std::ostringstream block;
+      bool terminated = false;
+      while (std::getline(is, line)) {
+        if (trimmed(line) == kEnd) {
+          terminated = true;
+          break;
+        }
+        block << line << '\n';
+      }
+      POOLED_REQUIRE(terminated, "job instance block missing 'end'");
+      std::istringstream instance_stream(block.str());
+      job.spec = load_instance(instance_stream);
+      saw_instance = true;
+      break;  // the instance block closes the job
+    } else {
+      POOLED_REQUIRE(false, "unknown job field '" + key + "'");
+    }
+  }
+  POOLED_REQUIRE(saw_instance, "job missing instance block");
+  POOLED_REQUIRE(saw_k, "job missing k");
+  return job;
+}
+
+void save_report(std::ostream& os, const DecodeReport& report) {
+  os << kResultMagic << ' ' << kVersion << '\n';
+  os << "job " << report.index << '\n';
+  if (!report.ok()) {
+    os << "status error " << one_line(report.error) << '\n';
+    os << kEnd << '\n';
+    POOLED_REQUIRE(static_cast<bool>(os), "report serialization failed");
+    return;
+  }
+  const auto old_precision = os.precision(17);
+  os << "status ok\n";
+  os << "decoder " << report.decoder_name << '\n';
+  os << "n " << report.n << '\n';
+  os << "k " << report.k << '\n';
+  os << "seconds " << report.seconds << '\n';
+  os << "consistent " << (report.consistent ? 1 : 0) << '\n';
+  os << "support";
+  for (std::uint32_t i : report.support) os << ' ' << i;
+  os << '\n';
+  if (report.scored) {
+    os << "exact " << (report.exact ? 1 : 0) << '\n';
+    os << "overlap " << report.overlap << '\n';
+  }
+  os << kEnd << '\n';
+  os.precision(old_precision);
+  POOLED_REQUIRE(static_cast<bool>(os), "report serialization failed");
+}
+
+std::optional<DecodeReport> load_report(std::istream& is) {
+  if (!read_header(is, kResultMagic)) return std::nullopt;
+  DecodeReport report;
+  bool terminated = false;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (is_blank(line)) continue;
+    if (trimmed(line) == kEnd) {
+      terminated = true;
+      break;
+    }
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    int flag = 0;
+    if (key == "job") {
+      POOLED_REQUIRE(static_cast<bool>(fields >> report.index), "truncated job");
+    } else if (key == "status") {
+      std::string status;
+      POOLED_REQUIRE(static_cast<bool>(fields >> status), "truncated status");
+      if (status == "error") {
+        std::getline(fields, report.error);
+        report.error = trimmed(report.error);
+        if (report.error.empty()) report.error = "unknown error";
+      } else {
+        POOLED_REQUIRE(status == "ok", "unknown status '" + status + "'");
+      }
+    } else if (key == "decoder") {
+      std::getline(fields, report.decoder_name);
+      report.decoder_name = trimmed(report.decoder_name);
+    } else if (key == "n") {
+      POOLED_REQUIRE(static_cast<bool>(fields >> report.n), "truncated n");
+    } else if (key == "k") {
+      POOLED_REQUIRE(static_cast<bool>(fields >> report.k), "truncated k");
+    } else if (key == "seconds") {
+      POOLED_REQUIRE(static_cast<bool>(fields >> report.seconds),
+                     "truncated seconds");
+    } else if (key == "consistent") {
+      POOLED_REQUIRE(static_cast<bool>(fields >> flag), "truncated consistent");
+      report.consistent = flag != 0;
+    } else if (key == "support") {
+      std::uint32_t index = 0;
+      report.support.clear();
+      while (fields >> index) report.support.push_back(index);
+    } else if (key == "exact") {
+      POOLED_REQUIRE(static_cast<bool>(fields >> flag), "truncated exact");
+      report.exact = flag != 0;
+      report.scored = true;
+    } else if (key == "overlap") {
+      POOLED_REQUIRE(static_cast<bool>(fields >> report.overlap),
+                     "truncated overlap");
+      report.scored = true;
+    } else {
+      POOLED_REQUIRE(false, "unknown result field '" + key + "'");
+    }
+  }
+  POOLED_REQUIRE(terminated, "result frame missing 'end'");
+  return report;
+}
+
+std::size_t serve_stream(std::istream& is, std::ostream& os,
+                         const BatchEngine& engine, std::size_t chunk) {
+  if (chunk == 0) chunk = engine.window();
+  std::size_t served = 0;
+  while (true) {
+    std::vector<DecodeJob> jobs;
+    jobs.reserve(chunk);
+    while (jobs.size() < chunk) {
+      auto job = load_job(is);
+      if (!job) break;
+      jobs.push_back(std::move(*job));
+    }
+    if (jobs.empty()) break;
+    std::vector<DecodeReport> reports = engine.run(jobs);
+    for (DecodeReport& report : reports) {
+      report.index += served;  // global index across the stream
+      save_report(os, report);
+    }
+    os.flush();
+    POOLED_REQUIRE(static_cast<bool>(os), "result stream write failed");
+    served += jobs.size();
+  }
+  return served;
+}
+
+}  // namespace pooled

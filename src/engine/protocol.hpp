@@ -1,0 +1,56 @@
+// Request/response text protocol for the decoding engine.
+//
+// Layered on core/serialize: a request embeds the standard instance
+// format, so anything `pooled_cli simulate` writes can be wrapped into a
+// job. Both directions are newline-delimited and `end`-framed, so many
+// messages concatenate into one stream (file, pipe, or socket later).
+//
+// Request:                         Response:
+//   pooled-job v1                    pooled-result v1
+//   decoder mn                       job 0
+//   k 16                             status ok
+//   truth 3 17 42    (optional)      decoder mn
+//   instance                         n 1000
+//   pooled-instance v1               k 16
+//   design random-regular            seconds 0.00123
+//   ...                              consistent 1
+//   y 12 9 14                        support 3 17 42
+//   end                              exact 1       (only when truth given)
+//                                    overlap 1     (only when truth given)
+//                                    end
+//
+// A failed job reports `status error <message>` and omits the result
+// fields.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+
+#include "engine/batch_engine.hpp"
+
+namespace pooled {
+
+/// Writes one request. Only spec-backed jobs serialize (prebuilt or
+/// lazily-built instances and decoder overrides have no textual form);
+/// throws ContractError otherwise.
+void save_job(std::ostream& os, const DecodeJob& job);
+
+/// Reads the next request; std::nullopt at (clean) end of stream.
+/// Throws ContractError on malformed input.
+std::optional<DecodeJob> load_job(std::istream& is);
+
+/// Writes one response frame.
+void save_report(std::ostream& os, const DecodeReport& report);
+
+/// Reads the next response; std::nullopt at (clean) end of stream.
+std::optional<DecodeReport> load_report(std::istream& is);
+
+/// The serve loop: reads requests from `is` in windows of `chunk` jobs
+/// (0 = the engine's window), runs each window through `engine`, and
+/// writes responses to `os` as each window completes -- results stream
+/// out while later requests are still unread. Job indices are global
+/// across the stream. Returns the number of jobs served.
+std::size_t serve_stream(std::istream& is, std::ostream& os,
+                         const BatchEngine& engine, std::size_t chunk = 0);
+
+}  // namespace pooled

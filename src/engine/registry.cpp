@@ -1,0 +1,123 @@
+#include "engine/registry.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "baselines/fista.hpp"
+#include "baselines/iht.hpp"
+#include "baselines/omp_pursuit.hpp"
+#include "baselines/peeling.hpp"
+#include "baselines/random_guess.hpp"
+#include "core/mn.hpp"
+#include "support/assert.hpp"
+
+namespace pooled {
+
+namespace {
+
+/// Splits "name:variant" at the first ':' ("name" -> empty variant).
+std::pair<std::string, std::string> split_spec(const std::string& spec) {
+  const auto colon = spec.find(':');
+  if (colon == std::string::npos) return {spec, std::string()};
+  return {spec.substr(0, colon), spec.substr(colon + 1)};
+}
+
+std::shared_ptr<const Decoder> make_mn(const std::string& variant) {
+  MnOptions options;
+  if (variant.empty()) {
+    options.score = MnScore::CentralizedPsi;
+  } else if (variant == "multi-edge") {
+    options.score = MnScore::MultiEdgePsi;
+  } else if (variant == "raw") {
+    options.score = MnScore::RawPsi;
+  } else if (variant == "normalized") {
+    options.score = MnScore::NormalizedPsi;
+  } else {
+    POOLED_REQUIRE(false, "unknown mn variant '" + variant +
+                              "' (expected multi-edge|raw|normalized)");
+  }
+  return std::make_shared<MnDecoder>(options);
+}
+
+std::shared_ptr<const Decoder> make_random(const std::string& variant) {
+  if (variant.empty()) return std::make_shared<RandomGuessDecoder>();
+  std::uint64_t seed = 0;
+  const auto [ptr, ec] =
+      std::from_chars(variant.data(), variant.data() + variant.size(), seed);
+  POOLED_REQUIRE(ec == std::errc() && ptr == variant.data() + variant.size(),
+                 "random variant must be a seed integer, got '" + variant + "'");
+  return std::make_shared<RandomGuessDecoder>(seed);
+}
+
+template <class DecoderType>
+DecoderFactory variantless(const std::string& name) {
+  return [name](const std::string& variant) -> std::shared_ptr<const Decoder> {
+    POOLED_REQUIRE(variant.empty(),
+                   "decoder '" + name + "' takes no variant, got ':" + variant + "'");
+    return std::make_shared<DecoderType>();
+  };
+}
+
+}  // namespace
+
+void DecoderRegistry::add(const std::string& name, const std::string& variants_help,
+                          DecoderFactory factory) {
+  POOLED_REQUIRE(!name.empty() && name.find(':') == std::string::npos,
+                 "decoder name must be non-empty and colon-free");
+  POOLED_REQUIRE(static_cast<bool>(factory), "decoder factory must be callable");
+  const bool inserted =
+      entries_.emplace(name, Entry{variants_help, std::move(factory)}).second;
+  POOLED_REQUIRE(inserted, "decoder '" + name + "' already registered");
+}
+
+std::shared_ptr<const Decoder> DecoderRegistry::create(const std::string& spec) const {
+  const auto [name, variant] = split_spec(spec);
+  const auto it = entries_.find(name);
+  POOLED_REQUIRE(it != entries_.end(),
+                 "unknown decoder spec '" + spec + "' (known: " + spec_help() + ")");
+  auto decoder = it->second.factory(variant);
+  POOLED_REQUIRE(decoder != nullptr, "factory for '" + name + "' returned null");
+  return decoder;
+}
+
+bool DecoderRegistry::contains(const std::string& spec) const {
+  return entries_.count(split_spec(spec).first) > 0;
+}
+
+std::vector<std::string> DecoderRegistry::names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;
+}
+
+std::string DecoderRegistry::spec_help() const {
+  std::ostringstream help;
+  bool first = true;
+  for (const auto& [name, entry] : entries_) {
+    if (!first) help << " | ";
+    first = false;
+    help << name << entry.variants_help;
+  }
+  return help.str();
+}
+
+const DecoderRegistry& DecoderRegistry::global() {
+  static const DecoderRegistry registry = [] {
+    DecoderRegistry r;
+    r.add("mn", "[:multi-edge|raw|normalized]", make_mn);
+    r.add("omp", "", variantless<OmpDecoder>("omp"));
+    r.add("fista", "", variantless<FistaDecoder>("fista"));
+    r.add("iht", "", variantless<IhtDecoder>("iht"));
+    r.add("peeling", "", variantless<PeelingDecoder>("peeling"));
+    r.add("random", "[:<seed>]", make_random);
+    return r;
+  }();
+  return registry;
+}
+
+std::shared_ptr<const Decoder> make_decoder(const std::string& spec) {
+  return DecoderRegistry::global().create(spec);
+}
+
+}  // namespace pooled

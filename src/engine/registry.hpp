@@ -1,0 +1,66 @@
+// Decoder registry: string specs -> decoder factories.
+//
+// A *spec* is `name` or `name:variant` (e.g. "mn", "mn:multi-edge",
+// "random:42"). The base name selects a registered factory; the variant
+// text after the first ':' is handed to the factory, which validates it.
+// Every binary that lets the user pick a decoder resolves the choice
+// here instead of hand-rolling its own name->decoder switch.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/decoder.hpp"
+
+namespace pooled {
+
+/// Builds a decoder from the variant text after the first ':' in the
+/// spec (empty when absent). Throws ContractError on unknown variants.
+using DecoderFactory =
+    std::function<std::shared_ptr<const Decoder>(const std::string& variant)>;
+
+class DecoderRegistry {
+ public:
+  /// Empty registry; global() comes preloaded with every built-in.
+  DecoderRegistry() = default;
+
+  /// Registers `name` (no ':' allowed). `variants_help` documents the
+  /// accepted variants for help text, e.g. "[:multi-edge|raw|normalized]".
+  /// Throws ContractError on duplicate names.
+  void add(const std::string& name, const std::string& variants_help,
+           DecoderFactory factory);
+
+  /// Resolves a spec; throws ContractError naming the known specs when
+  /// the base name is unregistered.
+  [[nodiscard]] std::shared_ptr<const Decoder> create(const std::string& spec) const;
+
+  /// True if the spec's base name is registered (variant unchecked).
+  [[nodiscard]] bool contains(const std::string& spec) const;
+
+  /// Registered base names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// One-line help listing every spec with its variants,
+  /// e.g. "fista | iht | mn[:multi-edge|raw|normalized] | ...".
+  [[nodiscard]] std::string spec_help() const;
+
+  /// Process-wide registry preloaded with the built-in decoders:
+  ///   mn[:multi-edge|raw|normalized], omp, fista, iht, peeling,
+  ///   random[:<seed>]
+  static const DecoderRegistry& global();
+
+ private:
+  struct Entry {
+    std::string variants_help;
+    DecoderFactory factory;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+/// Shorthand for DecoderRegistry::global().create(spec).
+std::shared_ptr<const Decoder> make_decoder(const std::string& spec);
+
+}  // namespace pooled

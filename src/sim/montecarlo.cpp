@@ -1,9 +1,8 @@
 #include "sim/montecarlo.hpp"
 
-#include <mutex>
-
 #include "core/metrics.hpp"
 #include "core/noise.hpp"
+#include "engine/batch_engine.hpp"
 #include "parallel/thread_pool.hpp"
 #include "rng/splitmix64.hpp"
 #include "support/assert.hpp"
@@ -53,15 +52,35 @@ TrialResult run_trial(const TrialConfig& config, const Decoder& decoder,
 
 AggregateResult run_trials(const TrialConfig& config, const Decoder& decoder,
                            std::uint32_t trials, ThreadPool& pool) {
+  POOLED_REQUIRE(config.k <= config.n, "trial config: k exceeds n");
+  // Trials are decode jobs: the engine schedules them over the pool and
+  // reports in submission order, so the overlap aggregation is
+  // order-deterministic (independent of thread count and window).
+  std::vector<DecodeJob> jobs(trials);
+  for (std::uint32_t t = 0; t < trials; ++t) {
+    DecodeJob& job = jobs[t];
+    job.k = config.k;
+    job.decoder_override = &decoder;
+    job.check_consistency = false;  // trials score against the known truth
+    job.build = [&config, t](ThreadPool& worker_pool) {
+      Signal truth(1);
+      InstanceBundle bundle;
+      bundle.instance = build_trial_instance(config, t, truth, worker_pool);
+      bundle.truth_support.emplace(truth.support().begin(),
+                                   truth.support().end());
+      return bundle;
+    };
+  }
+  EngineOptions options;
+  options.capture_errors = false;  // a broken config should fail loudly
+  const auto reports = BatchEngine(pool, options).run(jobs);
+
   AggregateResult aggregate;
   aggregate.trials = trials;
-  std::mutex mu;
-  pool.run_tasks(trials, [&](std::size_t t) {
-    const TrialResult result = run_trial(config, decoder, t, pool);
-    std::lock_guard<std::mutex> lock(mu);
-    if (result.exact) ++aggregate.successes;
-    aggregate.overlap.add(result.overlap);
-  });
+  for (const DecodeReport& report : reports) {
+    if (report.exact) ++aggregate.successes;
+    aggregate.overlap.add(report.overlap);
+  }
   return aggregate;
 }
 

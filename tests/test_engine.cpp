@@ -1,0 +1,373 @@
+// Tests for the decoding engine: registry, batch scheduler, protocol.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/metrics.hpp"
+#include "engine/batch_engine.hpp"
+#include "engine/protocol.hpp"
+#include "engine/registry.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/assert.hpp"
+
+namespace pooled {
+namespace {
+
+/// Spec-backed job over a fresh teacher instance; truth returned via out.
+DecodeJob sample_job(std::uint64_t seed, std::vector<std::uint32_t>* truth_out,
+                     const std::string& decoder = "mn", std::uint32_t n = 300,
+                     std::uint32_t k = 5, std::uint32_t m = 220) {
+  ThreadPool pool(1);
+  DesignParams params;
+  params.n = n;
+  params.seed = seed;
+  auto design = make_design(DesignKind::RandomRegular, params);
+  const Signal truth = Signal::random(n, k, seed ^ 0x51D);
+  const auto y = simulate_queries(*design, m, truth, pool);
+  DecodeJob job;
+  job.spec = make_spec(DesignKind::RandomRegular, params, y);
+  job.decoder = decoder;
+  job.k = k;
+  if (truth_out) truth_out->assign(truth.support().begin(), truth.support().end());
+  return job;
+}
+
+TEST(Registry, CreatesEveryBuiltinSpec) {
+  for (const char* spec :
+       {"mn", "mn:multi-edge", "mn:raw", "mn:normalized", "omp", "fista", "iht",
+        "peeling", "random", "random:42"}) {
+    const auto decoder = make_decoder(spec);
+    ASSERT_NE(decoder, nullptr) << spec;
+    EXPECT_FALSE(decoder->name().empty()) << spec;
+  }
+  const auto names = DecoderRegistry::global().names();
+  EXPECT_EQ(names.size(), 6u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(Registry, VariantsSelectDifferentDecoders) {
+  EXPECT_EQ(make_decoder("mn")->name(), "mn");
+  EXPECT_EQ(make_decoder("mn:multi-edge")->name(), "mn-multiedge");
+  EXPECT_EQ(make_decoder("mn:raw")->name(), "mn-raw");
+  EXPECT_EQ(make_decoder("mn:normalized")->name(), "mn-normalized");
+}
+
+TEST(Registry, RejectsUnknownSpecWithClearError) {
+  try {
+    (void)make_decoder("definitely-not-a-decoder");
+    FAIL() << "expected ContractError";
+  } catch (const ContractError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("definitely-not-a-decoder"), std::string::npos);
+    EXPECT_NE(what.find("mn"), std::string::npos);  // lists the known specs
+  }
+}
+
+TEST(Registry, RejectsUnknownVariants) {
+  EXPECT_THROW((void)make_decoder("mn:bogus"), ContractError);
+  EXPECT_THROW((void)make_decoder("peeling:anything"), ContractError);
+  EXPECT_THROW((void)make_decoder("random:not-a-number"), ContractError);
+}
+
+TEST(Registry, RandomVariantSetsTheSeed) {
+  ThreadPool pool(1);
+  std::vector<std::uint32_t> truth;
+  const DecodeJob job = sample_job(1, &truth);
+  const auto instance = job.spec->to_instance();
+  const Signal a = make_decoder("random:7")->decode(*instance, job.k, pool);
+  const Signal b = make_decoder("random:7")->decode(*instance, job.k, pool);
+  const Signal c = make_decoder("random:8")->decode(*instance, job.k, pool);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Registry, CustomRegistriesStartEmpty) {
+  DecoderRegistry registry;
+  EXPECT_TRUE(registry.names().empty());
+  EXPECT_FALSE(registry.contains("mn"));
+  EXPECT_THROW((void)registry.create("mn"), ContractError);
+  registry.add("alias", "", [](const std::string&) { return make_decoder("mn"); });
+  EXPECT_TRUE(registry.contains("alias"));
+  EXPECT_TRUE(registry.contains("alias:with-variant"));
+  EXPECT_EQ(registry.create("alias")->name(), "mn");
+  EXPECT_THROW(
+      registry.add("alias", "", [](const std::string&) { return make_decoder("mn"); }),
+      ContractError);
+}
+
+TEST(BatchEngine, MatchesSequentialDecodesForAnyPoolAndWindow) {
+  // A mixed batch must be byte-identical to decoding each job alone,
+  // independent of pool width and in-flight window.
+  const std::vector<std::string> specs = {"mn", "mn:multi-edge", "peeling",
+                                          "iht", "fista", "omp", "random"};
+  std::vector<DecodeJob> jobs;
+  for (std::size_t j = 0; j < 12; ++j) {
+    jobs.push_back(sample_job(100 + j, nullptr, specs[j % specs.size()]));
+  }
+
+  ThreadPool sequential_pool(1);
+  std::vector<std::vector<std::uint32_t>> expected;
+  for (const DecodeJob& job : jobs) {
+    const auto instance = job.spec->to_instance();
+    const Signal estimate =
+        make_decoder(job.decoder)->decode(*instance, job.k, sequential_pool);
+    expected.emplace_back(estimate.support().begin(), estimate.support().end());
+  }
+
+  for (unsigned threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    for (std::size_t window : {std::size_t{1}, std::size_t{3}, std::size_t{100}}) {
+      EngineOptions options;
+      options.max_in_flight = window;
+      const auto reports = BatchEngine(pool, options).run(jobs);
+      ASSERT_EQ(reports.size(), jobs.size());
+      for (std::size_t j = 0; j < jobs.size(); ++j) {
+        EXPECT_TRUE(reports[j].ok()) << reports[j].error;
+        EXPECT_EQ(reports[j].index, j);
+        EXPECT_EQ(reports[j].support, expected[j])
+            << "threads=" << threads << " window=" << window << " job=" << j;
+      }
+    }
+  }
+}
+
+TEST(BatchEngine, ReportsFollowSubmissionOrder) {
+  std::vector<DecodeJob> jobs;
+  for (std::size_t j = 0; j < 6; ++j) jobs.push_back(sample_job(200 + j, nullptr));
+  ThreadPool pool(4);
+  const BatchEngine engine(pool);
+  const auto forward = engine.run(jobs);
+  std::reverse(jobs.begin(), jobs.end());
+  const auto reversed = engine.run(jobs);
+  ASSERT_EQ(forward.size(), reversed.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    // Reversing submission reverses which report lands at each index.
+    EXPECT_EQ(forward[j].support, reversed[jobs.size() - 1 - j].support);
+    EXPECT_EQ(reversed[j].index, j);
+  }
+}
+
+TEST(BatchEngine, ScoresAgainstTruth) {
+  ThreadPool pool(2);
+  std::vector<std::uint32_t> truth;
+  DecodeJob job = sample_job(7, &truth);
+  job.truth_support = truth;
+  const DecodeReport report = BatchEngine(pool).run_one(job);
+  ASSERT_TRUE(report.ok()) << report.error;
+  EXPECT_TRUE(report.scored);
+  EXPECT_GE(report.overlap, 0.0);
+  EXPECT_LE(report.overlap, 1.0);
+  EXPECT_EQ(report.exact, report.support == truth);
+  EXPECT_EQ(report.n, 300u);
+  EXPECT_GE(report.seconds, 0.0);
+
+  DecodeJob unscored = sample_job(7, nullptr);
+  const DecodeReport plain = BatchEngine(pool).run_one(unscored);
+  EXPECT_FALSE(plain.scored);
+}
+
+TEST(BatchEngine, LazyBuilderSuppliesInstanceAndTruth) {
+  ThreadPool pool(2);
+  std::vector<std::uint32_t> truth;
+  const DecodeJob spec_job = sample_job(9, &truth);
+  DecodeJob lazy;
+  lazy.k = spec_job.k;
+  lazy.decoder = spec_job.decoder;
+  lazy.build = [&spec_job, &truth](ThreadPool&) {
+    InstanceBundle bundle;
+    bundle.instance = spec_job.spec->to_instance();
+    bundle.truth_support = truth;
+    return bundle;
+  };
+  const DecodeReport lazy_report = BatchEngine(pool).run_one(lazy);
+  DecodeJob eager = spec_job;
+  eager.truth_support = truth;
+  const DecodeReport eager_report = BatchEngine(pool).run_one(eager);
+  ASSERT_TRUE(lazy_report.ok());
+  EXPECT_EQ(lazy_report.support, eager_report.support);
+  EXPECT_EQ(lazy_report.scored, eager_report.scored);
+  EXPECT_EQ(lazy_report.exact, eager_report.exact);
+}
+
+TEST(BatchEngine, CapturesPerJobErrors) {
+  ThreadPool pool(2);
+  std::vector<DecodeJob> jobs = {sample_job(1, nullptr), sample_job(2, nullptr),
+                                 sample_job(3, nullptr)};
+  jobs[1].decoder = "not-registered";
+  const auto reports = BatchEngine(pool).run(jobs);
+  ASSERT_EQ(reports.size(), 3u);
+  EXPECT_TRUE(reports[0].ok());
+  EXPECT_FALSE(reports[1].ok());
+  EXPECT_NE(reports[1].error.find("not-registered"), std::string::npos);
+  EXPECT_TRUE(reports[2].ok());
+}
+
+TEST(BatchEngine, PropagatesErrorsWhenCaptureDisabled) {
+  ThreadPool pool(2);
+  std::vector<DecodeJob> jobs = {sample_job(1, nullptr)};
+  jobs[0].decoder = "not-registered";
+  EngineOptions options;
+  options.capture_errors = false;
+  EXPECT_THROW((void)BatchEngine(pool, options).run(jobs), ContractError);
+}
+
+TEST(BatchEngine, RejectsJobsWithoutAnInstanceSource) {
+  ThreadPool pool(1);
+  DecodeJob empty;
+  empty.k = 3;
+  const DecodeReport report = BatchEngine(pool).run_one(empty);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(Protocol, JobRoundTripPreservesEverything) {
+  std::vector<std::uint32_t> truth;
+  DecodeJob job = sample_job(11, &truth, "mn:multi-edge");
+  job.truth_support = truth;
+  std::stringstream buffer;
+  save_job(buffer, job);
+  const auto loaded = load_job(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->decoder, "mn:multi-edge");
+  EXPECT_EQ(loaded->k, job.k);
+  ASSERT_TRUE(loaded->truth_support.has_value());
+  EXPECT_EQ(*loaded->truth_support, truth);
+  ASSERT_TRUE(loaded->spec.has_value());
+  EXPECT_EQ(loaded->spec->params.n, job.spec->params.n);
+  EXPECT_EQ(loaded->spec->params.seed, job.spec->params.seed);
+  EXPECT_EQ(loaded->spec->y, job.spec->y);
+  EXPECT_FALSE(load_job(buffer).has_value());  // clean end of stream
+}
+
+TEST(Protocol, StreamsManyJobs) {
+  std::stringstream buffer;
+  for (std::uint64_t j = 0; j < 3; ++j) save_job(buffer, sample_job(j, nullptr));
+  std::size_t count = 0;
+  while (load_job(buffer)) ++count;
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(Protocol, OnlySpecBackedJobsSerialize) {
+  std::stringstream buffer;
+  DecodeJob prebuilt = sample_job(1, nullptr);
+  prebuilt.instance = prebuilt.spec->to_instance();
+  prebuilt.spec.reset();
+  EXPECT_THROW(save_job(buffer, prebuilt), ContractError);
+}
+
+TEST(Protocol, RejectsMalformedJobs) {
+  {
+    std::stringstream buffer("some-other-frame v1\n");
+    EXPECT_THROW((void)load_job(buffer), ContractError);
+  }
+  {
+    std::stringstream buffer("pooled-job v999\n");
+    EXPECT_THROW((void)load_job(buffer), ContractError);
+  }
+  {
+    std::stringstream buffer("pooled-job v1\nbogus-field 1\n");
+    EXPECT_THROW((void)load_job(buffer), ContractError);
+  }
+  {  // missing the instance block terminator
+    std::stringstream buffer(
+        "pooled-job v1\nk 3\ninstance\npooled-instance v1\nn 10\n");
+    EXPECT_THROW((void)load_job(buffer), ContractError);
+  }
+  {  // missing k
+    std::stringstream buffer;
+    save_instance(buffer, *sample_job(1, nullptr).spec);
+    std::stringstream frame;
+    frame << "pooled-job v1\ninstance\n" << buffer.str() << "end\n";
+    EXPECT_THROW((void)load_job(frame), ContractError);
+  }
+}
+
+TEST(Protocol, ReportRoundTrip) {
+  DecodeReport report;
+  report.index = 4;
+  report.decoder_name = "mn";
+  report.n = 300;
+  report.k = 5;
+  report.support = {3, 14, 159, 265};
+  report.consistent = true;
+  report.scored = true;
+  report.exact = false;
+  report.overlap = 0.75;
+  report.seconds = 0.001953125;
+  std::stringstream buffer;
+  save_report(buffer, report);
+  const auto loaded = load_report(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->ok());
+  EXPECT_EQ(loaded->index, 4u);
+  EXPECT_EQ(loaded->decoder_name, "mn");
+  EXPECT_EQ(loaded->n, 300u);
+  EXPECT_EQ(loaded->k, 5u);
+  EXPECT_EQ(loaded->support, report.support);
+  EXPECT_TRUE(loaded->consistent);
+  EXPECT_TRUE(loaded->scored);
+  EXPECT_FALSE(loaded->exact);
+  EXPECT_DOUBLE_EQ(loaded->overlap, 0.75);
+  EXPECT_DOUBLE_EQ(loaded->seconds, 0.001953125);
+  EXPECT_FALSE(load_report(buffer).has_value());
+}
+
+TEST(Protocol, ErrorReportsRoundTripWithoutResultFields) {
+  DecodeReport report;
+  report.index = 2;
+  report.error = "unknown decoder spec 'x'\nwith a newline";
+  std::stringstream buffer;
+  save_report(buffer, report);
+  const auto loaded = load_report(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_FALSE(loaded->ok());
+  EXPECT_EQ(loaded->index, 2u);
+  // Newlines are flattened so the line framing survives.
+  EXPECT_EQ(loaded->error.find('\n'), std::string::npos);
+  EXPECT_NE(loaded->error.find("unknown decoder spec"), std::string::npos);
+  EXPECT_FALSE(loaded->scored);
+}
+
+TEST(ServeStream, EndToEndRoundTrip) {
+  // The full serve path: requests in, engine, responses out -- exactly
+  // what `pooled_cli serve` runs.
+  std::vector<std::uint32_t> truth;
+  std::stringstream requests;
+  DecodeJob scored = sample_job(21, &truth);
+  scored.truth_support = truth;
+  save_job(requests, scored);
+  save_job(requests, sample_job(22, nullptr, "peeling"));
+  DecodeJob broken = sample_job(23, nullptr);
+  broken.decoder = "nope";
+  save_job(requests, broken);
+
+  ThreadPool pool(2);
+  std::stringstream responses;
+  const std::size_t served = serve_stream(requests, responses, BatchEngine(pool),
+                                          /*chunk=*/2);
+  EXPECT_EQ(served, 3u);
+
+  std::vector<DecodeReport> reports;
+  while (auto report = load_report(responses)) reports.push_back(std::move(*report));
+  ASSERT_EQ(reports.size(), 3u);
+  for (std::size_t j = 0; j < reports.size(); ++j) EXPECT_EQ(reports[j].index, j);
+  EXPECT_TRUE(reports[0].ok());
+  EXPECT_TRUE(reports[0].scored);
+  EXPECT_TRUE(reports[1].ok());
+  EXPECT_EQ(reports[1].decoder_name, "peeling");
+  EXPECT_FALSE(reports[2].ok());
+
+  // Chunked serving matches one-shot serving job for job.
+  ThreadPool pool1(1);
+  std::stringstream requests_again;
+  save_job(requests_again, scored);
+  std::stringstream responses_again;
+  serve_stream(requests_again, responses_again, BatchEngine(pool1));
+  const auto again = load_report(responses_again);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->support, reports[0].support);
+  EXPECT_EQ(again->exact, reports[0].exact);
+}
+
+}  // namespace
+}  // namespace pooled

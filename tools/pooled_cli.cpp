@@ -4,12 +4,14 @@
 //   simulate    draw a signal, run the parallel queries, save the
 //               observables (and the hidden truth separately)
 //   decode      load observables, run a decoder, report the estimate
+//   serve       read newline-delimited decode requests, stream results
 //   sweep       success-rate sweep over m, CSV to stdout
 //   thresholds  print every theoretical threshold for (n, theta)
 //
 // Examples:
 //   pooled_cli simulate --n 10000 --theta 0.3 --budget 1.4 --out run.inst
 //   pooled_cli decode --in run.inst --k 16 --decoder mn
+//   pooled_cli serve --in jobs.txt --out results.txt
 //   pooled_cli sweep --n 1000 --theta 0.3 --trials 20
 //   pooled_cli thresholds --n 10000 --theta 0.3
 #include <cstdio>
@@ -18,15 +20,13 @@
 #include <iostream>
 #include <memory>
 
-#include "baselines/fista.hpp"
-#include "baselines/iht.hpp"
-#include "baselines/omp_pursuit.hpp"
-#include "baselines/peeling.hpp"
 #include "core/instance.hpp"
 #include "core/metrics.hpp"
-#include "core/mn.hpp"
 #include "core/serialize.hpp"
 #include "core/thresholds.hpp"
+#include "engine/batch_engine.hpp"
+#include "engine/protocol.hpp"
+#include "engine/registry.hpp"
 #include "io/csv.hpp"
 #include "io/table.hpp"
 #include "parallel/thread_pool.hpp"
@@ -41,26 +41,14 @@ using namespace pooled;
 
 int usage() {
   std::fputs(
-      "usage: pooled_cli <simulate|decode|sweep|thresholds> [options]\n"
+      "usage: pooled_cli <simulate|decode|serve|sweep|thresholds> [options]\n"
       "       pooled_cli <subcommand> --help for options\n",
       stderr);
   return 2;
 }
 
-const Decoder& decoder_by_name(const std::string& name) {
-  static const MnDecoder mn;
-  static const OmpDecoder omp;
-  static const FistaDecoder fista;
-  static const IhtDecoder iht;
-  static const PeelingDecoder peeling;
-  if (name == "mn") return mn;
-  if (name == "omp") return omp;
-  if (name == "fista") return fista;
-  if (name == "iht") return iht;
-  if (name == "peeling") return peeling;
-  POOLED_REQUIRE(false, "unknown decoder '" + name +
-                            "' (expected mn|omp|fista|iht|peeling)");
-  return mn;
+std::string decoder_help() {
+  return "decoder spec: " + DecoderRegistry::global().spec_help();
 }
 
 int cmd_simulate(int argc, const char* const* argv) {
@@ -112,7 +100,7 @@ int cmd_decode(int argc, const char* const* argv) {
   CliParser cli("pooled_cli decode");
   cli.add_string("in", "observables input file", "run.inst");
   cli.add_i64("k", "Hamming weight to decode", 16);
-  cli.add_string("decoder", "mn|omp|fista|iht|peeling", "mn");
+  cli.add_string("decoder", decoder_help(), "mn");
   cli.add_string("truth", "optional truth file to score against", "");
   cli.parse(argc, argv);
   if (cli.help_requested()) {
@@ -123,10 +111,10 @@ int cmd_decode(int argc, const char* const* argv) {
   const InstanceSpec spec = load_instance_file(cli.string("in"));
   const auto instance = spec.to_instance();
   const auto k = static_cast<std::uint32_t>(cli.i64("k"));
-  const Decoder& decoder = decoder_by_name(cli.string("decoder"));
-  const Signal estimate = decoder.decode(*instance, k, pool);
+  const auto decoder = make_decoder(cli.string("decoder"));
+  const Signal estimate = decoder->decode(*instance, k, pool);
   std::printf("decoded %s with %s: support =", cli.string("in").c_str(),
-              decoder.name().c_str());
+              decoder->name().c_str());
   for (auto i : estimate.support()) std::printf(" %u", i);
   std::printf("\nconsistent with observations: %s\n",
               instance->is_consistent(estimate) ? "yes" : "no");
@@ -144,6 +132,46 @@ int cmd_decode(int argc, const char* const* argv) {
   return 0;
 }
 
+int cmd_serve(int argc, const char* const* argv) {
+  CliParser cli("pooled_cli serve");
+  cli.add_string("in", "request file, '-' = stdin (see engine/protocol.hpp)", "-");
+  cli.add_string("out", "result file, '-' = stdout", "-");
+  cli.add_i64("batch", "jobs per scheduling window (0 = 4x threads)", 0);
+  cli.add_i64("threads", "worker threads (0 = hardware concurrency)", 0);
+  cli.parse(argc, argv);
+  if (cli.help_requested()) {
+    std::fputs(cli.help_text().c_str(), stdout);
+    return 0;
+  }
+  POOLED_REQUIRE(cli.i64("threads") >= 0, "--threads must be >= 0");
+  POOLED_REQUIRE(cli.i64("batch") >= 0, "--batch must be >= 0");
+  ThreadPool pool(static_cast<unsigned>(cli.i64("threads")));
+  EngineOptions options;
+  options.max_in_flight = static_cast<std::size_t>(cli.i64("batch"));
+  const BatchEngine engine(pool, options);
+
+  std::ifstream file_in;
+  std::istream* in = &std::cin;
+  if (cli.string("in") != "-") {
+    file_in.open(cli.string("in"));
+    POOLED_REQUIRE(static_cast<bool>(file_in),
+                   "cannot open '" + cli.string("in") + "' for reading");
+    in = &file_in;
+  }
+  std::ofstream file_out;
+  std::ostream* out = &std::cout;
+  if (cli.string("out") != "-") {
+    file_out.open(cli.string("out"));
+    POOLED_REQUIRE(static_cast<bool>(file_out),
+                   "cannot open '" + cli.string("out") + "' for writing");
+    out = &file_out;
+  }
+
+  const std::size_t served = serve_stream(*in, *out, engine, options.max_in_flight);
+  std::fprintf(stderr, "served %zu jobs over %u threads\n", served, pool.size());
+  return 0;
+}
+
 int cmd_sweep(int argc, const char* const* argv) {
   CliParser cli("pooled_cli sweep");
   cli.add_i64("n", "signal length", 1000);
@@ -151,7 +179,7 @@ int cmd_sweep(int argc, const char* const* argv) {
   cli.add_i64("trials", "trials per grid point", 20);
   cli.add_i64("points", "grid points", 12);
   cli.add_f64("max-factor", "grid top as multiple of m_MN(finite)", 2.5);
-  cli.add_string("decoder", "mn|omp|fista|iht|peeling", "mn");
+  cli.add_string("decoder", decoder_help(), "mn");
   cli.add_i64("seed", "seed base", 1);
   cli.parse(argc, argv);
   if (cli.help_requested()) {
@@ -169,8 +197,9 @@ int cmd_sweep(int argc, const char* const* argv) {
       std::max<std::uint32_t>(2, static_cast<std::uint32_t>(0.2 * m_star)),
       static_cast<std::uint32_t>(cli.f64("max-factor") * m_star),
       static_cast<std::uint32_t>(cli.i64("points")));
+  const auto decoder = make_decoder(cli.string("decoder"));
   const auto sweep =
-      sweep_queries(config, decoder_by_name(cli.string("decoder")), grid,
+      sweep_queries(config, *decoder, grid,
                     static_cast<std::uint32_t>(cli.i64("trials")), pool);
   CsvWriter csv(std::cout);
   csv.header({"m", "success_rate", "ci_low", "ci_high", "overlap"});
@@ -234,6 +263,7 @@ int main(int argc, char** argv) {
   try {
     if (command == "simulate") return cmd_simulate(argc - 1, argv + 1);
     if (command == "decode") return cmd_decode(argc - 1, argv + 1);
+    if (command == "serve") return cmd_serve(argc - 1, argv + 1);
     if (command == "sweep") return cmd_sweep(argc - 1, argv + 1);
     if (command == "thresholds") return cmd_thresholds(argc - 1, argv + 1);
   } catch (const pooled::ContractError& e) {
