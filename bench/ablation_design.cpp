@@ -7,7 +7,6 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "core/mn.hpp"
 #include "core/thresholds.hpp"
 #include "io/table.hpp"
 #include "parallel/thread_pool.hpp"
@@ -21,7 +20,6 @@ int main() {
   bench::banner("ABL-DESIGN: pooling design ablation",
                 "50%-success query count per design variant", cfg);
   ThreadPool pool(static_cast<unsigned>(cfg.threads));
-  const MnDecoder decoder;
 
   const auto n = static_cast<std::uint32_t>(cfg.max_n);
   const std::uint32_t k = thresholds::k_of(n, 0.3);
@@ -69,7 +67,7 @@ int main() {
   ConsoleTable table({"design", "m50", "m50/paper", "success@2.0*mMN"});
   std::vector<DataSeries> series;
   for (const Variant& variant : variants) {
-    const auto sweep = sweep_queries(variant.config, decoder, grid,
+    const auto sweep = sweep_queries(variant.config, "mn", grid,
                                      static_cast<std::uint32_t>(cfg.trials), pool);
     const std::uint32_t m50 = first_m_reaching(sweep, 0.5);
     if (paper_m50 == 0.0) paper_m50 = static_cast<double>(m50);

@@ -8,7 +8,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "core/mn.hpp"
+#include "engine/registry.hpp"
 #include "core/thresholds.hpp"
 #include "io/table.hpp"
 #include "parallel/thread_pool.hpp"
@@ -22,7 +22,7 @@ int main() {
   bench::banner("ABL-NOISE: query-noise robustness",
                 "MN success/overlap vs per-query +-1 noise rate", cfg);
   ThreadPool pool(static_cast<unsigned>(cfg.threads));
-  const MnDecoder decoder;
+  const auto decoder = make_decoder("mn");
 
   const auto n = static_cast<std::uint32_t>(cfg.max_n);
   const std::uint32_t k = thresholds::k_of(n, 0.3);
@@ -42,7 +42,7 @@ int main() {
       config.seed_base = 0x401;
       config.noise_rate = rate;
       const AggregateResult agg = run_trials(
-          config, decoder, static_cast<std::uint32_t>(cfg.trials), pool);
+          config, *decoder, static_cast<std::uint32_t>(cfg.trials), pool);
       table.add_row({format_compact(rate, 3), format_compact(factor, 2),
                      format_compact(agg.success_rate(), 2),
                      format_compact(agg.overlap.mean(), 4)});

@@ -10,8 +10,8 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "core/mn.hpp"
 #include "core/thresholds.hpp"
+#include "engine/registry.hpp"
 #include "io/table.hpp"
 #include "parallel/thread_pool.hpp"
 #include "sim/sweep.hpp"
@@ -33,20 +33,19 @@ int main() {
                                 static_cast<std::uint32_t>(8.0 * m_star), 10);
   std::printf("   n=%u k=%u m_MN(finite)=%.0f\n\n", n, k, m_star);
 
-  const std::vector<MnScore> scores = {MnScore::CentralizedPsi, MnScore::RawPsi,
-                                       MnScore::NormalizedPsi,
-                                       MnScore::MultiEdgePsi};
+  // The four score variants as registry specs -- same seam every other
+  // decoder consumer resolves through.
+  const std::vector<std::string> specs = {"mn", "mn:raw", "mn:normalized",
+                                          "mn:multi-edge"};
   ConsoleTable table({"variant", "m50", "m50/m_MN", "success@1.5*mMN"});
   std::vector<DataSeries> series;
-  for (MnScore score : scores) {
-    MnOptions options;
-    options.score = score;
-    const MnDecoder decoder(options);
+  for (const std::string& spec : specs) {
+    const auto decoder = make_decoder(spec);
     TrialConfig config;
     config.n = n;
     config.k = k;
     config.seed_base = 0xAB2;
-    const auto sweep = sweep_queries(config, decoder, grid,
+    const auto sweep = sweep_queries(config, *decoder, grid,
                                      static_cast<std::uint32_t>(cfg.trials), pool);
     const std::uint32_t m50 = first_m_reaching(sweep, 0.5);
     double success_at_15 = 0.0;
@@ -56,11 +55,11 @@ int main() {
         break;
       }
     }
-    table.add_row({decoder.name(), format_compact(m50),
+    table.add_row({decoder->name(), format_compact(m50),
                    m50 > 0 ? format_compact(m50 / m_star, 3) : "-",
                    format_compact(success_at_15, 2)});
     DataSeries s;
-    s.label = decoder.name();
+    s.label = decoder->name();
     for (const SweepPoint& point : sweep) {
       s.rows.push_back({static_cast<double>(point.m), point.success_rate});
     }

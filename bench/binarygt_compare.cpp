@@ -14,7 +14,7 @@
 #include "binarygt/binary_decoders.hpp"
 #include "binarygt/binary_instance.hpp"
 #include "core/metrics.hpp"
-#include "core/mn.hpp"
+#include "engine/registry.hpp"
 #include "core/thresholds.hpp"
 #include "design/random_regular.hpp"
 #include "io/table.hpp"
@@ -84,7 +84,7 @@ int main() {
     config.n = n;
     config.k = k;
     config.seed_base = 0x67D + static_cast<std::uint64_t>(theta * 100);
-    const auto sweep = sweep_queries(config, MnDecoder(), grid,
+    const auto sweep = sweep_queries(config, "mn", grid,
                                      static_cast<std::uint32_t>(cfg.trials), pool);
     const std::uint32_t m50_mn = first_m_reaching(sweep, 0.5);
     table.add_row(

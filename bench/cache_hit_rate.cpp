@@ -1,0 +1,136 @@
+// CACHE: engine result-cache hit rate and speedup on a repeating
+// request stream -- the serving workload the cache exists for.
+//
+// A fixed universe of distinct spec-backed jobs is sampled with
+// repetition into a long request stream (a deterministic hot/cold mix:
+// a few instances take most of the traffic, the tail appears rarely).
+// The same stream runs through BatchEngine three ways: no cache, cold
+// cache, warm cache. Reports must match the uncached run field for
+// field; the table shows wall time, hit rate, and speedup, plus a
+// tiny-capacity run that exercises LRU eviction.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/instance.hpp"
+#include "core/serialize.hpp"
+#include "engine/batch_engine.hpp"
+#include "engine/result_cache.hpp"
+#include "io/table.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace pooled;
+
+DecodeJob make_job(std::uint32_t n, std::uint32_t k, std::uint32_t m,
+                   std::uint64_t seed, ThreadPool& pool) {
+  DesignParams params;
+  params.n = n;
+  params.seed = seed;
+  const Signal truth = Signal::random(n, k, seed ^ 0xCACE);
+  DecodeJob job;
+  job.spec = simulate_spec(DesignKind::RandomRegular, params, m, truth, pool);
+  job.decoder = "mn";
+  job.k = k;
+  job.truth_support.emplace(truth.support().begin(), truth.support().end());
+  return job;
+}
+
+bool reports_match(const std::vector<DecodeReport>& a,
+                   const std::vector<DecodeReport>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].support != b[i].support || a[i].consistent != b[i].consistent ||
+        a[i].exact != b[i].exact || a[i].overlap != b[i].overlap ||
+        a[i].decoder_name != b[i].decoder_name) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const BenchConfig cfg = bench_config(/*default_trials=*/8,
+                                       /*default_max_n=*/2000);
+  Timer timer;
+  bench::banner("CACHE: result-cache hit rate",
+                "repeating request stream: no cache vs cold vs warm", cfg);
+  ThreadPool pool(static_cast<unsigned>(cfg.threads));
+
+  const auto n = static_cast<std::uint32_t>(cfg.max_n);
+  const std::uint32_t k = 8;
+  const std::uint32_t m = n / 2;
+  const std::size_t universe = 12;
+  const std::size_t requests = 12 * universe;
+
+  std::vector<DecodeJob> distinct;
+  for (std::size_t u = 0; u < universe; ++u) {
+    distinct.push_back(make_job(n, k, m, 0xBEEF + u, pool));
+  }
+  // Hot/cold mix: even requests hammer two hot instances, odd requests
+  // walk the tail -- a stand-in for production key skew.
+  std::vector<DecodeJob> stream;
+  for (std::size_t r = 0; r < requests; ++r) {
+    const std::size_t index =
+        r % 2 == 0 ? (r / 2) % 2 : 2 + (r / 2) % (universe - 2);
+    stream.push_back(distinct[index]);
+  }
+
+  const BatchEngine uncached(pool);
+  Timer t_off;
+  const auto baseline = uncached.run(stream);
+  const double seconds_off = t_off.seconds();
+
+  ResultCache cache(universe * 2);
+  EngineOptions options;
+  options.cache = &cache;
+  const BatchEngine cached(pool, options);
+  Timer t_cold;
+  const auto cold = cached.run(stream);
+  const double seconds_cold = t_cold.seconds();
+  const CacheStats cold_stats = cache.stats();
+  Timer t_warm;
+  const auto warm = cached.run(stream);
+  const double seconds_warm = t_warm.seconds();
+  const CacheStats warm_stats = cache.stats();
+
+  ResultCache tiny(universe / 3);
+  EngineOptions tiny_options;
+  tiny_options.cache = &tiny;
+  Timer t_tiny;
+  const auto evicting = BatchEngine(pool, tiny_options).run(stream);
+  const double seconds_tiny = t_tiny.seconds();
+  const CacheStats tiny_stats = tiny.stats();
+
+  ConsoleTable table(
+      {"run", "seconds", "hits", "misses", "evict", "hit-rate", "speedup"});
+  const auto row = [&](const char* name, double seconds, const CacheStats& stats) {
+    table.add_row({name, format_compact(seconds, 3),
+                   format_compact(static_cast<double>(stats.hits)),
+                   format_compact(static_cast<double>(stats.misses)),
+                   format_compact(static_cast<double>(stats.evictions)),
+                   format_compact(100.0 * stats.hit_rate(), 1) + "%",
+                   format_compact(seconds_off / seconds, 2) + "x"});
+  };
+  row("no cache", seconds_off, CacheStats{});
+  row("cold cache", seconds_cold, cold_stats);
+  CacheStats warm_delta = warm_stats;
+  warm_delta.hits -= cold_stats.hits;
+  warm_delta.misses -= cold_stats.misses;
+  warm_delta.evictions -= cold_stats.evictions;
+  row("warm cache", seconds_warm, warm_delta);
+  row("tiny (evicting)", seconds_tiny, tiny_stats);
+  table.print(std::cout);
+
+  const bool identical = reports_match(baseline, cold) &&
+                         reports_match(baseline, warm) &&
+                         reports_match(baseline, evicting);
+  std::printf("\n   cached reports identical to uncached: %s\n",
+              identical ? "yes" : "NO -- BUG");
+  bench::footer(timer);
+  return identical ? 0 : 1;
+}

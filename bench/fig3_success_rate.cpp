@@ -7,7 +7,6 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "core/mn.hpp"
 #include "core/thresholds.hpp"
 #include "io/table.hpp"
 #include "parallel/thread_pool.hpp"
@@ -21,7 +20,6 @@ int main() {
   bench::banner("FIG3: success rate vs m",
                 "MN exact-recovery probability across the query budget", cfg);
   ThreadPool pool(static_cast<unsigned>(cfg.threads));
-  const MnDecoder decoder;
 
   std::vector<std::uint32_t> n_values = {1000};
   if (cfg.max_n >= 10000) n_values.push_back(10000);
@@ -41,7 +39,7 @@ int main() {
       config.k = k;
       config.seed_base = 0xF163 + n + static_cast<std::uint64_t>(theta * 1000);
       const auto grid = linear_grid(m_max / 12, m_max, 12);
-      const auto sweep = sweep_queries(config, decoder, grid,
+      const auto sweep = sweep_queries(config, "mn", grid,
                                        static_cast<std::uint32_t>(cfg.trials), pool);
       const std::uint64_t k2 = std::max<std::uint32_t>(k, 2);
       const double mn_finite = thresholds::m_mn_finite(n, k2);

@@ -8,7 +8,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "core/mn.hpp"
+#include "engine/registry.hpp"
 #include "core/thresholds.hpp"
 #include "io/table.hpp"
 #include "parallel/thread_pool.hpp"
@@ -24,7 +24,7 @@ int main() {
                 "budget",
                 cfg);
   ThreadPool pool(static_cast<unsigned>(cfg.threads));
-  const MnDecoder decoder;
+  const auto decoder = make_decoder("mn");
 
   std::vector<std::uint32_t> n_values = {1000};
   if (cfg.max_n >= 10000) n_values.push_back(10000);
@@ -42,7 +42,7 @@ int main() {
       config.k = k;
       config.seed_base = 0xF164 + n + static_cast<std::uint64_t>(theta * 1000);
       const auto grid = linear_grid(m_max / 12, m_max, 12);
-      const auto sweep = sweep_queries(config, decoder, grid,
+      const auto sweep = sweep_queries(config, *decoder, grid,
                                        static_cast<std::uint32_t>(cfg.trials), pool);
       DataSeries s;
       s.label = "theta=" + format_compact(theta, 2);
@@ -71,7 +71,7 @@ int main() {
     config.m = 220;
     config.seed_base = 0x99;
     const AggregateResult agg =
-        run_trials(config, decoder, static_cast<std::uint32_t>(cfg.trials) * 2,
+        run_trials(config, *decoder, static_cast<std::uint32_t>(cfg.trials) * 2,
                    pool);
     std::printf("\nheadline cell (paper: ~99%% overlap): n=1000 theta=0.3 "
                 "m=220 -> overlap=%.1f%% (success=%.0f%%)\n",

@@ -10,6 +10,7 @@
 #include "core/mn.hpp"
 #include "core/thresholds.hpp"
 #include "design/random_regular.hpp"
+#include "engine/registry.hpp"
 #include "linalg/csr_matrix.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -72,12 +73,12 @@ void BM_MnDecode(benchmark::State& state) {
   ThreadPool pool;
   Fixture& f = fixture(static_cast<std::uint32_t>(state.range(0)));
   const bool streamed = state.range(1) != 0;
-  const MnDecoder decoder;
+  const auto decoder = make_decoder("mn");
   const Instance& instance =
       streamed ? static_cast<const Instance&>(*f.streamed)
                : static_cast<const Instance&>(*f.stored);
   for (auto _ : state) {
-    const Signal estimate = decoder.decode(instance, f.k, pool);
+    const Signal estimate = decoder->decode(instance, f.k, pool);
     benchmark::DoNotOptimize(estimate.k());
   }
   state.SetLabel(streamed ? "streamed" : "stored");

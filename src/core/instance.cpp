@@ -28,7 +28,8 @@ std::vector<std::uint32_t> Instance::results_for(const Signal& candidate) const 
   std::vector<std::uint32_t> members;
   for (std::uint32_t q = 0; q < m(); ++q) {
     query_members(q, members);
-    y[q] = pooled_sum(candidate, members);
+    y[q] = apply_channel(pooled_sum(candidate, members), channel(),
+                         channel_threshold());
   }
   return y;
 }
@@ -39,7 +40,9 @@ bool Instance::is_consistent(const Signal& candidate) const {
   std::vector<std::uint32_t> members;
   for (std::uint32_t q = 0; q < m(); ++q) {
     query_members(q, members);
-    if (pooled_sum(candidate, members) != y[q]) return false;
+    const std::uint32_t observed =
+        apply_channel(pooled_sum(candidate, members), channel(), channel_threshold());
+    if (observed != y[q]) return false;
   }
   return true;
 }
@@ -94,10 +97,21 @@ EntryStats StoredInstance::entry_stats(ThreadPool& pool) const {
 // StreamedInstance
 
 StreamedInstance::StreamedInstance(std::shared_ptr<const PoolingDesign> design,
-                                   std::uint32_t m, std::vector<std::uint32_t> y)
-    : design_(std::move(design)), m_(m), y_(std::move(y)) {
+                                   std::uint32_t m, std::vector<std::uint32_t> y,
+                                   ChannelKind channel, std::uint32_t threshold)
+    : design_(std::move(design)),
+      m_(m),
+      y_(std::move(y)),
+      channel_(channel),
+      threshold_(threshold) {
   POOLED_REQUIRE(design_ != nullptr, "streamed instance needs a design");
   POOLED_REQUIRE(y_.size() == m_, "result vector length must equal query count");
+  POOLED_REQUIRE(threshold_ >= 1, "channel threshold must be >= 1");
+  if (channel_ != ChannelKind::Quantitative) {
+    for (std::uint32_t value : y_) {
+      POOLED_REQUIRE(value <= 1, "one-bit channel results must be 0/1");
+    }
+  }
 }
 
 void StreamedInstance::query_members(std::uint32_t query,

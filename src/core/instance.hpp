@@ -24,6 +24,30 @@ namespace pooled {
 
 class ThreadPool;
 
+/// Output channel a query's pooled sum is observed through (§I.D / §VI):
+/// the quantitative channel reports the sum itself, the group-testing
+/// channels collapse it to one bit.
+enum class ChannelKind : std::uint8_t {
+  Quantitative,  ///< y = Σ σ_i over the pool (the paper's main model)
+  Binary,        ///< y = 1{Σ ≥ 1} (OR channel, binary group testing)
+  Threshold,     ///< y = 1{Σ ≥ T} (threshold group testing)
+};
+
+/// Observed value of a pooled sum under the channel.
+[[nodiscard]] constexpr std::uint32_t apply_channel(std::uint32_t sum,
+                                                    ChannelKind channel,
+                                                    std::uint32_t threshold) {
+  switch (channel) {
+    case ChannelKind::Quantitative:
+      return sum;
+    case ChannelKind::Binary:
+      return sum >= 1 ? 1 : 0;
+    case ChannelKind::Threshold:
+      return sum >= threshold ? 1 : 0;
+  }
+  return sum;
+}
+
 /// Per-entry aggregates used by the MN decoder (paper notation):
 ///   psi[i]        Ψ_i  = sum of y_a over *distinct* queries containing i
 ///   psi_multi[i]  = sum of multiplicity_ia * y_a (multi-edge-weighted, for
@@ -54,7 +78,16 @@ class Instance {
   /// Computes the per-entry aggregates (parallel over queries/entries).
   [[nodiscard]] virtual EntryStats entry_stats(ThreadPool& pool) const = 0;
 
-  /// y(candidate): results the candidate signal would produce.
+  /// Output channel the observed results() went through.
+  [[nodiscard]] virtual ChannelKind channel() const {
+    return ChannelKind::Quantitative;
+  }
+
+  /// Threshold T for ChannelKind::Threshold (1 otherwise).
+  [[nodiscard]] virtual std::uint32_t channel_threshold() const { return 1; }
+
+  /// y(candidate): results the candidate signal would produce (through
+  /// the instance's channel).
   [[nodiscard]] std::vector<std::uint32_t> results_for(const Signal& candidate) const;
 
   /// True if the candidate explains every observed query result.
@@ -88,10 +121,15 @@ class StoredInstance final : public Instance {
 };
 
 /// Instance that regenerates queries from the design's keyed streams.
+/// Optionally carries a one-bit observation channel, which is how the
+/// group-testing instances of §I.D / §VI ride through the same engine
+/// plumbing as the quantitative ones (y is then 0/1 per query).
 class StreamedInstance final : public Instance {
  public:
   StreamedInstance(std::shared_ptr<const PoolingDesign> design, std::uint32_t m,
-                   std::vector<std::uint32_t> y);
+                   std::vector<std::uint32_t> y,
+                   ChannelKind channel = ChannelKind::Quantitative,
+                   std::uint32_t threshold = 1);
 
   [[nodiscard]] std::uint32_t n() const override { return design_->num_entries(); }
   [[nodiscard]] std::uint32_t m() const override { return m_; }
@@ -101,13 +139,24 @@ class StreamedInstance final : public Instance {
   void query_members(std::uint32_t query,
                      std::vector<std::uint32_t>& out) const override;
   [[nodiscard]] EntryStats entry_stats(ThreadPool& pool) const override;
+  [[nodiscard]] ChannelKind channel() const override { return channel_; }
+  [[nodiscard]] std::uint32_t channel_threshold() const override {
+    return threshold_;
+  }
 
   [[nodiscard]] const PoolingDesign& design() const { return *design_; }
+  /// Shared ownership of the design (the GT adapters rebuild their
+  /// instance types around it).
+  [[nodiscard]] const std::shared_ptr<const PoolingDesign>& design_ptr() const {
+    return design_;
+  }
 
  private:
   std::shared_ptr<const PoolingDesign> design_;
   std::uint32_t m_;
   std::vector<std::uint32_t> y_;
+  ChannelKind channel_ = ChannelKind::Quantitative;
+  std::uint32_t threshold_ = 1;
 };
 
 /// Runs the m parallel queries of `design` against `truth`.

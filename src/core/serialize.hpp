@@ -13,6 +13,13 @@
 //   p 0.5
 //   m 3
 //   y 12 9 14
+//
+// Group-testing runs (§I.D / §VI) add a one-bit channel before `m`:
+//   channel binary            (OR channel; y values are 0/1)
+//   channel threshold
+//   t 2                       (threshold T; only with `channel threshold`)
+// Absent `channel` means the paper's quantitative channel, so v1 files
+// from before the channel existed keep loading unchanged.
 #pragma once
 
 #include <iosfwd>
@@ -29,6 +36,8 @@ namespace pooled {
 struct InstanceSpec {
   DesignKind kind = DesignKind::RandomRegular;
   DesignParams params;
+  ChannelKind channel = ChannelKind::Quantitative;
+  std::uint32_t threshold = 1;  ///< channel T; meaningful for Threshold only
   std::uint32_t m = 0;
   std::vector<std::uint32_t> y;
 
@@ -38,7 +47,23 @@ struct InstanceSpec {
 
 /// Captures the spec of a live streamed run (results copied).
 InstanceSpec make_spec(DesignKind kind, const DesignParams& params,
-                       const std::vector<std::uint32_t>& results);
+                       const std::vector<std::uint32_t>& results,
+                       ChannelKind channel = ChannelKind::Quantitative,
+                       std::uint32_t threshold = 1);
+
+/// Teacher-step convenience shared by the CLI, benches, and tests: draws
+/// the design, runs `m` parallel queries against `truth`, collapses the
+/// counts through `channel`, and captures the spec.
+InstanceSpec simulate_spec(DesignKind kind, const DesignParams& params,
+                           std::uint32_t m, const Signal& truth, ThreadPool& pool,
+                           ChannelKind channel = ChannelKind::Quantitative,
+                           std::uint32_t threshold = 1);
+
+/// Stable content digest of a spec: 32 hex chars covering every field
+/// (design kind/params at full precision, channel, and all of y).
+/// Identical specs digest identically across processes and platforms;
+/// the engine's result cache keys on this.
+std::string instance_digest(const InstanceSpec& spec);
 
 /// Writes the versioned text format. Throws ContractError on bad streams.
 void save_instance(std::ostream& os, const InstanceSpec& spec);
@@ -54,5 +79,9 @@ InstanceSpec load_instance_file(const std::string& path);
 /// Stable identifiers used in the format ("random-regular", ...).
 std::string design_kind_name(DesignKind kind);
 DesignKind design_kind_from_name(const std::string& name);
+
+/// Stable channel identifiers ("quantitative", "binary", "threshold").
+std::string channel_kind_name(ChannelKind kind);
+ChannelKind channel_kind_from_name(const std::string& name);
 
 }  // namespace pooled

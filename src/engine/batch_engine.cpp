@@ -6,6 +6,7 @@
 #include "core/decoder.hpp"
 #include "core/metrics.hpp"
 #include "engine/registry.hpp"
+#include "engine/result_cache.hpp"
 #include "parallel/thread_pool.hpp"
 #include "support/assert.hpp"
 #include "support/timer.hpp"
@@ -14,8 +15,25 @@ namespace pooled {
 
 namespace {
 
-DecodeReport execute(const DecodeJob& job, std::size_t index, ThreadPool& pool) {
+DecodeReport execute(const DecodeJob& job, std::size_t index, ThreadPool& pool,
+                     ResultCache* cache) {
   const Timer timer;
+
+  // Cache consult happens before the instance is even rebuilt: the key is
+  // a content digest of the job's spec, so a hit skips construction and
+  // decode both.
+  std::optional<std::string> cache_key;
+  if (cache != nullptr) {
+    cache_key = ResultCache::job_key(job);
+    if (cache_key) {
+      if (std::optional<DecodeReport> cached = cache->lookup(*cache_key)) {
+        cached->index = index;
+        cached->seconds = timer.seconds();
+        return *cached;
+      }
+    }
+  }
+
   DecodeReport report;
   report.index = index;
   report.k = job.k;
@@ -52,6 +70,7 @@ DecodeReport execute(const DecodeJob& job, std::size_t index, ThreadPool& pool) 
     report.overlap = overlap_fraction(estimate, truth);
   }
   report.seconds = timer.seconds();
+  if (cache != nullptr && cache_key) cache->insert(*cache_key, report);
   return report;
 }
 
@@ -82,9 +101,9 @@ std::size_t BatchEngine::window() const {
 }
 
 DecodeReport BatchEngine::run_one(const DecodeJob& job, std::size_t index) const {
-  if (!options_.capture_errors) return execute(job, index, pool_);
+  if (!options_.capture_errors) return execute(job, index, pool_, options_.cache);
   try {
-    return execute(job, index, pool_);
+    return execute(job, index, pool_, options_.cache);
   } catch (...) {
     return failure_report(job, index, std::current_exception());
   }
@@ -107,7 +126,7 @@ std::vector<DecodeReport> BatchEngine::run(const std::vector<DecodeJob>& jobs) c
     pool_.run_tasks(count, [&](std::size_t slot) {
       const std::size_t index = offset + slot;
       try {
-        reports[index] = execute(jobs[index], index, pool_);
+        reports[index] = execute(jobs[index], index, pool_, options_.cache);
       } catch (...) {
         if (options_.capture_errors) {
           reports[index] =

@@ -21,6 +21,7 @@
 namespace pooled {
 
 class Decoder;
+class ResultCache;
 class ThreadPool;
 
 /// Instance plus (optionally) the hidden truth it was generated from.
@@ -77,6 +78,11 @@ struct EngineOptions {
   /// failing the whole batch. When false, the first failure (in
   /// submission order) rethrows once its window drains.
   bool capture_errors = true;
+  /// Optional (non-owning) result cache consulted before scheduling a
+  /// spec-backed decode and filled on completion. A hit reproduces the
+  /// live report byte-for-byte except `index` and `seconds` (see
+  /// engine/result_cache.hpp). Shared across engines; must outlive them.
+  ResultCache* cache = nullptr;
 };
 
 class BatchEngine {

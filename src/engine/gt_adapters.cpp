@@ -1,0 +1,92 @@
+#include "engine/gt_adapters.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "binarygt/binary_decoders.hpp"
+#include "binarygt/binary_instance.hpp"
+#include "support/assert.hpp"
+#include "thresholdgt/threshold_decoder.hpp"
+#include "thresholdgt/threshold_instance.hpp"
+
+namespace pooled {
+
+namespace {
+
+const StreamedInstance& as_streamed(const Instance& instance) {
+  const auto* streamed = dynamic_cast<const StreamedInstance*>(&instance);
+  POOLED_REQUIRE(streamed != nullptr,
+                 "gt decoders need a design-backed (streamed) instance");
+  return *streamed;
+}
+
+/// One-bit outcomes: pass-through on one-bit channels, collapse counts at
+/// `positive_at` on the quantitative channel.
+std::vector<std::uint8_t> one_bit_outcomes(const Instance& instance,
+                                           std::uint32_t positive_at) {
+  const bool quantitative = instance.channel() == ChannelKind::Quantitative;
+  const auto& y = instance.results();
+  std::vector<std::uint8_t> outcomes(y.size());
+  for (std::size_t q = 0; q < y.size(); ++q) {
+    outcomes[q] = quantitative ? (y[q] >= positive_at ? 1 : 0) : (y[q] != 0);
+  }
+  return outcomes;
+}
+
+}  // namespace
+
+Signal BinaryGtAdapter::decode(const Instance& instance, std::uint32_t k,
+                               ThreadPool& pool) const {
+  (void)k;  // COMP/DD determine the support size from the tests
+  (void)pool;
+  // COMP/DD reason "negative test => every member is a zero", which is
+  // only sound when a positive outcome means >= 1 defective. A
+  // threshold-T instance's negative pools may still contain up to T-1
+  // defectives, so reinterpreting them would silently drop true
+  // positives -- reject instead.
+  POOLED_REQUIRE(instance.channel() != ChannelKind::Threshold,
+                 "gt:binary/gt:comp cannot decode a threshold-channel "
+                 "instance (negative tests may still contain defectives); "
+                 "use gt:threshold:<T>");
+  const StreamedInstance& streamed = as_streamed(instance);
+  const BinaryGtInstance gt(streamed.design_ptr(), streamed.m(),
+                            one_bit_outcomes(instance, 1));
+  BinaryDecodeResult result =
+      rule_ == Rule::Dd ? decode_dd(gt) : decode_comp(gt);
+  return std::move(result.estimate);
+}
+
+std::string BinaryGtAdapter::name() const {
+  return rule_ == Rule::Dd ? "gt-dd" : "gt-comp";
+}
+
+ThresholdGtAdapter::ThresholdGtAdapter(std::uint32_t threshold)
+    : threshold_(threshold) {
+  POOLED_REQUIRE(threshold_ >= 1, "gt threshold must be >= 1");
+}
+
+Signal ThresholdGtAdapter::decode(const Instance& instance, std::uint32_t k,
+                                  ThreadPool& pool) const {
+  // One-bit instances already fixed their threshold when the outcomes
+  // were generated; a decoder labeled with a different T would silently
+  // misinterpret them, so the labels must agree (Binary == threshold 1).
+  if (instance.channel() != ChannelKind::Quantitative) {
+    const std::uint32_t recorded = instance.channel() == ChannelKind::Binary
+                                       ? 1
+                                       : instance.channel_threshold();
+    POOLED_REQUIRE(recorded == threshold_,
+                   "instance records threshold-" + std::to_string(recorded) +
+                       " outcomes but the decoder is gt:threshold:" +
+                       std::to_string(threshold_));
+  }
+  const StreamedInstance& streamed = as_streamed(instance);
+  const ThresholdGtInstance gt(streamed.design_ptr(), streamed.m(), threshold_,
+                               one_bit_outcomes(instance, threshold_));
+  return std::move(decode_threshold_mn(gt, k, pool).estimate);
+}
+
+std::string ThresholdGtAdapter::name() const {
+  return "gt-threshold-" + std::to_string(threshold_);
+}
+
+}  // namespace pooled

@@ -1,0 +1,60 @@
+// Group-testing decoders behind the core Decoder interface.
+//
+// The binary/threshold group-testing modules (§I.D / §VI) keep their own
+// instance types (one-bit outcomes around a shared design). These
+// adapters rebuild those types from a design-backed core Instance at
+// decode time, so COMP, DD, and the threshold-MN transplant are reachable
+// through the same registry specs, batch scheduler, and serve loop as
+// every quantitative decoder:
+//
+//   gt:binary         DD (definite defectives; no false positives)
+//   gt:comp           COMP (no false negatives)
+//   gt:threshold:<T>  MN-style scoring on the threshold-T channel
+//
+// Outcome derivation: on an instance whose channel is already one-bit
+// (ChannelKind::Binary/Threshold) the observed y pass through unchanged;
+// on a quantitative instance the counts are collapsed on the fly
+// (y >= 1 for the OR channel, y >= T for threshold-T), which is exactly
+// the paper's "discard the counts" comparison run server-side.
+// Channel mismatches are contract errors, not silent reinterpretation:
+// gt:binary/gt:comp reject threshold-channel instances (their "negative
+// test => all zeros" rule is unsound there), and gt:threshold:<T>
+// requires T to match the instance's recorded threshold (Binary == 1).
+#pragma once
+
+#include <cstdint>
+
+#include "core/decoder.hpp"
+
+namespace pooled {
+
+/// COMP/DD over the OR channel. `k` is ignored: both decoders infer the
+/// support size from the tests themselves.
+class BinaryGtAdapter final : public Decoder {
+ public:
+  enum class Rule { Comp, Dd };
+
+  explicit BinaryGtAdapter(Rule rule) : rule_(rule) {}
+
+  [[nodiscard]] Signal decode(const Instance& instance, std::uint32_t k,
+                              ThreadPool& pool) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  Rule rule_;
+};
+
+/// MN-style scoring decoder on the threshold-T channel.
+class ThresholdGtAdapter final : public Decoder {
+ public:
+  explicit ThresholdGtAdapter(std::uint32_t threshold);
+
+  [[nodiscard]] Signal decode(const Instance& instance, std::uint32_t k,
+                              ThreadPool& pool) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::uint32_t threshold_;
+};
+
+}  // namespace pooled

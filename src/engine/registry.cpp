@@ -9,6 +9,7 @@
 #include "baselines/peeling.hpp"
 #include "baselines/random_guess.hpp"
 #include "core/mn.hpp"
+#include "engine/gt_adapters.hpp"
 #include "support/assert.hpp"
 
 namespace pooled {
@@ -37,6 +38,29 @@ std::shared_ptr<const Decoder> make_mn(const std::string& variant) {
                               "' (expected multi-edge|raw|normalized)");
   }
   return std::make_shared<MnDecoder>(options);
+}
+
+std::shared_ptr<const Decoder> make_gt(const std::string& variant) {
+  if (variant == "binary") {
+    return std::make_shared<BinaryGtAdapter>(BinaryGtAdapter::Rule::Dd);
+  }
+  if (variant == "comp") {
+    return std::make_shared<BinaryGtAdapter>(BinaryGtAdapter::Rule::Comp);
+  }
+  constexpr const char* kThresholdPrefix = "threshold:";
+  if (variant.rfind(kThresholdPrefix, 0) == 0) {
+    const std::string text = variant.substr(std::string(kThresholdPrefix).size());
+    std::uint32_t threshold = 0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), threshold);
+    POOLED_REQUIRE(
+        ec == std::errc() && ptr == text.data() + text.size() && threshold >= 1,
+        "gt threshold must be an integer >= 1, got '" + text + "'");
+    return std::make_shared<ThresholdGtAdapter>(threshold);
+  }
+  POOLED_REQUIRE(false, "unknown gt variant '" + variant +
+                            "' (expected binary|comp|threshold:<T>)");
+  return nullptr;
 }
 
 std::shared_ptr<const Decoder> make_random(const std::string& variant) {
@@ -106,6 +130,7 @@ const DecoderRegistry& DecoderRegistry::global() {
   static const DecoderRegistry registry = [] {
     DecoderRegistry r;
     r.add("mn", "[:multi-edge|raw|normalized]", make_mn);
+    r.add("gt", ":binary|comp|threshold:<T>", make_gt);
     r.add("omp", "", variantless<OmpDecoder>("omp"));
     r.add("fista", "", variantless<FistaDecoder>("fista"));
     r.add("iht", "", variantless<IhtDecoder>("iht"));

@@ -49,7 +49,7 @@ class DecoderRegistry {
 
   /// Process-wide registry preloaded with the built-in decoders:
   ///   mn[:multi-edge|raw|normalized], omp, fista, iht, peeling,
-  ///   random[:<seed>]
+  ///   random[:<seed>], gt:binary|comp|threshold:<T>
   static const DecoderRegistry& global();
 
  private:

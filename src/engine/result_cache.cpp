@@ -1,0 +1,84 @@
+#include "engine/result_cache.hpp"
+
+#include <sstream>
+
+#include "core/serialize.hpp"
+#include "support/assert.hpp"
+
+namespace pooled {
+
+ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity) {
+  POOLED_REQUIRE(capacity_ >= 1, "result cache capacity must be >= 1");
+}
+
+std::optional<std::string> ResultCache::job_key(const DecodeJob& job) {
+  // Only spec-backed registry decodes have a canonical form: a prebuilt
+  // or lazily-built instance has no stable identity, and an override
+  // decoder's configuration is invisible to us.
+  if (!job.spec.has_value() || job.instance != nullptr || job.build ||
+      job.decoder_override != nullptr) {
+    return std::nullopt;
+  }
+  std::ostringstream key;
+  key << instance_digest(*job.spec) << '|' << job.decoder << "|k=" << job.k
+      << "|cc=" << (job.check_consistency ? 1 : 0) << "|truth=";
+  if (job.truth_support) {
+    for (std::uint32_t i : *job.truth_support) key << i << ',';
+  } else {
+    key << '-';
+  }
+  return key.str();
+}
+
+std::optional<DecodeReport> ResultCache::lookup(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+void ResultCache::insert(const std::string& key, const DecodeReport& report) {
+  if (!report.ok()) return;  // failures retry rather than stick
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Concurrent miss on the same key: another worker already decoded it.
+    // The reports are byte-identical by the engine's determinism
+    // guarantee, so refreshing recency is all that is left to do.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, report);
+  index_.emplace(key, lru_.begin());
+  ++insertions_;
+  if (index_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+CacheStats ResultCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  CacheStats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.insertions = insertions_;
+  stats.evictions = evictions_;
+  stats.size = index_.size();
+  stats.capacity = capacity_;
+  return stats;
+}
+
+void ResultCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace pooled

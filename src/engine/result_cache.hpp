@@ -1,0 +1,86 @@
+// Bounded, thread-safe LRU cache of decode results.
+//
+// Serving workloads repeat themselves: the same archived instance gets
+// decoded with the same decoder and k by many requests. The cache keys on
+// a canonical digest of (instance spec, decoder spec, k) -- plus the
+// truth/consistency knobs that shape the report -- so a repeated request
+// returns the stored DecodeReport instead of re-decoding. BatchEngine
+// consults it before scheduling a decode and fills it on completion
+// (EngineOptions::cache); `pooled_cli serve --cache N` wires it into the
+// serve loop and prints the counters, and bench/cache_hit_rate measures
+// the speedup.
+//
+// Correctness contract: a cache hit is byte-identical to the live decode
+// in every deterministic field (decoder name, n, k, support, consistency,
+// scoring). Only `index` (the submission slot) and `seconds` (now the
+// lookup time) are rewritten per request. Failed decodes are never
+// cached, so transient errors retry.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "engine/batch_engine.hpp"
+
+namespace pooled {
+
+/// Counter snapshot; size/capacity are entries, not bytes.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::size_t size = 0;
+  std::size_t capacity = 0;
+
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) / static_cast<double>(lookups);
+  }
+};
+
+class ResultCache {
+ public:
+  /// Cache holding at most `capacity` reports (>= 1), evicting the least
+  /// recently used entry when full.
+  explicit ResultCache(std::size_t capacity);
+
+  /// Canonical cache key of a job: the instance-spec content digest plus
+  /// decoder spec, k, truth support, and the consistency flag -- every
+  /// input that shapes the report. Returns nullopt for jobs with no
+  /// canonical form (prebuilt/lazy instances, decoder overrides), which
+  /// are simply not cacheable.
+  [[nodiscard]] static std::optional<std::string> job_key(const DecodeJob& job);
+
+  /// Returns the stored report and refreshes recency; counts a hit or
+  /// miss.
+  [[nodiscard]] std::optional<DecodeReport> lookup(const std::string& key);
+
+  /// Stores a successful report (error reports are ignored). Re-inserting
+  /// an existing key only refreshes recency.
+  void insert(const std::string& key, const DecodeReport& report);
+
+  [[nodiscard]] CacheStats stats() const;
+
+  void clear();
+
+ private:
+  using Entry = std::pair<std::string, DecodeReport>;
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t insertions_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace pooled

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "engine/registry.hpp"
 #include "support/assert.hpp"
 
 namespace pooled {
@@ -24,6 +25,14 @@ std::vector<SweepPoint> sweep_queries(TrialConfig config, const Decoder& decoder
     points.push_back(point);
   }
   return points;
+}
+
+std::vector<SweepPoint> sweep_queries(TrialConfig config,
+                                      const std::string& decoder_spec,
+                                      const std::vector<std::uint32_t>& m_values,
+                                      std::uint32_t trials, ThreadPool& pool) {
+  const auto decoder = make_decoder(decoder_spec);
+  return sweep_queries(config, *decoder, m_values, trials, pool);
 }
 
 std::vector<std::uint32_t> linear_grid(std::uint32_t lo, std::uint32_t hi,

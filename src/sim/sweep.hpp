@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "sim/montecarlo.hpp"
@@ -18,6 +19,13 @@ struct SweepPoint {
 
 /// Evaluates `decoder` at every m in `m_values` with `trials` runs each.
 std::vector<SweepPoint> sweep_queries(TrialConfig config, const Decoder& decoder,
+                                      const std::vector<std::uint32_t>& m_values,
+                                      std::uint32_t trials, ThreadPool& pool);
+
+/// Same, with the decoder resolved through the engine registry -- benches
+/// name decoders by spec string instead of hand-rolling constructors.
+std::vector<SweepPoint> sweep_queries(TrialConfig config,
+                                      const std::string& decoder_spec,
                                       const std::vector<std::uint32_t>& m_values,
                                       std::uint32_t trials, ThreadPool& pool);
 

@@ -4,12 +4,15 @@
 #include <algorithm>
 #include <sstream>
 
+#include "binarygt/binary_instance.hpp"
 #include "core/metrics.hpp"
 #include "engine/batch_engine.hpp"
 #include "engine/protocol.hpp"
 #include "engine/registry.hpp"
+#include "engine/result_cache.hpp"
 #include "parallel/thread_pool.hpp"
 #include "support/assert.hpp"
+#include "thresholdgt/threshold_instance.hpp"
 
 namespace pooled {
 namespace {
@@ -22,11 +25,9 @@ DecodeJob sample_job(std::uint64_t seed, std::vector<std::uint32_t>* truth_out,
   DesignParams params;
   params.n = n;
   params.seed = seed;
-  auto design = make_design(DesignKind::RandomRegular, params);
   const Signal truth = Signal::random(n, k, seed ^ 0x51D);
-  const auto y = simulate_queries(*design, m, truth, pool);
   DecodeJob job;
-  job.spec = make_spec(DesignKind::RandomRegular, params, y);
+  job.spec = simulate_spec(DesignKind::RandomRegular, params, m, truth, pool);
   job.decoder = decoder;
   job.k = k;
   if (truth_out) truth_out->assign(truth.support().begin(), truth.support().end());
@@ -36,13 +37,14 @@ DecodeJob sample_job(std::uint64_t seed, std::vector<std::uint32_t>* truth_out,
 TEST(Registry, CreatesEveryBuiltinSpec) {
   for (const char* spec :
        {"mn", "mn:multi-edge", "mn:raw", "mn:normalized", "omp", "fista", "iht",
-        "peeling", "random", "random:42"}) {
+        "peeling", "random", "random:42", "gt:binary", "gt:comp",
+        "gt:threshold:2"}) {
     const auto decoder = make_decoder(spec);
     ASSERT_NE(decoder, nullptr) << spec;
     EXPECT_FALSE(decoder->name().empty()) << spec;
   }
   const auto names = DecoderRegistry::global().names();
-  EXPECT_EQ(names.size(), 6u);
+  EXPECT_EQ(names.size(), 7u);
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
 }
 
@@ -68,6 +70,17 @@ TEST(Registry, RejectsUnknownVariants) {
   EXPECT_THROW((void)make_decoder("mn:bogus"), ContractError);
   EXPECT_THROW((void)make_decoder("peeling:anything"), ContractError);
   EXPECT_THROW((void)make_decoder("random:not-a-number"), ContractError);
+  EXPECT_THROW((void)make_decoder("gt"), ContractError);
+  EXPECT_THROW((void)make_decoder("gt:bogus"), ContractError);
+  EXPECT_THROW((void)make_decoder("gt:threshold:"), ContractError);
+  EXPECT_THROW((void)make_decoder("gt:threshold:0"), ContractError);
+  EXPECT_THROW((void)make_decoder("gt:threshold:x"), ContractError);
+}
+
+TEST(Registry, GtSpecsSelectTheGroupTestingDecoders) {
+  EXPECT_EQ(make_decoder("gt:binary")->name(), "gt-dd");
+  EXPECT_EQ(make_decoder("gt:comp")->name(), "gt-comp");
+  EXPECT_EQ(make_decoder("gt:threshold:3")->name(), "gt-threshold-3");
 }
 
 TEST(Registry, RandomVariantSetsTheSeed) {
@@ -326,6 +339,243 @@ TEST(Protocol, ErrorReportsRoundTripWithoutResultFields) {
   EXPECT_EQ(loaded->error.find('\n'), std::string::npos);
   EXPECT_NE(loaded->error.find("unknown decoder spec"), std::string::npos);
   EXPECT_FALSE(loaded->scored);
+}
+
+/// Spec-backed job over a one-bit channel instance at the channel's
+/// natural pool size; truth returned via out.
+DecodeJob gt_job(std::uint64_t seed, const std::string& decoder,
+                 ChannelKind channel, std::uint32_t threshold,
+                 std::vector<std::uint32_t>* truth_out, std::uint32_t n = 80,
+                 std::uint32_t k = 4, std::uint32_t m = 120) {
+  ThreadPool pool(1);
+  DesignParams params;
+  params.n = n;
+  params.seed = seed;
+  params.gamma = channel == ChannelKind::Binary
+                     ? optimal_gt_gamma(n, k)
+                     : threshold_gt_gamma(n, k, threshold);
+  const Signal truth = Signal::random(n, k, seed ^ 0x670);
+  DecodeJob job;
+  job.spec = simulate_spec(DesignKind::RandomRegular, params, m, truth, pool,
+                           channel, threshold);
+  job.decoder = decoder;
+  job.k = k;
+  if (truth_out) truth_out->assign(truth.support().begin(), truth.support().end());
+  return job;
+}
+
+TEST(ResultCache, JobKeyCoversEveryReportShapingInput) {
+  const DecodeJob base = sample_job(3, nullptr);
+  const auto base_key = ResultCache::job_key(base);
+  ASSERT_TRUE(base_key.has_value());
+  EXPECT_EQ(base_key, ResultCache::job_key(base));  // deterministic
+
+  DecodeJob other_decoder = base;
+  other_decoder.decoder = "peeling";
+  EXPECT_NE(ResultCache::job_key(other_decoder), base_key);
+
+  DecodeJob other_k = base;
+  other_k.k += 1;
+  EXPECT_NE(ResultCache::job_key(other_k), base_key);
+
+  DecodeJob with_truth = base;
+  with_truth.truth_support = std::vector<std::uint32_t>{1, 2, 3};
+  EXPECT_NE(ResultCache::job_key(with_truth), base_key);
+
+  DecodeJob no_consistency = base;
+  no_consistency.check_consistency = false;
+  EXPECT_NE(ResultCache::job_key(no_consistency), base_key);
+
+  DecodeJob other_instance = sample_job(4, nullptr);
+  EXPECT_NE(ResultCache::job_key(other_instance), base_key);
+
+  // Jobs without a canonical form are not cacheable.
+  DecodeJob prebuilt = base;
+  prebuilt.instance = base.spec->to_instance();
+  prebuilt.spec.reset();
+  EXPECT_FALSE(ResultCache::job_key(prebuilt).has_value());
+  DecodeJob lazy = base;
+  lazy.spec.reset();
+  lazy.build = [](ThreadPool&) { return InstanceBundle{}; };
+  EXPECT_FALSE(ResultCache::job_key(lazy).has_value());
+  const auto owned = make_decoder("mn");
+  DecodeJob overridden = base;
+  overridden.decoder_override = owned.get();
+  EXPECT_FALSE(ResultCache::job_key(overridden).has_value());
+}
+
+TEST(ResultCache, LruEvictionAndCounters) {
+  ResultCache cache(2);
+  DecodeReport report;
+  report.decoder_name = "mn";
+  cache.insert("a", report);
+  cache.insert("b", report);
+  EXPECT_TRUE(cache.lookup("a").has_value());   // a becomes most-recent
+  cache.insert("c", report);                    // evicts b
+  EXPECT_TRUE(cache.lookup("a").has_value());
+  EXPECT_FALSE(cache.lookup("b").has_value());
+  EXPECT_TRUE(cache.lookup("c").has_value());
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.size, 2u);
+  EXPECT_EQ(stats.capacity, 2u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.75);
+
+  DecodeReport failed;
+  failed.error = "boom";
+  cache.insert("d", failed);  // failures never stick
+  EXPECT_FALSE(cache.lookup("d").has_value());
+
+  cache.clear();
+  EXPECT_FALSE(cache.lookup("a").has_value());
+  EXPECT_EQ(cache.stats().size, 0u);
+}
+
+TEST(BatchEngine, CacheHitsReproduceLiveReports) {
+  ThreadPool pool(2);
+  std::vector<std::uint32_t> truth;
+  std::vector<DecodeJob> jobs;
+  for (std::size_t j = 0; j < 4; ++j) {
+    jobs.push_back(sample_job(400 + j, &truth));
+    jobs.back().truth_support = truth;
+  }
+  const auto live = BatchEngine(pool).run(jobs);
+
+  ResultCache cache(16);
+  EngineOptions options;
+  options.cache = &cache;
+  const BatchEngine cached_engine(pool, options);
+  const auto cold = cached_engine.run(jobs);
+  const auto warm = cached_engine.run(jobs);
+  EXPECT_EQ(cache.stats().hits, jobs.size());
+  EXPECT_EQ(cache.stats().insertions, jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    for (const auto* reports : {&cold, &warm}) {
+      EXPECT_EQ((*reports)[j].support, live[j].support);
+      EXPECT_EQ((*reports)[j].consistent, live[j].consistent);
+      EXPECT_EQ((*reports)[j].scored, live[j].scored);
+      EXPECT_EQ((*reports)[j].exact, live[j].exact);
+      EXPECT_EQ((*reports)[j].overlap, live[j].overlap);
+      EXPECT_EQ((*reports)[j].decoder_name, live[j].decoder_name);
+      EXPECT_EQ((*reports)[j].index, j);
+    }
+  }
+}
+
+TEST(Registry, GtAdaptersRejectChannelMismatches) {
+  ThreadPool pool(1);
+  std::vector<std::uint32_t> truth;
+  // Threshold-2 outcomes: binary decoders would silently drop true
+  // positives, and a differently-labeled threshold decoder would
+  // misinterpret the bits -- both must be contract errors.
+  const DecodeJob threshold_backed =
+      gt_job(41, "gt:binary", ChannelKind::Threshold, 2, &truth);
+  const auto threshold_instance = threshold_backed.spec->to_instance();
+  EXPECT_THROW(
+      (void)make_decoder("gt:binary")->decode(*threshold_instance, 4, pool),
+      ContractError);
+  EXPECT_THROW(
+      (void)make_decoder("gt:comp")->decode(*threshold_instance, 4, pool),
+      ContractError);
+  EXPECT_THROW(
+      (void)make_decoder("gt:threshold:3")->decode(*threshold_instance, 4, pool),
+      ContractError);
+  EXPECT_NO_THROW(
+      (void)make_decoder("gt:threshold:2")->decode(*threshold_instance, 4, pool));
+
+  const DecodeJob binary_backed =
+      gt_job(42, "gt:binary", ChannelKind::Binary, 1, &truth);
+  const auto binary_instance = binary_backed.spec->to_instance();
+  EXPECT_THROW(
+      (void)make_decoder("gt:threshold:2")->decode(*binary_instance, 4, pool),
+      ContractError);
+  // Binary outcomes are exactly threshold-1 outcomes.
+  EXPECT_NO_THROW(
+      (void)make_decoder("gt:threshold:1")->decode(*binary_instance, 4, pool));
+
+  // Through the engine the mismatch surfaces as a per-job error report.
+  DecodeJob mismatched = threshold_backed;
+  const DecodeReport report = BatchEngine(pool).run_one(mismatched);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.error.find("gt:threshold"), std::string::npos);
+}
+
+TEST(ServeStream, GtDecodersServeEndToEnd) {
+  // The acceptance path: gt:binary and gt:threshold:<T> requests flow
+  // through the same serve loop as everything else and recover the truth
+  // on their native channels.
+  std::vector<std::uint32_t> binary_truth, threshold_truth;
+  std::stringstream requests;
+  DecodeJob binary =
+      gt_job(31, "gt:binary", ChannelKind::Binary, 1, &binary_truth);
+  binary.truth_support = binary_truth;
+  save_job(requests, binary);
+  DecodeJob threshold =
+      gt_job(32, "gt:threshold:2", ChannelKind::Threshold, 2, &threshold_truth);
+  threshold.truth_support = threshold_truth;
+  save_job(requests, threshold);
+
+  ThreadPool pool(2);
+  ResultCache cache(8);
+  EngineOptions options;
+  options.cache = &cache;
+  std::stringstream responses;
+  const std::size_t served =
+      serve_stream(requests, responses, BatchEngine(pool, options));
+  EXPECT_EQ(served, 2u);
+
+  const auto first = load_report(responses);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_TRUE(first->ok()) << first->error;
+  EXPECT_EQ(first->decoder_name, "gt-dd");
+  EXPECT_TRUE(first->consistent);
+  EXPECT_TRUE(first->exact);
+  EXPECT_EQ(first->support, binary_truth);
+
+  const auto second = load_report(responses);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_TRUE(second->ok()) << second->error;
+  EXPECT_EQ(second->decoder_name, "gt-threshold-2");
+  EXPECT_TRUE(second->exact);
+  EXPECT_EQ(second->support, threshold_truth);
+}
+
+TEST(ServeStream, CachedRepeatServesIdenticalFrames) {
+  std::vector<std::uint32_t> truth;
+  DecodeJob job = sample_job(77, &truth);
+  job.truth_support = truth;
+
+  ThreadPool pool(2);
+  ResultCache cache(8);
+  EngineOptions options;
+  options.cache = &cache;
+  const BatchEngine engine(pool, options);
+
+  const auto serve_once = [&] {
+    std::stringstream requests;
+    save_job(requests, job);
+    std::stringstream responses;
+    serve_stream(requests, responses, engine);
+    return responses.str();
+  };
+  const std::string cold = serve_once();
+  const std::string warm = serve_once();
+  EXPECT_EQ(cache.stats().hits, 1u);
+  // Frames are identical line for line except the wall-time field.
+  std::istringstream cold_lines(cold), warm_lines(warm);
+  std::string cold_line, warm_line;
+  while (std::getline(cold_lines, cold_line)) {
+    ASSERT_TRUE(static_cast<bool>(std::getline(warm_lines, warm_line)));
+    if (cold_line.rfind("seconds ", 0) == 0) {
+      EXPECT_EQ(warm_line.rfind("seconds ", 0), 0u);
+      continue;
+    }
+    EXPECT_EQ(cold_line, warm_line);
+  }
+  EXPECT_FALSE(static_cast<bool>(std::getline(warm_lines, warm_line)));
 }
 
 TEST(ServeStream, EndToEndRoundTrip) {

@@ -27,6 +27,7 @@
 #include "engine/batch_engine.hpp"
 #include "engine/protocol.hpp"
 #include "engine/registry.hpp"
+#include "engine/result_cache.hpp"
 #include "io/csv.hpp"
 #include "io/table.hpp"
 #include "parallel/thread_pool.hpp"
@@ -59,6 +60,10 @@ int cmd_simulate(int argc, const char* const* argv) {
   cli.add_f64("budget", "queries as multiple of m_MN(finite)", 1.4);
   cli.add_i64("m", "explicit query count (overrides budget when > 0)", 0);
   cli.add_i64("seed", "random seed", 1);
+  cli.add_i64("gamma", "pool size (0 = the paper's n/2)", 0);
+  cli.add_string("channel", "output channel: quantitative|binary|threshold",
+                 "quantitative");
+  cli.add_i64("t", "threshold T for --channel threshold", 2);
   cli.add_string("out", "observables output file", "run.inst");
   cli.add_string("truth-out", "hidden-truth output file (support indices)", "");
   cli.parse(argc, argv);
@@ -77,16 +82,21 @@ int cmd_simulate(int argc, const char* const* argv) {
                 cli.f64("budget") *
                 thresholds::m_mn_finite(n, std::max<std::uint32_t>(k, 2)));
   const auto seed = static_cast<std::uint64_t>(cli.i64("seed"));
+  POOLED_REQUIRE(cli.i64("gamma") >= 0, "--gamma must be >= 0");
+  POOLED_REQUIRE(cli.i64("t") >= 1, "--t must be >= 1");
+  const ChannelKind channel = channel_kind_from_name(cli.string("channel"));
+  const auto threshold = static_cast<std::uint32_t>(cli.i64("t"));
   ThreadPool pool;
   const Signal truth = Signal::random(n, k, seed);
   DesignParams params;
   params.n = n;
   params.seed = seed + 1;
-  auto design = make_design(DesignKind::RandomRegular, params);
-  const auto y = simulate_queries(*design, m, truth, pool);
+  params.gamma = static_cast<std::uint64_t>(cli.i64("gamma"));
   save_instance_file(cli.string("out"),
-                     make_spec(DesignKind::RandomRegular, params, y));
-  std::printf("wrote %s (n=%u k=%u m=%u)\n", cli.string("out").c_str(), n, k, m);
+                     simulate_spec(DesignKind::RandomRegular, params, m, truth,
+                                   pool, channel, threshold));
+  std::printf("wrote %s (n=%u k=%u m=%u channel=%s)\n", cli.string("out").c_str(),
+              n, k, m, channel_kind_name(channel).c_str());
   if (!cli.string("truth-out").empty()) {
     std::ofstream os(cli.string("truth-out"));
     for (auto i : truth.support()) os << i << '\n';
@@ -138,6 +148,7 @@ int cmd_serve(int argc, const char* const* argv) {
   cli.add_string("out", "result file, '-' = stdout", "-");
   cli.add_i64("batch", "jobs per scheduling window (0 = 4x threads)", 0);
   cli.add_i64("threads", "worker threads (0 = hardware concurrency)", 0);
+  cli.add_i64("cache", "result-cache capacity in reports (0 = no cache)", 1024);
   cli.parse(argc, argv);
   if (cli.help_requested()) {
     std::fputs(cli.help_text().c_str(), stdout);
@@ -145,9 +156,15 @@ int cmd_serve(int argc, const char* const* argv) {
   }
   POOLED_REQUIRE(cli.i64("threads") >= 0, "--threads must be >= 0");
   POOLED_REQUIRE(cli.i64("batch") >= 0, "--batch must be >= 0");
+  POOLED_REQUIRE(cli.i64("cache") >= 0, "--cache must be >= 0");
   ThreadPool pool(static_cast<unsigned>(cli.i64("threads")));
+  std::unique_ptr<ResultCache> cache;
+  if (cli.i64("cache") > 0) {
+    cache = std::make_unique<ResultCache>(static_cast<std::size_t>(cli.i64("cache")));
+  }
   EngineOptions options;
   options.max_in_flight = static_cast<std::size_t>(cli.i64("batch"));
+  options.cache = cache.get();
   const BatchEngine engine(pool, options);
 
   std::ifstream file_in;
@@ -169,6 +186,17 @@ int cmd_serve(int argc, const char* const* argv) {
 
   const std::size_t served = serve_stream(*in, *out, engine, options.max_in_flight);
   std::fprintf(stderr, "served %zu jobs over %u threads\n", served, pool.size());
+  if (cache != nullptr) {
+    const CacheStats stats = cache->stats();
+    std::fprintf(stderr,
+                 "cache: capacity=%zu size=%zu hits=%llu misses=%llu "
+                 "evictions=%llu hit-rate=%.1f%%\n",
+                 stats.capacity, stats.size,
+                 static_cast<unsigned long long>(stats.hits),
+                 static_cast<unsigned long long>(stats.misses),
+                 static_cast<unsigned long long>(stats.evictions),
+                 100.0 * stats.hit_rate());
+  }
   return 0;
 }
 
