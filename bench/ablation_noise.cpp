@@ -40,7 +40,7 @@ int main() {
       config.k = k;
       config.m = static_cast<std::uint32_t>(factor * m_star);
       config.seed_base = 0x401;
-      config.noise_rate = rate;
+      config.noise = NoiseModel::symmetric(rate);
       const AggregateResult agg = run_trials(
           config, *decoder, static_cast<std::uint32_t>(cfg.trials), pool);
       table.add_row({format_compact(rate, 3), format_compact(factor, 2),

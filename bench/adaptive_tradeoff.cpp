@@ -12,6 +12,7 @@
 #include "adaptive/batched.hpp"
 #include "bench_common.hpp"
 #include "core/thresholds.hpp"
+#include "engine/batch_engine.hpp"
 #include "design/random_regular.hpp"
 #include "io/table.hpp"
 #include "parallel/thread_pool.hpp"
@@ -79,6 +80,36 @@ int main() {
               "   stopping pays almost exactly each instance's requirement),\n"
               "   growing with L by up to one extra batch, while rounds drop\n"
               "   toward the paper's fully parallel single round.\n");
+
+  // Serve-path cross-check: the same round structure is reachable from the
+  // registry (`adaptive:mn:L=<L>`), where the job's m queries are the
+  // budget and the result frame reports rounds/queries/stop.
+  std::printf("\n   registry path (adaptive:mn:L=<L> on one archived "
+              "instance):\n");
+  {
+    const TrialSeeds seeds = trial_seeds(0xADC, 0);
+    DesignParams params;
+    params.n = n;
+    params.seed = seeds.design_seed;
+    const Signal truth = Signal::random(n, k, seeds.signal_seed);
+    const auto budget_m = static_cast<std::uint32_t>(2.5 * m_star);
+    const InstanceSpec spec = simulate_spec(DesignKind::RandomRegular, params,
+                                            budget_m, truth, pool);
+    const BatchEngine engine(pool);
+    for (std::uint32_t batch : {8u, 64u, 256u}) {
+      DecodeJob job;
+      job.spec = spec;
+      job.decoder = "adaptive:mn:L=" + std::to_string(batch);
+      job.k = k;
+      job.truth_support.emplace(truth.support().begin(), truth.support().end());
+      const DecodeReport report = engine.run_one(job);
+      std::printf("   L=%-4u rounds=%-4u queries=%-6llu stop=%-10s exact=%s\n",
+                  batch, report.rounds,
+                  static_cast<unsigned long long>(report.queries),
+                  stop_reason_name(report.stop).c_str(),
+                  report.exact ? "yes" : "no");
+    }
+  }
   bench::maybe_write_dat(cfg, "adaptive.dat", "L-batch trade-off",
                          {"L", "rounds", "queries", "queries_over_mstar"},
                          series);

@@ -40,9 +40,9 @@ AggregateResult run_peeling_sparse(std::uint32_t n, std::uint32_t k,
                                                         seeds.design_seed);
     const Signal truth = Signal::random(n, k, seeds.signal_seed);
     const auto instance = make_streamed_instance(design, m, truth, pool);
-    const Signal estimate = decoder.decode(*instance, k, pool);
-    if (exact_recovery(estimate, truth)) ++agg.successes;
-    agg.overlap.add(overlap_fraction(estimate, truth));
+    const DecodeOutcome outcome = decoder.decode(*instance, DecodeContext(k, pool));
+    if (exact_recovery(outcome.estimate, truth)) ++agg.successes;
+    agg.overlap.add(overlap_fraction(outcome.estimate, truth));
   }
   return agg;
 }

@@ -6,7 +6,12 @@
 // 1..hardware threads and several in-flight windows. The headline the
 // paper's parallel-depth claim predicts: jobs/sec scales with thread
 // count, since independent decodes have no shared state beyond the pool.
+// `--json [path]` additionally writes the table as machine-readable JSON
+// (default engine_throughput.json) so CI can archive the perf trajectory.
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -45,10 +50,29 @@ std::vector<DecodeJob> make_jobs(std::uint32_t n, std::uint32_t k, std::uint32_t
   return jobs;
 }
 
+struct JsonRow {
+  unsigned threads;
+  std::size_t window;  // 0 = one barrier-free batch
+  double seconds;
+  double jobs_per_sec;
+  double speedup;
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pooled;
+  std::string json_path;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--json") == 0) {
+      json_path = (a + 1 < argc && argv[a + 1][0] != '-')
+                      ? argv[++a]
+                      : "engine_throughput.json";
+    } else {
+      std::fprintf(stderr, "usage: bench_engine_throughput [--json [path]]\n");
+      return 2;
+    }
+  }
   const BenchConfig cfg = bench_config(/*default_trials=*/48,
                                        /*default_max_n=*/400);
   Timer timer;
@@ -82,6 +106,7 @@ int main() {
 
   ConsoleTable table({"threads", "window", "batch secs", "jobs/sec", "speedup"});
   std::vector<DataSeries> series;
+  std::vector<JsonRow> json_rows;
   for (unsigned threads : thread_counts) {
     ThreadPool pool(threads);
     DataSeries s;
@@ -111,6 +136,7 @@ int main() {
                      format_compact(speedup, 3)});
       s.rows.push_back({static_cast<double>(effective), rate,
                         static_cast<double>(threads)});
+      json_rows.push_back({threads, window, secs, rate, speedup});
     }
     series.push_back(std::move(s));
   }
@@ -119,6 +145,32 @@ int main() {
   bench::maybe_write_dat(cfg, "engine_throughput.dat",
                          "decode jobs/sec vs in-flight window per thread count",
                          {"window", "jobs_per_sec", "threads"}, series);
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    if (!json) {
+      std::fprintf(stderr, "   FAILED to open %s\n", json_path.c_str());
+      return 1;
+    }
+    json.precision(17);
+    json << "{\n  \"bench\": \"engine_throughput\",\n"
+         << "  \"config\": {\"n\": " << n << ", \"k\": " << k << ", \"m\": " << m
+         << ", \"jobs\": " << job_count << ", \"hardware_threads\": " << hardware
+         << "},\n  \"rows\": [\n";
+    for (std::size_t r = 0; r < json_rows.size(); ++r) {
+      const JsonRow& row = json_rows[r];
+      json << "    {\"threads\": " << row.threads << ", \"window\": "
+           << row.window << ", \"seconds\": " << row.seconds
+           << ", \"jobs_per_sec\": " << row.jobs_per_sec
+           << ", \"speedup\": " << row.speedup << '}'
+           << (r + 1 < json_rows.size() ? "," : "") << '\n';
+    }
+    json << "  ]\n}\n";
+    if (!json.flush()) {
+      std::fprintf(stderr, "   FAILED to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("   wrote %s\n", json_path.c_str());
+  }
   bench::footer(timer);
   return 0;
 }

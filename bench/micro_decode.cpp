@@ -77,9 +77,10 @@ void BM_MnDecode(benchmark::State& state) {
   const Instance& instance =
       streamed ? static_cast<const Instance&>(*f.streamed)
                : static_cast<const Instance&>(*f.stored);
+  const DecodeContext context(f.k, pool);
   for (auto _ : state) {
-    const Signal estimate = decoder->decode(instance, f.k, pool);
-    benchmark::DoNotOptimize(estimate.k());
+    const DecodeOutcome outcome = decoder->decode(instance, context);
+    benchmark::DoNotOptimize(outcome.estimate.k());
   }
   state.SetLabel(streamed ? "streamed" : "stored");
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * f.n);

@@ -67,7 +67,8 @@ int main(int argc, char** argv) {
                       {"FISTA (l1 relaxation)", &fista}};
   for (const Row& row : rows) {
     Timer timer;
-    const Signal selected = row.decoder->decode(*evaluations, k, pool);
+    const Signal selected =
+        row.decoder->decode(*evaluations, DecodeContext(k, pool)).estimate;
     const double ms = timer.millis();
     const ErrorCounts errors = error_counts(selected, informative);
     std::printf("  %-28s exact=%-3s overlap=%5.1f%%  fp=%u fn=%u  (%.1f ms)\n",

@@ -12,11 +12,13 @@ namespace pooled {
 
 FistaDecoder::FistaDecoder(FistaOptions options) : options_(options) {}
 
-Signal FistaDecoder::decode(const Instance& instance, std::uint32_t k,
-                            ThreadPool& pool) const {
+DecodeOutcome FistaDecoder::decode(const Instance& instance,
+                                   const DecodeContext& context) const {
+  const std::uint32_t k = context.k;
+  ThreadPool& pool = context.thread_pool();
   const std::uint32_t n = instance.n();
   POOLED_REQUIRE(k <= n, "weight k exceeds signal length");
-  if (k == 0) return Signal(n);
+  if (k == 0) return one_shot_outcome(Signal(n), instance);
 
   const auto graph = materialize_graph(instance);
   const CsrMatrix a = CsrMatrix::from_graph_query_rows(graph);   // m x n
@@ -70,7 +72,9 @@ Signal FistaDecoder::decode(const Instance& instance, std::uint32_t k,
   }
 
   auto support = top_k_indices(x, k);
-  return Signal(n, std::move(support));
+  // Each proximal iteration touches every coordinate once.
+  return one_shot_outcome(Signal(n, std::move(support)), instance,
+                          static_cast<std::uint64_t>(options_.iterations) * n);
 }
 
 }  // namespace pooled

@@ -21,8 +21,9 @@ class FistaDecoder final : public Decoder {
  public:
   explicit FistaDecoder(FistaOptions options = {});
 
-  [[nodiscard]] Signal decode(const Instance& instance, std::uint32_t k,
-                              ThreadPool& pool) const override;
+  using Decoder::decode;
+  [[nodiscard]] DecodeOutcome decode(const Instance& instance,
+                                     const DecodeContext& context) const override;
   [[nodiscard]] std::string name() const override { return "fista-l1"; }
 
  private:

@@ -15,8 +15,9 @@ class IhtDecoder final : public Decoder {
  public:
   explicit IhtDecoder(IhtOptions options = {});
 
-  [[nodiscard]] Signal decode(const Instance& instance, std::uint32_t k,
-                              ThreadPool& pool) const override;
+  using Decoder::decode;
+  [[nodiscard]] DecodeOutcome decode(const Instance& instance,
+                                     const DecodeContext& context) const override;
   [[nodiscard]] std::string name() const override { return "iht"; }
 
  private:

@@ -11,12 +11,14 @@
 
 namespace pooled {
 
-Signal OmpDecoder::decode(const Instance& instance, std::uint32_t k,
-                          ThreadPool& pool) const {
+DecodeOutcome OmpDecoder::decode(const Instance& instance,
+                                 const DecodeContext& context) const {
+  const std::uint32_t k = context.k;
+  ThreadPool& pool = context.thread_pool();
   const std::uint32_t n = instance.n();
   const std::uint32_t m = instance.m();
   POOLED_REQUIRE(k <= n, "weight k exceeds signal length");
-  if (k == 0) return Signal(n);
+  if (k == 0) return one_shot_outcome(Signal(n), instance);
 
   const auto graph = materialize_graph(instance);
   // Columns of A are entry rows of the transpose; both views are needed.
@@ -100,7 +102,9 @@ Signal OmpDecoder::decode(const Instance& instance, std::uint32_t k,
   }
 
   std::sort(support.begin(), support.end());
-  return Signal(n, std::move(support));
+  // Each of the <= k greedy iterations correlates all n columns.
+  return one_shot_outcome(Signal(n, std::move(support)), instance,
+                          static_cast<std::uint64_t>(k) * n);
 }
 
 }  // namespace pooled

@@ -12,8 +12,9 @@ namespace pooled {
 
 class OmpDecoder final : public Decoder {
  public:
-  [[nodiscard]] Signal decode(const Instance& instance, std::uint32_t k,
-                              ThreadPool& pool) const override;
+  using Decoder::decode;
+  [[nodiscard]] DecodeOutcome decode(const Instance& instance,
+                                     const DecodeContext& context) const override;
   [[nodiscard]] std::string name() const override { return "omp"; }
 };
 

@@ -92,11 +92,18 @@ PeelingOutcome PeelingDecoder::decode_detailed(const Instance& instance) const {
   return outcome;
 }
 
-Signal PeelingDecoder::decode(const Instance& instance, std::uint32_t k,
-                              ThreadPool& pool) const {
-  (void)k;     // peeling infers the weight itself
-  (void)pool;  // propagation is inherently sequential per cascade
-  return decode_detailed(instance).estimate;
+DecodeOutcome PeelingDecoder::decode(const Instance& instance,
+                                     const DecodeContext& context) const {
+  // k is ignored (peeling infers the weight itself) and the propagation
+  // is inherently sequential per cascade, so the pool goes unused.
+  (void)context;
+  PeelingOutcome detailed = decode_detailed(instance);
+  DecodeOutcome outcome =
+      one_shot_outcome(std::move(detailed.estimate), instance,
+                       detailed.resolved_ones + detailed.resolved_zeros);
+  // Peeling is genuinely round-based: surface its cascade depth.
+  outcome.rounds = std::max<std::uint32_t>(detailed.rounds, 1);
+  return outcome;
 }
 
 }  // namespace pooled

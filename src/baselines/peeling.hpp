@@ -27,8 +27,9 @@ class PeelingDecoder final : public Decoder {
   /// exact recovery then requires the cascade to resolve everything.
   explicit PeelingDecoder(bool fill_unresolved_as_zero = true);
 
-  [[nodiscard]] Signal decode(const Instance& instance, std::uint32_t k,
-                              ThreadPool& pool) const override;
+  using Decoder::decode;
+  [[nodiscard]] DecodeOutcome decode(const Instance& instance,
+                                     const DecodeContext& context) const override;
 
   /// Full outcome with resolution accounting (for the comparison bench).
   [[nodiscard]] PeelingOutcome decode_detailed(const Instance& instance) const;

@@ -10,8 +10,9 @@ class RandomGuessDecoder final : public Decoder {
  public:
   explicit RandomGuessDecoder(std::uint64_t seed = 0xBADD1Eull);
 
-  [[nodiscard]] Signal decode(const Instance& instance, std::uint32_t k,
-                              ThreadPool& pool) const override;
+  using Decoder::decode;
+  [[nodiscard]] DecodeOutcome decode(const Instance& instance,
+                                     const DecodeContext& context) const override;
   [[nodiscard]] std::string name() const override { return "random-guess"; }
 
  private:

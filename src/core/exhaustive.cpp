@@ -153,16 +153,18 @@ std::optional<Signal> exhaustive_unique_decode(const Instance& instance,
   return Signal(instance.n(), std::move(found));
 }
 
-Signal ExhaustiveDecoder::decode(const Instance& instance, std::uint32_t k,
-                                 ThreadPool& pool) const {
-  (void)pool;  // enumeration is sequential by nature at toy sizes
-  Enumerator enumerator(instance, k, 100'000'000);
+DecodeOutcome ExhaustiveDecoder::decode(const Instance& instance,
+                                        const DecodeContext& context) const {
+  // Enumeration is sequential by nature at toy sizes; the pool is unused.
+  Enumerator enumerator(instance, context.k, 100'000'000);
   std::vector<std::uint32_t> first;
   enumerator.run([&](const std::vector<std::uint32_t>& support) {
     first = support;
     return false;  // first consistent support suffices
   });
-  return Signal(instance.n(), std::move(first));
+  // Every enumerated leaf is one consistency evaluation.
+  return one_shot_outcome(Signal(instance.n(), std::move(first)), instance,
+                          enumerator.leaves());
 }
 
 }  // namespace pooled

@@ -50,8 +50,9 @@ std::optional<Signal> exhaustive_unique_decode(const Instance& instance,
 /// comparison bench include the IT-optimal decoder on toy sizes.
 class ExhaustiveDecoder final : public Decoder {
  public:
-  [[nodiscard]] Signal decode(const Instance& instance, std::uint32_t k,
-                              ThreadPool& pool) const override;
+  using Decoder::decode;
+  [[nodiscard]] DecodeOutcome decode(const Instance& instance,
+                                     const DecodeContext& context) const override;
   [[nodiscard]] std::string name() const override { return "exhaustive"; }
 };
 

@@ -78,13 +78,18 @@ MnResult MnDecoder::decode_scored(const Instance& instance, std::uint32_t k,
   return MnResult{Signal(instance.n(), std::move(support)), std::move(kept)};
 }
 
-Signal MnDecoder::decode(const Instance& instance, std::uint32_t k,
-                         ThreadPool& pool) const {
+DecodeOutcome MnDecoder::decode(const Instance& instance,
+                                const DecodeContext& context) const {
+  const std::uint32_t k = context.k;
+  ThreadPool& pool = context.thread_pool();
   POOLED_REQUIRE(k <= instance.n(), "weight k exceeds signal length");
   const EntryStats stats = instance.entry_stats(pool);
   std::vector<double> scores = scores_from_stats(stats, k, pool);
   auto support = select_top_k(scores, k, options_.full_sort, pool);
-  return Signal(instance.n(), std::move(support));
+  // One score per entry: the matrix-vector pass of the "Parallelized
+  // Reconstruction" remark.
+  return one_shot_outcome(Signal(instance.n(), std::move(support)), instance,
+                          instance.n());
 }
 
 std::string MnDecoder::name() const {

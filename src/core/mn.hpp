@@ -46,8 +46,9 @@ class MnDecoder final : public Decoder {
  public:
   explicit MnDecoder(MnOptions options = {});
 
-  [[nodiscard]] Signal decode(const Instance& instance, std::uint32_t k,
-                              ThreadPool& pool) const override;
+  using Decoder::decode;
+  [[nodiscard]] DecodeOutcome decode(const Instance& instance,
+                                     const DecodeContext& context) const override;
 
   /// Decode keeping the score vector (used by diagnostics and examples).
   [[nodiscard]] MnResult decode_scored(const Instance& instance, std::uint32_t k,

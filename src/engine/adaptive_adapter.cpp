@@ -1,0 +1,132 @@
+#include "engine/adaptive_adapter.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <vector>
+
+#include "engine/registry.hpp"
+#include "support/assert.hpp"
+#include "support/timer.hpp"
+
+namespace pooled {
+
+AdaptiveDecoder::AdaptiveDecoder(std::shared_ptr<const Decoder> inner,
+                                 AdaptiveOptions options)
+    : inner_(std::move(inner)), options_(options) {
+  POOLED_REQUIRE(inner_ != nullptr, "adaptive decoder needs an inner decoder");
+  POOLED_REQUIRE(options_.batch_size >= 1, "adaptive batch size L must be >= 1");
+}
+
+DecodeOutcome AdaptiveDecoder::decode(const Instance& instance,
+                                      const DecodeContext& context) const {
+  const Timer timer;
+  const auto* streamed = dynamic_cast<const StreamedInstance*>(&instance);
+  POOLED_REQUIRE(streamed != nullptr,
+                 "adaptive decoding needs a design-backed (streamed) instance");
+  const auto& y = instance.results();
+  // The instance's m queries are the budget; the context may tighten it.
+  const std::uint32_t available = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(instance.m(), context.query_budget > 0
+                                                ? context.query_budget
+                                                : instance.m()));
+  POOLED_REQUIRE(available >= 1, "adaptive decoding needs at least one query");
+
+  DecodeOutcome outcome;
+  outcome.estimate = Signal(instance.n());
+  StopReason stop = StopReason::Exhausted;
+  std::uint32_t consumed = 0;
+  std::uint32_t round = 0;
+  bool have_estimate = false;
+  while (true) {
+    if (context.cancel_requested()) {
+      stop = StopReason::Cancelled;
+      break;
+    }
+    if (context.deadline_seconds &&
+        timer.seconds() > *context.deadline_seconds) {
+      stop = StopReason::Deadline;
+      break;
+    }
+    if (context.max_rounds > 0 && round >= context.max_rounds) {
+      stop = StopReason::RoundLimit;
+      break;
+    }
+    consumed = std::min(available, consumed + options_.batch_size);
+    ++round;
+
+    // Reveal the round's prefix and re-estimate with the inner decoder.
+    // The prefix rides the same design, so gt inners keep working.
+    const StreamedInstance prefix(
+        streamed->design_ptr(), consumed,
+        std::vector<std::uint32_t>(y.begin(), y.begin() + consumed),
+        streamed->channel(), streamed->channel_threshold());
+    DecodeContext inner_context = context;
+    inner_context.max_rounds = 0;    // the inner decode is one-shot
+    inner_context.query_budget = 0;  // it sees exactly the prefix
+    inner_context.stats = nullptr;   // rounds are reported by this level
+    DecodeOutcome inner = inner_->decode(prefix, inner_context);
+    outcome.score_evals += inner.score_evals;
+    const bool stable = have_estimate && inner.estimate == outcome.estimate;
+    outcome.estimate = std::move(inner.estimate);
+    have_estimate = true;
+    if (context.stats != nullptr) context.stats->on_round(round, consumed);
+
+    // Observable stopping rule: does the estimate reproduce every result
+    // observed so far? (Wrong-but-consistent estimates are possible below
+    // the information-theoretic threshold; scoring against the truth is
+    // the engine's job, not ours.)
+    const bool exhausted = consumed >= available;
+    if (!options_.check_only_when_stable || stable || exhausted) {
+      if (prefix.is_consistent(outcome.estimate)) {
+        stop = StopReason::Converged;
+        break;
+      }
+      if (exhausted) {
+        stop = StopReason::Exhausted;
+        break;
+      }
+    }
+  }
+  // `round` is reported as-is: an immediate cancel/deadline stops with 0
+  // rounds run, matching the 0 on_round callbacks the stats sink saw.
+  outcome.rounds = round;
+  outcome.queries = consumed;
+  outcome.stop = stop;
+  outcome.seconds = timer.seconds();
+  return outcome;
+}
+
+std::string AdaptiveDecoder::name() const {
+  return "adaptive-" + inner_->name() + "-L" +
+         std::to_string(options_.batch_size);
+}
+
+std::shared_ptr<const Decoder> make_adaptive_decoder(const std::string& variant) {
+  POOLED_REQUIRE(!variant.empty(),
+                 "adaptive needs an inner decoder spec, e.g. adaptive:mn:L=16");
+  AdaptiveOptions options;
+  std::string inner_spec = variant;
+  constexpr const char* kBatchPrefix = "L=";
+  const auto last_colon = variant.rfind(':');
+  const std::string last_segment =
+      last_colon == std::string::npos ? variant : variant.substr(last_colon + 1);
+  if (last_segment.rfind(kBatchPrefix, 0) == 0) {
+    const std::string text = last_segment.substr(2);
+    std::uint32_t batch = 0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), batch);
+    POOLED_REQUIRE(
+        ec == std::errc() && ptr == text.data() + text.size() && batch >= 1,
+        "adaptive batch size must be an integer >= 1, got '" + text + "'");
+    options.batch_size = batch;
+    POOLED_REQUIRE(last_colon != std::string::npos,
+                   "adaptive needs an inner decoder spec before :" + last_segment);
+    inner_spec = variant.substr(0, last_colon);
+  }
+  POOLED_REQUIRE(inner_spec.rfind("adaptive", 0) != 0,
+                 "adaptive decoders do not nest (inner spec '" + inner_spec +
+                     "')");
+  return std::make_shared<AdaptiveDecoder>(make_decoder(inner_spec), options);
+}
+
+}  // namespace pooled

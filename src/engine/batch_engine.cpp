@@ -5,6 +5,7 @@
 
 #include "core/decoder.hpp"
 #include "core/metrics.hpp"
+#include "core/noise.hpp"
 #include "engine/registry.hpp"
 #include "engine/result_cache.hpp"
 #include "parallel/thread_pool.hpp"
@@ -57,12 +58,26 @@ DecodeReport execute(const DecodeJob& job, std::size_t index, ThreadPool& pool,
     decoder = owned.get();
   }
 
+  // Noise is a decode option: the archived observables stay clean and a
+  // perturbed copy is decoded (and consistency-checked) instead.
+  bundle.instance = with_noise(std::move(bundle.instance), job.noise);
+
+  DecodeContext context(job.k, pool);
+  context.noise = job.noise;
+  context.max_rounds = job.rounds;
+  context.query_budget = job.budget;
+  context.deadline_seconds = job.deadline_seconds;
+
   const Instance& instance = *bundle.instance;
   report.decoder_name = decoder->name();
   report.n = instance.n();
-  const Signal estimate = decoder->decode(instance, job.k, pool);
+  DecodeOutcome outcome = decoder->decode(instance, context);
+  const Signal& estimate = outcome.estimate;
   report.support.assign(estimate.support().begin(), estimate.support().end());
   report.consistent = job.check_consistency && instance.is_consistent(estimate);
+  report.rounds = outcome.rounds;
+  report.queries = outcome.queries;
+  report.stop = outcome.stop;
   if (bundle.truth_support) {
     const Signal truth(instance.n(), *bundle.truth_support);
     report.scored = true;

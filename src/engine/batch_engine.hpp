@@ -16,11 +16,11 @@
 #include <string>
 #include <vector>
 
+#include "core/decoder.hpp"
 #include "core/serialize.hpp"
 
 namespace pooled {
 
-class Decoder;
 class ResultCache;
 class ThreadPool;
 
@@ -48,6 +48,22 @@ struct DecodeJob {
   /// pass over the design (comparable to the original simulation), so
   /// bulk Monte-Carlo callers turn it off.
   bool check_consistency = true;
+
+  // -- decode options (protocol v2 job fields) --------------------------
+  /// Noise applied to the instance's results before decoding (the
+  /// archived observables stay clean; see core/noise.hpp). Consistency is
+  /// checked against the noisy observations the decoder saw.
+  NoiseModel noise;
+  /// Round cap for round-based decoders (protocol field `rounds`;
+  /// 0 = decoder default). One-shot decoders ignore it.
+  std::uint32_t rounds = 0;
+  /// Query budget for round-based decoders (protocol field `budget`;
+  /// 0 = everything the instance offers). One-shot decoders ignore it.
+  std::uint64_t budget = 0;
+  /// Soft per-job wall-clock budget (protocol field `deadline-ms`).
+  /// Deadline-bearing jobs are never cached: their outcome depends on the
+  /// clock, not just the inputs.
+  std::optional<double> deadline_seconds;
 };
 
 /// Outcome of one job; `index` is the job's submission position.
@@ -62,7 +78,11 @@ struct DecodeReport {
   bool exact = false;
   double overlap = 0.0;
   double seconds = 0.0;  ///< wall time incl. instance construction
-  std::string error;     ///< non-empty => job failed, other fields unset
+  // -- decode diagnostics (protocol v2 result fields) -------------------
+  std::uint32_t rounds = 1;       ///< query rounds the decode consumed
+  std::uint64_t queries = 0;      ///< query results the decode consumed
+  StopReason stop = StopReason::Completed;
+  std::string error;  ///< non-empty => job failed, other fields unset
   [[nodiscard]] bool ok() const { return error.empty(); }
 };
 

@@ -35,10 +35,9 @@ std::vector<std::uint8_t> one_bit_outcomes(const Instance& instance,
 
 }  // namespace
 
-Signal BinaryGtAdapter::decode(const Instance& instance, std::uint32_t k,
-                               ThreadPool& pool) const {
-  (void)k;  // COMP/DD determine the support size from the tests
-  (void)pool;
+DecodeOutcome BinaryGtAdapter::decode(const Instance& instance,
+                                      const DecodeContext& context) const {
+  (void)context;  // COMP/DD determine the support size from the tests
   // COMP/DD reason "negative test => every member is a zero", which is
   // only sound when a positive outcome means >= 1 defective. A
   // threshold-T instance's negative pools may still contain up to T-1
@@ -53,7 +52,7 @@ Signal BinaryGtAdapter::decode(const Instance& instance, std::uint32_t k,
                             one_bit_outcomes(instance, 1));
   BinaryDecodeResult result =
       rule_ == Rule::Dd ? decode_dd(gt) : decode_comp(gt);
-  return std::move(result.estimate);
+  return one_shot_outcome(std::move(result.estimate), instance, instance.n());
 }
 
 std::string BinaryGtAdapter::name() const {
@@ -65,8 +64,8 @@ ThresholdGtAdapter::ThresholdGtAdapter(std::uint32_t threshold)
   POOLED_REQUIRE(threshold_ >= 1, "gt threshold must be >= 1");
 }
 
-Signal ThresholdGtAdapter::decode(const Instance& instance, std::uint32_t k,
-                                  ThreadPool& pool) const {
+DecodeOutcome ThresholdGtAdapter::decode(const Instance& instance,
+                                         const DecodeContext& context) const {
   // One-bit instances already fixed their threshold when the outcomes
   // were generated; a decoder labeled with a different T would silently
   // misinterpret them, so the labels must agree (Binary == threshold 1).
@@ -82,7 +81,9 @@ Signal ThresholdGtAdapter::decode(const Instance& instance, std::uint32_t k,
   const StreamedInstance& streamed = as_streamed(instance);
   const ThresholdGtInstance gt(streamed.design_ptr(), streamed.m(), threshold_,
                                one_bit_outcomes(instance, threshold_));
-  return std::move(decode_threshold_mn(gt, k, pool).estimate);
+  return one_shot_outcome(
+      std::move(decode_threshold_mn(gt, context.k, context.thread_pool()).estimate),
+      instance, instance.n());
 }
 
 std::string ThresholdGtAdapter::name() const {

@@ -36,8 +36,9 @@ class BinaryGtAdapter final : public Decoder {
 
   explicit BinaryGtAdapter(Rule rule) : rule_(rule) {}
 
-  [[nodiscard]] Signal decode(const Instance& instance, std::uint32_t k,
-                              ThreadPool& pool) const override;
+  using Decoder::decode;
+  [[nodiscard]] DecodeOutcome decode(const Instance& instance,
+                                     const DecodeContext& context) const override;
   [[nodiscard]] std::string name() const override;
 
  private:
@@ -49,8 +50,9 @@ class ThresholdGtAdapter final : public Decoder {
  public:
   explicit ThresholdGtAdapter(std::uint32_t threshold);
 
-  [[nodiscard]] Signal decode(const Instance& instance, std::uint32_t k,
-                              ThreadPool& pool) const override;
+  using Decoder::decode;
+  [[nodiscard]] DecodeOutcome decode(const Instance& instance,
+                                     const DecodeContext& context) const override;
   [[nodiscard]] std::string name() const override;
 
  private:

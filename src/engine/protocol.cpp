@@ -14,7 +14,7 @@ namespace {
 
 constexpr const char* kJobMagic = "pooled-job";
 constexpr const char* kResultMagic = "pooled-result";
-constexpr const char* kVersion = "v1";
+constexpr const char* kVersionV2 = "v2";  // what writers emit
 constexpr const char* kEnd = "end";
 
 bool is_blank(const std::string& line) {
@@ -37,7 +37,9 @@ std::string one_line(std::string text) {
 }
 
 /// Reads lines until the magic header of `kind` appears; nullopt at EOF.
-std::optional<std::string> read_header(std::istream& is, const char* kind) {
+/// Returns the frame version (1 or 2); v1 frames are the PR-2 format and
+/// keep loading unchanged.
+std::optional<int> read_header(std::istream& is, const char* kind) {
   std::string line;
   while (std::getline(is, line)) {
     if (!is_blank(line)) break;
@@ -48,20 +50,37 @@ std::optional<std::string> read_header(std::istream& is, const char* kind) {
   header >> magic >> version;
   POOLED_REQUIRE(magic == kind,
                  std::string("expected a ") + kind + " frame, got '" + line + "'");
-  POOLED_REQUIRE(version == kVersion,
+  if (version == "v1") return 1;
+  if (version == kVersionV2) return 2;
+  POOLED_REQUIRE(false,
                  std::string("unsupported ") + kind + " version " + version);
-  return line;
+  return std::nullopt;
+}
+
+/// v2-only fields must not appear inside a v1 frame: an archived stream
+/// parses with one version's semantics or fails loudly, never both.
+void require_v2(int version, const std::string& key) {
+  POOLED_REQUIRE(version >= 2,
+                 "field '" + key + "' needs a v2 frame, got v" +
+                     std::to_string(version));
 }
 
 }  // namespace
 
-void save_job(std::ostream& os, const DecodeJob& job) {
+void save_job(std::ostream& os, const DecodeJob& job,
+              std::optional<std::size_t> index) {
+  // Name the offending job: in a batch of hundreds, "some job is not
+  // spec-backed" is undebuggable.
+  const std::string who = (index ? "job #" + std::to_string(*index) + " "
+                                 : std::string("job ")) +
+                          "(decoder '" + job.decoder + "')";
   POOLED_REQUIRE(job.spec.has_value(),
-                 "only spec-backed jobs are serializable (prebuilt/lazy "
-                 "instances have no textual form)");
+                 who + " is not serializable: only spec-backed jobs have a "
+                       "textual form (prebuilt/lazy instances do not)");
   POOLED_REQUIRE(job.decoder_override == nullptr,
-                 "decoder overrides have no textual form; use a registry spec");
-  os << kJobMagic << ' ' << kVersion << '\n';
+                 who + " is not serializable: decoder overrides have no "
+                       "textual form; use a registry spec");
+  os << kJobMagic << ' ' << kVersionV2 << '\n';
   os << "decoder " << job.decoder << '\n';
   os << "k " << job.k << '\n';
   if (job.truth_support) {
@@ -69,6 +88,17 @@ void save_job(std::ostream& os, const DecodeJob& job) {
     for (std::uint32_t i : *job.truth_support) os << ' ' << i;
     os << '\n';
   }
+  const auto old_precision = os.precision(17);
+  if (job.noise.enabled()) {
+    os << "noise " << job.noise.kind_name() << ' ' << job.noise.level << ' '
+       << job.noise.seed << '\n';
+  }
+  if (job.deadline_seconds) {
+    os << "deadline-ms " << (*job.deadline_seconds * 1000.0) << '\n';
+  }
+  os.precision(old_precision);
+  if (job.rounds > 0) os << "rounds " << job.rounds << '\n';
+  if (job.budget > 0) os << "budget " << job.budget << '\n';
   os << "instance\n";
   save_instance(os, *job.spec);
   os << kEnd << '\n';
@@ -76,7 +106,8 @@ void save_job(std::ostream& os, const DecodeJob& job) {
 }
 
 std::optional<DecodeJob> load_job(std::istream& is) {
-  if (!read_header(is, kJobMagic)) return std::nullopt;
+  const std::optional<int> version = read_header(is, kJobMagic);
+  if (!version) return std::nullopt;
   DecodeJob job;
   bool saw_k = false;
   bool saw_instance = false;
@@ -92,6 +123,29 @@ std::optional<DecodeJob> load_job(std::istream& is) {
     } else if (key == "k") {
       POOLED_REQUIRE(static_cast<bool>(fields >> job.k), "truncated k field");
       saw_k = true;
+    } else if (key == "noise") {
+      require_v2(*version, key);
+      std::string kind;
+      double level = 0.0;
+      std::uint64_t seed = 0;
+      POOLED_REQUIRE(static_cast<bool>(fields >> kind >> level >> seed),
+                     "truncated noise field (want: noise <sym|gauss> <level> "
+                     "<seed>)");
+      job.noise = NoiseModel::make(kind, level, seed);  // validates
+    } else if (key == "deadline-ms") {
+      require_v2(*version, key);
+      double millis = 0.0;
+      POOLED_REQUIRE(static_cast<bool>(fields >> millis) && millis > 0.0,
+                     "deadline-ms must be a positive number");
+      job.deadline_seconds = millis / 1000.0;
+    } else if (key == "rounds") {
+      require_v2(*version, key);
+      POOLED_REQUIRE(static_cast<bool>(fields >> job.rounds),
+                     "truncated rounds field");
+    } else if (key == "budget") {
+      require_v2(*version, key);
+      POOLED_REQUIRE(static_cast<bool>(fields >> job.budget),
+                     "truncated budget field");
     } else if (key == "truth") {
       std::vector<std::uint32_t> support;
       std::uint32_t index = 0;
@@ -124,7 +178,7 @@ std::optional<DecodeJob> load_job(std::istream& is) {
 }
 
 void save_report(std::ostream& os, const DecodeReport& report) {
-  os << kResultMagic << ' ' << kVersion << '\n';
+  os << kResultMagic << ' ' << kVersionV2 << '\n';
   os << "job " << report.index << '\n';
   if (!report.ok()) {
     os << "status error " << one_line(report.error) << '\n';
@@ -139,6 +193,9 @@ void save_report(std::ostream& os, const DecodeReport& report) {
   os << "k " << report.k << '\n';
   os << "seconds " << report.seconds << '\n';
   os << "consistent " << (report.consistent ? 1 : 0) << '\n';
+  os << "rounds " << report.rounds << '\n';
+  os << "queries " << report.queries << '\n';
+  os << "stop " << stop_reason_name(report.stop) << '\n';
   os << "support";
   for (std::uint32_t i : report.support) os << ' ' << i;
   os << '\n';
@@ -152,7 +209,8 @@ void save_report(std::ostream& os, const DecodeReport& report) {
 }
 
 std::optional<DecodeReport> load_report(std::istream& is) {
-  if (!read_header(is, kResultMagic)) return std::nullopt;
+  const std::optional<int> version = read_header(is, kResultMagic);
+  if (!version) return std::nullopt;
   DecodeReport report;
   bool terminated = false;
   std::string line;
@@ -191,6 +249,19 @@ std::optional<DecodeReport> load_report(std::istream& is) {
     } else if (key == "consistent") {
       POOLED_REQUIRE(static_cast<bool>(fields >> flag), "truncated consistent");
       report.consistent = flag != 0;
+    } else if (key == "rounds") {
+      require_v2(*version, key);
+      POOLED_REQUIRE(static_cast<bool>(fields >> report.rounds),
+                     "truncated rounds");
+    } else if (key == "queries") {
+      require_v2(*version, key);
+      POOLED_REQUIRE(static_cast<bool>(fields >> report.queries),
+                     "truncated queries");
+    } else if (key == "stop") {
+      require_v2(*version, key);
+      std::string reason;
+      POOLED_REQUIRE(static_cast<bool>(fields >> reason), "truncated stop");
+      report.stop = stop_reason_from_name(reason);
     } else if (key == "support") {
       std::uint32_t index = 0;
       report.support.clear();

@@ -1,4 +1,4 @@
-// Request/response text protocol for the decoding engine.
+// Request/response text protocol for the decoding engine (v2).
 //
 // Layered on core/serialize: a request embeds the standard instance
 // format, so anything `pooled_cli simulate` writes can be wrapped into a
@@ -6,23 +6,33 @@
 // messages concatenate into one stream (file, pipe, or socket later).
 //
 // Request:                         Response:
-//   pooled-job v1                    pooled-result v1
-//   decoder mn                       job 0
+//   pooled-job v2                    pooled-result v2
+//   decoder adaptive:mn:L=16         job 0
 //   k 16                             status ok
-//   truth 3 17 42    (optional)      decoder mn
-//   instance                         n 1000
-//   pooled-instance v1               k 16
-//   design random-regular            seconds 0.00123
-//   ...                              consistent 1
-//   y 12 9 14                        support 3 17 42
-//   end                              exact 1       (only when truth given)
-//                                    overlap 1     (only when truth given)
+//   truth 3 17 42    (optional)      decoder adaptive-mn-L16
+//   noise sym 0.05 7 (optional)      n 1000
+//   deadline-ms 250  (optional)      k 16
+//   rounds 32        (optional)      seconds 0.00123
+//   budget 4096      (optional)      consistent 1
+//   instance                         rounds 3
+//   pooled-instance v1               queries 48
+//   design random-regular            stop converged
+//   ...                              support 3 17 42
+//   y 12 9 14                        exact 1       (only when truth given)
+//   end                              overlap 1     (only when truth given)
 //                                    end
+//
+// Writers emit v2; readers accept v1 frames (the PR-2 format) unchanged:
+// a v1 job decodes exactly as before (no noise, no caps) and a v1 result
+// defaults the diagnostics (rounds 1, queries 0, stop completed). The
+// v2-only fields are rejected inside a v1 frame -- an archived v1 stream
+// either parses with v1 semantics or fails loudly, never half-and-half.
 //
 // A failed job reports `status error <message>` and omits the result
 // fields.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <optional>
 
@@ -32,8 +42,10 @@ namespace pooled {
 
 /// Writes one request. Only spec-backed jobs serialize (prebuilt or
 /// lazily-built instances and decoder overrides have no textual form);
-/// throws ContractError otherwise.
-void save_job(std::ostream& os, const DecodeJob& job);
+/// throws ContractError naming the job's decoder (and `index`, when the
+/// caller supplies its position in the batch) otherwise.
+void save_job(std::ostream& os, const DecodeJob& job,
+              std::optional<std::size_t> index = std::nullopt);
 
 /// Reads the next request; std::nullopt at (clean) end of stream.
 /// Throws ContractError on malformed input.

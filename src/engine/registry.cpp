@@ -9,6 +9,7 @@
 #include "baselines/peeling.hpp"
 #include "baselines/random_guess.hpp"
 #include "core/mn.hpp"
+#include "engine/adaptive_adapter.hpp"
 #include "engine/gt_adapters.hpp"
 #include "support/assert.hpp"
 
@@ -85,13 +86,21 @@ DecoderFactory variantless(const std::string& name) {
 }  // namespace
 
 void DecoderRegistry::add(const std::string& name, const std::string& variants_help,
-                          DecoderFactory factory) {
+                          std::string description, DecoderFactory factory) {
   POOLED_REQUIRE(!name.empty() && name.find(':') == std::string::npos,
                  "decoder name must be non-empty and colon-free");
   POOLED_REQUIRE(static_cast<bool>(factory), "decoder factory must be callable");
   const bool inserted =
-      entries_.emplace(name, Entry{variants_help, std::move(factory)}).second;
+      entries_
+          .emplace(name,
+                   Entry{variants_help, std::move(description), std::move(factory)})
+          .second;
   POOLED_REQUIRE(inserted, "decoder '" + name + "' already registered");
+}
+
+void DecoderRegistry::add(const std::string& name, const std::string& variants_help,
+                          DecoderFactory factory) {
+  add(name, variants_help, std::string(), std::move(factory));
 }
 
 std::shared_ptr<const Decoder> DecoderRegistry::create(const std::string& spec) const {
@@ -115,6 +124,15 @@ std::vector<std::string> DecoderRegistry::names() const {
   return names;
 }
 
+std::vector<DecoderRegistry::HelpEntry> DecoderRegistry::help_entries() const {
+  std::vector<HelpEntry> rows;
+  rows.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    rows.push_back(HelpEntry{name, entry.variants_help, entry.description});
+  }
+  return rows;
+}
+
 std::string DecoderRegistry::spec_help() const {
   std::ostringstream help;
   bool first = true;
@@ -129,13 +147,29 @@ std::string DecoderRegistry::spec_help() const {
 const DecoderRegistry& DecoderRegistry::global() {
   static const DecoderRegistry registry = [] {
     DecoderRegistry r;
-    r.add("mn", "[:multi-edge|raw|normalized]", make_mn);
-    r.add("gt", ":binary|comp|threshold:<T>", make_gt);
-    r.add("omp", "", variantless<OmpDecoder>("omp"));
-    r.add("fista", "", variantless<FistaDecoder>("fista"));
-    r.add("iht", "", variantless<IhtDecoder>("iht"));
-    r.add("peeling", "", variantless<PeelingDecoder>("peeling"));
-    r.add("random", "[:<seed>]", make_random);
+    r.add("mn", "[:multi-edge|raw|normalized]",
+          "Maximum Neighborhood scoring (Algorithm 1); variants pick the "
+          "score ablation",
+          make_mn);
+    r.add("gt", ":binary|comp|threshold:<T>",
+          "group-testing decoders: DD (binary), COMP, and MN on the "
+          "threshold-T channel",
+          make_gt);
+    r.add("adaptive", ":<inner>[:L=<batch>]",
+          "round-based decoding: reveal L queries per round with the inner "
+          "decoder, stop once the estimate explains all observations "
+          "(reports rounds/queries/stop)",
+          make_adaptive_decoder);
+    r.add("omp", "", "orthogonal matching pursuit (greedy compressed sensing)",
+          variantless<OmpDecoder>("omp"));
+    r.add("fista", "", "FISTA on the LASSO relaxation (l1 stand-in)",
+          variantless<FistaDecoder>("fista"));
+    r.add("iht", "", "iterative hard thresholding (projected gradient)",
+          variantless<IhtDecoder>("iht"));
+    r.add("peeling", "", "sure-inference peeling cascade for sparse designs",
+          variantless<PeelingDecoder>("peeling"));
+    r.add("random", "[:<seed>]", "uniform k-subset guess (comparison floor)",
+          make_random);
     return r;
   }();
   return registry;

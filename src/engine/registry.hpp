@@ -28,8 +28,13 @@ class DecoderRegistry {
   DecoderRegistry() = default;
 
   /// Registers `name` (no ':' allowed). `variants_help` documents the
-  /// accepted variants for help text, e.g. "[:multi-edge|raw|normalized]".
+  /// accepted variants for help text, e.g. "[:multi-edge|raw|normalized]",
+  /// and `description` is the one-line doc `pooled_cli decoders` prints.
   /// Throws ContractError on duplicate names.
+  void add(const std::string& name, const std::string& variants_help,
+           std::string description, DecoderFactory factory);
+
+  /// Registration without a description (tests, ad-hoc registries).
   void add(const std::string& name, const std::string& variants_help,
            DecoderFactory factory);
 
@@ -47,14 +52,26 @@ class DecoderRegistry {
   /// e.g. "fista | iht | mn[:multi-edge|raw|normalized] | ...".
   [[nodiscard]] std::string spec_help() const;
 
+  /// Per-spec documentation row for discovery UIs (`pooled_cli decoders`).
+  struct HelpEntry {
+    std::string name;
+    std::string variants_help;
+    std::string description;
+  };
+
+  /// One row per registered base name, sorted by name.
+  [[nodiscard]] std::vector<HelpEntry> help_entries() const;
+
   /// Process-wide registry preloaded with the built-in decoders:
   ///   mn[:multi-edge|raw|normalized], omp, fista, iht, peeling,
-  ///   random[:<seed>], gt:binary|comp|threshold:<T>
+  ///   random[:<seed>], gt:binary|comp|threshold:<T>,
+  ///   adaptive:<inner>[:L=<batch>]
   static const DecoderRegistry& global();
 
  private:
   struct Entry {
     std::string variants_help;
+    std::string description;
     DecoderFactory factory;
   };
   std::map<std::string, Entry> entries_;

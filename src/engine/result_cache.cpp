@@ -14,14 +14,21 @@ ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity) {
 std::optional<std::string> ResultCache::job_key(const DecodeJob& job) {
   // Only spec-backed registry decodes have a canonical form: a prebuilt
   // or lazily-built instance has no stable identity, and an override
-  // decoder's configuration is invisible to us.
+  // decoder's configuration is invisible to us. Deadline-bearing jobs are
+  // excluded too: their outcome depends on the clock, so a hit could
+  // replay a timed-out (or slower-machine) result forever.
   if (!job.spec.has_value() || job.instance != nullptr || job.build ||
-      job.decoder_override != nullptr) {
+      job.decoder_override != nullptr || job.deadline_seconds.has_value()) {
     return std::nullopt;
   }
   std::ostringstream key;
   key << instance_digest(*job.spec) << '|' << job.decoder << "|k=" << job.k
-      << "|cc=" << (job.check_consistency ? 1 : 0) << "|truth=";
+      << "|cc=" << (job.check_consistency ? 1 : 0)
+      // Every decode option that shapes the outcome keys the entry:
+      // noisy and noiseless decodes of the same instance never alias,
+      // and neither do different round/budget caps.
+      << "|noise=" << job.noise.to_string() << "|rounds=" << job.rounds
+      << "|budget=" << job.budget << "|truth=";
   if (job.truth_support) {
     for (std::uint32_t i : *job.truth_support) key << i << ',';
   } else {

@@ -15,6 +15,20 @@ TrialSeeds trial_seeds(std::uint64_t seed_base, std::uint64_t trial_index) {
   return TrialSeeds{splitmix64_mix(root ^ 0xDE516Eull), splitmix64_mix(root ^ 0x516A1ull)};
 }
 
+namespace {
+
+/// The noise model a trial actually applies: the config's model with a
+/// per-trial seed. The 0x4015E domain-separation constant keeps the
+/// Philox key disjoint from the design's query streams (which are keyed
+/// on the raw design seed), even for the default model seed of 0.
+NoiseModel trial_noise_model(const TrialConfig& config, const TrialSeeds& seeds) {
+  NoiseModel noise = config.noise;
+  noise.seed ^= seeds.design_seed ^ 0x4015Eull;
+  return noise;
+}
+
+}  // namespace
+
 std::unique_ptr<Instance> build_trial_instance(const TrialConfig& config,
                                                std::uint64_t trial_index,
                                                Signal& truth_out, ThreadPool& pool) {
@@ -27,8 +41,8 @@ std::unique_ptr<Instance> build_trial_instance(const TrialConfig& config,
   std::shared_ptr<const PoolingDesign> design = make_design(config.design, params);
   truth_out = Signal::random(config.n, config.k, seeds.signal_seed);
   auto y = simulate_queries(*design, config.m, truth_out, pool);
-  if (config.noise_rate > 0.0) {
-    add_symmetric_noise(y, config.noise_rate, seeds.design_seed ^ 0x4015Eull);
+  if (config.noise.enabled()) {
+    apply_noise(y, trial_noise_model(config, seeds));
   }
   if (config.streamed) {
     return std::make_unique<StreamedInstance>(std::move(design), config.m,
@@ -45,9 +59,15 @@ TrialResult run_trial(const TrialConfig& config, const Decoder& decoder,
   POOLED_REQUIRE(config.k <= config.n, "trial config: k exceeds n");
   Signal truth(1);
   const auto instance = build_trial_instance(config, trial_index, truth, pool);
-  const Signal estimate = decoder.decode(*instance, config.k, pool);
-  return TrialResult{exact_recovery(estimate, truth),
-                     overlap_fraction(estimate, truth)};
+  DecodeContext context(config.k, pool);
+  // Record the per-trial model the builder actually applied.
+  if (config.noise.enabled()) {
+    context.noise =
+        trial_noise_model(config, trial_seeds(config.seed_base, trial_index));
+  }
+  const DecodeOutcome outcome = decoder.decode(*instance, context);
+  return TrialResult{exact_recovery(outcome.estimate, truth),
+                     overlap_fraction(outcome.estimate, truth)};
 }
 
 AggregateResult run_trials(const TrialConfig& config, const Decoder& decoder,

@@ -24,7 +24,9 @@ struct TrialConfig {
   double p = 0.5;               ///< Bernoulli inclusion probability
   std::uint64_t seed_base = 1;
   bool streamed = true;         ///< streamed vs. stored instance backend
-  double noise_rate = 0.0;      ///< per-query +-1 perturbation probability
+  /// First-class channel noise applied to each trial's results (the
+  /// model's seed is decorrelated per trial via the trial's design seed).
+  NoiseModel noise;
 };
 
 struct TrialResult {

@@ -7,6 +7,7 @@
 #include "core/instance.hpp"
 #include "core/thresholds.hpp"
 #include "design/random_regular.hpp"
+#include "engine/registry.hpp"
 #include "parallel/thread_pool.hpp"
 #include "support/assert.hpp"
 
@@ -111,6 +112,49 @@ TEST(Batched, StoppingRuleIsObservableOnly) {
                                                truth, pool);
   // The run succeeded, so the consistent signal is the truth itself.
   EXPECT_TRUE(instance->is_consistent(truth));
+}
+
+TEST(AdaptiveAdapter, RegistrySpecMatchesTheSimulationStudy) {
+  // The serving-side adapter (adaptive:<inner>[:L=...]) replays an
+  // archived instance's queries round by round with the same observable
+  // stopping rule the simulation study uses: on a comfortable budget it
+  // must converge early and recover the truth.
+  ThreadPool pool(2);
+  const std::uint32_t n = 300, k = 5, m = 400;
+  auto design = std::make_shared<RandomRegularDesign>(n, 7);
+  const Signal truth = Signal::random(n, k, 11);
+  const auto instance = make_streamed_instance(design, m, truth, pool);
+
+  const auto adaptive = make_decoder("adaptive:mn:L=32");
+  EXPECT_EQ(adaptive->name(), "adaptive-mn-L32");
+  const DecodeOutcome outcome = adaptive->decode(*instance, DecodeContext(k, pool));
+  EXPECT_EQ(outcome.stop, StopReason::Converged);
+  EXPECT_EQ(outcome.estimate, truth);
+  EXPECT_LT(outcome.queries, m);  // early stopping saved queries
+  EXPECT_EQ(outcome.queries, std::min<std::uint64_t>(
+                                 m, std::uint64_t{32} * outcome.rounds));
+  EXPECT_TRUE(instance->is_consistent(outcome.estimate));
+
+  // Smaller batches stop at least as early in queries (same instance,
+  // same rule, finer stopping grid) -- the paper's latency trade-off.
+  const DecodeOutcome fine =
+      make_decoder("adaptive:mn:L=8")->decode(*instance, DecodeContext(k, pool));
+  EXPECT_EQ(fine.stop, StopReason::Converged);
+  EXPECT_LE(fine.queries, outcome.queries);
+  EXPECT_GE(fine.rounds, outcome.rounds);
+}
+
+TEST(AdaptiveAdapter, RequiresADesignBackedInstance) {
+  ThreadPool pool(1);
+  const std::uint32_t n = 60, k = 3, m = 40;
+  auto design = std::make_shared<RandomRegularDesign>(n, 3);
+  const Signal truth = Signal::random(n, k, 5);
+  const auto streamed = make_streamed_instance(design, m, truth, pool);
+  const auto stored = make_stored_instance(*design, m, truth, pool);
+  const auto adaptive = make_decoder("adaptive:mn:L=4");
+  EXPECT_NO_THROW((void)adaptive->decode(*streamed, DecodeContext(k, pool)));
+  EXPECT_THROW((void)adaptive->decode(*stored, DecodeContext(k, pool)),
+               ContractError);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 
 #include "binarygt/binary_instance.hpp"
@@ -38,13 +39,14 @@ TEST(Registry, CreatesEveryBuiltinSpec) {
   for (const char* spec :
        {"mn", "mn:multi-edge", "mn:raw", "mn:normalized", "omp", "fista", "iht",
         "peeling", "random", "random:42", "gt:binary", "gt:comp",
-        "gt:threshold:2"}) {
+        "gt:threshold:2", "adaptive:mn", "adaptive:mn:L=16",
+        "adaptive:mn:multi-edge:L=8", "adaptive:gt:binary:L=4"}) {
     const auto decoder = make_decoder(spec);
     ASSERT_NE(decoder, nullptr) << spec;
     EXPECT_FALSE(decoder->name().empty()) << spec;
   }
   const auto names = DecoderRegistry::global().names();
-  EXPECT_EQ(names.size(), 7u);
+  EXPECT_EQ(names.size(), 8u);
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
 }
 
@@ -75,6 +77,27 @@ TEST(Registry, RejectsUnknownVariants) {
   EXPECT_THROW((void)make_decoder("gt:threshold:"), ContractError);
   EXPECT_THROW((void)make_decoder("gt:threshold:0"), ContractError);
   EXPECT_THROW((void)make_decoder("gt:threshold:x"), ContractError);
+  EXPECT_THROW((void)make_decoder("adaptive"), ContractError);
+  EXPECT_THROW((void)make_decoder("adaptive:L=4"), ContractError);
+  EXPECT_THROW((void)make_decoder("adaptive:mn:L=0"), ContractError);
+  EXPECT_THROW((void)make_decoder("adaptive:mn:L=x"), ContractError);
+  EXPECT_THROW((void)make_decoder("adaptive:nope:L=4"), ContractError);
+  EXPECT_THROW((void)make_decoder("adaptive:adaptive:mn"), ContractError);
+}
+
+TEST(Registry, HelpEntriesDocumentEverySpec) {
+  const auto rows = DecoderRegistry::global().help_entries();
+  EXPECT_EQ(rows.size(), DecoderRegistry::global().names().size());
+  bool saw_adaptive = false;
+  for (const auto& row : rows) {
+    EXPECT_FALSE(row.name.empty());
+    EXPECT_FALSE(row.description.empty()) << row.name;  // built-ins are documented
+    if (row.name == "adaptive") {
+      saw_adaptive = true;
+      EXPECT_EQ(row.variants_help, ":<inner>[:L=<batch>]");
+    }
+  }
+  EXPECT_TRUE(saw_adaptive);
 }
 
 TEST(Registry, GtSpecsSelectTheGroupTestingDecoders) {
@@ -386,6 +409,33 @@ TEST(ResultCache, JobKeyCoversEveryReportShapingInput) {
   no_consistency.check_consistency = false;
   EXPECT_NE(ResultCache::job_key(no_consistency), base_key);
 
+  // Decode options are report-shaping inputs too: the same instance with
+  // and without noise (or under different adaptive caps) must key apart.
+  DecodeJob noisy = base;
+  noisy.noise = NoiseModel::symmetric(0.05, 7);
+  EXPECT_NE(ResultCache::job_key(noisy), base_key);
+  DecodeJob noisier = noisy;
+  noisier.noise.level = 0.1;
+  EXPECT_NE(ResultCache::job_key(noisier), ResultCache::job_key(noisy));
+  DecodeJob other_noise_seed = noisy;
+  other_noise_seed.noise.seed = 8;
+  EXPECT_NE(ResultCache::job_key(other_noise_seed), ResultCache::job_key(noisy));
+  DecodeJob gaussian = base;
+  gaussian.noise = NoiseModel::gaussian(0.05, 7);
+  EXPECT_NE(ResultCache::job_key(gaussian), ResultCache::job_key(noisy));
+
+  DecodeJob capped_rounds = base;
+  capped_rounds.rounds = 3;
+  EXPECT_NE(ResultCache::job_key(capped_rounds), base_key);
+  DecodeJob capped_budget = base;
+  capped_budget.budget = 100;
+  EXPECT_NE(ResultCache::job_key(capped_budget), base_key);
+
+  // Deadline outcomes depend on the clock: never cacheable.
+  DecodeJob with_deadline = base;
+  with_deadline.deadline_seconds = 0.5;
+  EXPECT_FALSE(ResultCache::job_key(with_deadline).has_value());
+
   DecodeJob other_instance = sample_job(4, nullptr);
   EXPECT_NE(ResultCache::job_key(other_instance), base_key);
 
@@ -617,6 +667,289 @@ TEST(ServeStream, EndToEndRoundTrip) {
   ASSERT_TRUE(again.has_value());
   EXPECT_EQ(again->support, reports[0].support);
   EXPECT_EQ(again->exact, reports[0].exact);
+}
+
+// ---- decode API v2: noise, adaptive decoding, protocol v2 fields -------
+
+TEST(DecodeV2, NoiseIsADecodeOptionNotAnInstanceProperty) {
+  ThreadPool pool(2);
+  std::vector<std::uint32_t> truth;
+  DecodeJob clean = sample_job(61, &truth);
+  clean.truth_support = truth;
+  DecodeJob noisy = clean;
+  noisy.noise = NoiseModel::symmetric(0.5, 3);
+
+  const BatchEngine engine(pool);
+  const DecodeReport clean_report = engine.run_one(clean);
+  const DecodeReport noisy_report = engine.run_one(noisy);
+  ASSERT_TRUE(clean_report.ok()) << clean_report.error;
+  ASSERT_TRUE(noisy_report.ok()) << noisy_report.error;
+  // The archived spec is untouched; only the decoded copy was perturbed.
+  EXPECT_EQ(clean.spec->y, noisy.spec->y);
+  // The clean decode explains its observations; the noisy one is checked
+  // against the perturbed y the decoder actually saw.
+  EXPECT_TRUE(clean_report.consistent);
+  // Same n/k shape either way.
+  EXPECT_EQ(noisy_report.n, clean_report.n);
+  EXPECT_EQ(noisy_report.k, clean_report.k);
+
+  // Determinism: the same noise model reproduces the same report.
+  const DecodeReport replay = engine.run_one(noisy);
+  EXPECT_EQ(replay.support, noisy_report.support);
+  EXPECT_EQ(replay.consistent, noisy_report.consistent);
+}
+
+TEST(DecodeV2, CacheSeparatesNoisyFromNoiselessDecodes) {
+  ThreadPool pool(2);
+  DecodeJob clean = sample_job(62, nullptr);
+  DecodeJob noisy = clean;
+  noisy.noise = NoiseModel::symmetric(0.4, 9);
+
+  ResultCache cache(16);
+  EngineOptions options;
+  options.cache = &cache;
+  const BatchEngine engine(pool, options);
+  const DecodeReport clean_cold = engine.run_one(clean);
+  const DecodeReport noisy_cold = engine.run_one(noisy);
+  // Two distinct entries: the noisy decode never aliases the clean one.
+  EXPECT_EQ(cache.stats().insertions, 2u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  const DecodeReport clean_warm = engine.run_one(clean);
+  const DecodeReport noisy_warm = engine.run_one(noisy);
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(clean_warm.support, clean_cold.support);
+  EXPECT_EQ(noisy_warm.support, noisy_cold.support);
+  EXPECT_EQ(clean_warm.consistent, clean_cold.consistent);
+  EXPECT_EQ(noisy_warm.consistent, noisy_cold.consistent);
+}
+
+TEST(DecodeV2, CacheSeparatesAdaptiveCaps) {
+  ThreadPool pool(2);
+  DecodeJob free_run = sample_job(63, nullptr, "adaptive:mn:L=16");
+  DecodeJob capped = free_run;
+  capped.rounds = 1;
+
+  ResultCache cache(16);
+  EngineOptions options;
+  options.cache = &cache;
+  const BatchEngine engine(pool, options);
+  const DecodeReport a = engine.run_one(free_run);
+  const DecodeReport b = engine.run_one(capped);
+  ASSERT_TRUE(a.ok()) << a.error;
+  ASSERT_TRUE(b.ok()) << b.error;
+  EXPECT_EQ(cache.stats().insertions, 2u);  // distinct keys, no aliasing
+  EXPECT_EQ(b.rounds, 1u);
+  EXPECT_EQ(b.stop == StopReason::RoundLimit || b.stop == StopReason::Converged,
+            true);
+  EXPECT_GE(a.rounds, 1u);
+}
+
+TEST(DecodeV2, AdaptiveDecodesThroughEngineWithDiagnostics) {
+  ThreadPool pool(2);
+  std::vector<std::uint32_t> truth;
+  // A comfortable budget: adaptive stopping should converge early.
+  DecodeJob job = sample_job(64, &truth, "adaptive:mn:L=16", /*n=*/300,
+                             /*k=*/5, /*m=*/280);
+  job.truth_support = truth;
+  const DecodeReport report = BatchEngine(pool).run_one(job);
+  ASSERT_TRUE(report.ok()) << report.error;
+  EXPECT_EQ(report.decoder_name, "adaptive-mn-L16");
+  EXPECT_EQ(report.stop, StopReason::Converged);
+  EXPECT_TRUE(report.consistent);
+  EXPECT_TRUE(report.exact);
+  EXPECT_GE(report.rounds, 1u);
+  EXPECT_EQ(report.queries, std::min<std::uint64_t>(280u, report.rounds * 16u));
+  // Early stopping must actually save queries at this budget.
+  EXPECT_LT(report.queries, 280u);
+}
+
+TEST(DecodeV2, AdaptiveHonorsBudgetAndRoundCaps) {
+  ThreadPool pool(1);
+  DecodeJob job = sample_job(65, nullptr, "adaptive:mn:L=16");
+  job.budget = 32;  // too few queries to explain the data
+  const DecodeReport budgeted = BatchEngine(pool).run_one(job);
+  ASSERT_TRUE(budgeted.ok()) << budgeted.error;
+  EXPECT_LE(budgeted.queries, 32u);
+  EXPECT_EQ(budgeted.stop, StopReason::Exhausted);
+
+  DecodeJob round_capped = sample_job(65, nullptr, "adaptive:mn:L=16");
+  round_capped.rounds = 2;
+  const DecodeReport capped = BatchEngine(pool).run_one(round_capped);
+  ASSERT_TRUE(capped.ok()) << capped.error;
+  EXPECT_LE(capped.rounds, 2u);
+  EXPECT_LE(capped.queries, 32u);
+}
+
+TEST(DecodeV2, AdaptiveStopsOnDeadlineAndCancellation) {
+  ThreadPool pool(1);
+  const DecodeJob job = sample_job(66, nullptr);
+  const auto instance = job.spec->to_instance();
+  const auto adaptive = make_decoder("adaptive:mn:L=4");
+
+  DecodeContext expired(job.k, pool);
+  expired.deadline_seconds = 0.0;  // already past
+  const DecodeOutcome timed_out = adaptive->decode(*instance, expired);
+  EXPECT_EQ(timed_out.stop, StopReason::Deadline);
+  EXPECT_EQ(timed_out.queries, 0u);
+  EXPECT_EQ(timed_out.rounds, 0u);  // no round actually ran
+
+  std::atomic<bool> cancel{true};
+  DecodeContext cancelled(job.k, pool);
+  cancelled.cancel = &cancel;
+  const DecodeOutcome aborted = adaptive->decode(*instance, cancelled);
+  EXPECT_EQ(aborted.stop, StopReason::Cancelled);
+  EXPECT_EQ(aborted.rounds, 0u);
+}
+
+namespace {
+
+/// Sink that records every round callback.
+struct RecordingSink final : DecodeStatsSink {
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> rounds;
+  void on_round(std::uint32_t round, std::uint64_t queries_so_far) override {
+    rounds.emplace_back(round, queries_so_far);
+  }
+};
+
+}  // namespace
+
+TEST(DecodeV2, StatsSinkObservesEveryRound) {
+  ThreadPool pool(1);
+  const DecodeJob job = sample_job(67, nullptr);
+  const auto instance = job.spec->to_instance();
+  const auto adaptive = make_decoder("adaptive:mn:L=32");
+  RecordingSink sink;
+  DecodeContext context(job.k, pool);
+  context.stats = &sink;
+  const DecodeOutcome outcome = adaptive->decode(*instance, context);
+  ASSERT_EQ(sink.rounds.size(), outcome.rounds);
+  for (std::size_t r = 0; r < sink.rounds.size(); ++r) {
+    EXPECT_EQ(sink.rounds[r].first, r + 1);
+    if (r > 0) {
+      EXPECT_GT(sink.rounds[r].second, sink.rounds[r - 1].second);
+    }
+  }
+  EXPECT_EQ(sink.rounds.back().second, outcome.queries);
+}
+
+TEST(ProtocolV2, JobRoundTripPreservesDecodeOptions) {
+  std::vector<std::uint32_t> truth;
+  DecodeJob job = sample_job(68, &truth, "adaptive:mn:L=16");
+  job.truth_support = truth;
+  job.noise = NoiseModel::gaussian(1.5, 42);
+  job.rounds = 12;
+  job.budget = 4096;
+  job.deadline_seconds = 0.25;
+  std::stringstream buffer;
+  save_job(buffer, job);
+  EXPECT_EQ(buffer.str().rfind("pooled-job v2", 0), 0u);
+  const auto loaded = load_job(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->decoder, "adaptive:mn:L=16");
+  EXPECT_EQ(loaded->noise, job.noise);
+  EXPECT_EQ(loaded->rounds, 12u);
+  EXPECT_EQ(loaded->budget, 4096u);
+  ASSERT_TRUE(loaded->deadline_seconds.has_value());
+  EXPECT_DOUBLE_EQ(*loaded->deadline_seconds, 0.25);
+  ASSERT_TRUE(loaded->truth_support.has_value());
+  EXPECT_EQ(*loaded->truth_support, truth);
+}
+
+TEST(ProtocolV2, DefaultOptionsSerializeCompactly) {
+  // A job with no v2 options writes no v2 option lines, so the frame
+  // differs from v1 only in its version token.
+  std::stringstream buffer;
+  save_job(buffer, sample_job(69, nullptr));
+  const std::string frame = buffer.str();
+  EXPECT_EQ(frame.find("noise"), std::string::npos);
+  EXPECT_EQ(frame.find("deadline-ms"), std::string::npos);
+  EXPECT_EQ(frame.find("rounds"), std::string::npos);
+  EXPECT_EQ(frame.find("budget"), std::string::npos);
+}
+
+TEST(ProtocolV2, ReportRoundTripCarriesDiagnostics) {
+  DecodeReport report;
+  report.index = 7;
+  report.decoder_name = "adaptive-mn-L16";
+  report.n = 300;
+  report.k = 5;
+  report.support = {1, 2, 3, 4, 250};
+  report.consistent = true;
+  report.rounds = 9;
+  report.queries = 144;
+  report.stop = StopReason::Converged;
+  std::stringstream buffer;
+  save_report(buffer, report);
+  EXPECT_EQ(buffer.str().rfind("pooled-result v2", 0), 0u);
+  const auto loaded = load_report(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->rounds, 9u);
+  EXPECT_EQ(loaded->queries, 144u);
+  EXPECT_EQ(loaded->stop, StopReason::Converged);
+}
+
+TEST(ProtocolV2, V1FramesRejectV2Fields) {
+  for (const char* field : {"noise sym 0.1 1", "deadline-ms 100", "rounds 3",
+                            "budget 64"}) {
+    std::stringstream frame(std::string("pooled-job v1\nk 3\n") + field + "\n");
+    EXPECT_THROW((void)load_job(frame), ContractError) << field;
+  }
+  std::stringstream result(
+      "pooled-result v1\njob 0\nstatus ok\nrounds 2\nend\n");
+  EXPECT_THROW((void)load_report(result), ContractError);
+}
+
+TEST(ProtocolV2, UnknownVersionsStillFailLoudly) {
+  std::stringstream job("pooled-job v3\nk 3\n");
+  EXPECT_THROW((void)load_job(job), ContractError);
+  std::stringstream result("pooled-result v999\njob 0\n");
+  EXPECT_THROW((void)load_report(result), ContractError);
+}
+
+TEST(ProtocolV2, SaveJobErrorsNameTheJobAndDecoder) {
+  DecodeJob prebuilt = sample_job(70, nullptr, "peeling");
+  prebuilt.instance = prebuilt.spec->to_instance();
+  prebuilt.spec.reset();
+  std::stringstream buffer;
+  try {
+    save_job(buffer, prebuilt, /*index=*/17);
+    FAIL() << "expected ContractError";
+  } catch (const ContractError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("#17"), std::string::npos) << what;
+    EXPECT_NE(what.find("peeling"), std::string::npos) << what;
+  }
+}
+
+TEST(ServeStream, AdaptiveServesWithRoundsAndQueriesInTheFrame) {
+  // The acceptance path: adaptive:mn:L=16 resolves from the registry,
+  // decodes through the serve loop, and its result frame reports
+  // rounds/queries.
+  std::vector<std::uint32_t> truth;
+  DecodeJob job = sample_job(71, &truth, "adaptive:mn:L=16", /*n=*/300,
+                             /*k=*/5, /*m=*/280);
+  job.truth_support = truth;
+  std::stringstream requests;
+  save_job(requests, job);
+
+  ThreadPool pool(2);
+  std::stringstream responses;
+  const std::size_t served = serve_stream(requests, responses, BatchEngine(pool));
+  EXPECT_EQ(served, 1u);
+  const std::string text = responses.str();
+  EXPECT_NE(text.find("rounds "), std::string::npos);
+  EXPECT_NE(text.find("queries "), std::string::npos);
+  EXPECT_NE(text.find("stop converged"), std::string::npos);
+
+  std::istringstream reparse(text);
+  const auto report = load_report(reparse);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report->ok()) << report->error;
+  EXPECT_EQ(report->decoder_name, "adaptive-mn-L16");
+  EXPECT_GE(report->rounds, 1u);
+  EXPECT_GT(report->queries, 0u);
+  EXPECT_LT(report->queries, 280u);  // early stopping saved queries
+  EXPECT_TRUE(report->exact);
 }
 
 }  // namespace

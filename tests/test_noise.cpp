@@ -13,6 +13,94 @@
 namespace pooled {
 namespace {
 
+TEST(NoiseModel_, ParsesAndFormatsCanonically) {
+  EXPECT_EQ(NoiseModel{}.to_string(), "none");
+  EXPECT_EQ(NoiseModel::parse("none"), NoiseModel{});
+  EXPECT_EQ(NoiseModel::parse(""), NoiseModel{});
+
+  const NoiseModel sym = NoiseModel::parse("sym:0.05:7");
+  EXPECT_EQ(sym.kind, NoiseKind::Symmetric);
+  EXPECT_DOUBLE_EQ(sym.level, 0.05);
+  EXPECT_EQ(sym.seed, 7u);
+  EXPECT_TRUE(sym.enabled());
+  EXPECT_EQ(NoiseModel::parse(sym.to_string()), sym);  // round trip
+
+  const NoiseModel gauss = NoiseModel::parse("gauss:1.5");
+  EXPECT_EQ(gauss.kind, NoiseKind::Gaussian);
+  EXPECT_DOUBLE_EQ(gauss.level, 1.5);
+  EXPECT_EQ(gauss.seed, 0u);  // seed defaults
+
+  EXPECT_FALSE(NoiseModel::symmetric(0.0).enabled());
+  // Disabled models canonicalize to "none" regardless of kind/seed, so
+  // equivalent decodes share one cache key and one wire form.
+  EXPECT_EQ(NoiseModel::symmetric(0.0, 5).to_string(), "none");
+  EXPECT_THROW((void)NoiseModel::parse("bogus:0.1"), ContractError);
+  EXPECT_THROW((void)NoiseModel::parse("sym"), ContractError);
+  EXPECT_THROW((void)NoiseModel::parse("sym:1.5"), ContractError);  // rate > 1
+  EXPECT_THROW((void)NoiseModel::parse("sym:-0.1"), ContractError);
+  EXPECT_THROW((void)NoiseModel::parse("sym:0.1:x"), ContractError);
+  EXPECT_THROW((void)NoiseModel::parse("gauss:inf"), ContractError);
+  EXPECT_THROW((void)NoiseModel::parse("gauss:nan"), ContractError);
+  EXPECT_THROW((void)NoiseModel::parse("none:0.5"), ContractError);
+  EXPECT_THROW((void)NoiseModel::make("sym", 2.0, 0), ContractError);
+}
+
+TEST(NoiseModel_, ApplyMatchesTheUnderlyingPerturbations) {
+  std::vector<std::uint32_t> via_model = {5, 0, 3, 7, 2, 9};
+  std::vector<std::uint32_t> via_function = via_model;
+  apply_noise(via_model, NoiseModel::symmetric(0.5, 7));
+  add_symmetric_noise(via_function, 0.5, 7);
+  EXPECT_EQ(via_model, via_function);
+
+  via_model = via_function = {5, 0, 3, 7, 2, 9};
+  apply_noise(via_model, NoiseModel::gaussian(2.0, 11));
+  add_gaussian_noise(via_function, 2.0, 11);
+  EXPECT_EQ(via_model, via_function);
+}
+
+TEST(NoiseModel_, SymmetricNoiseOnOneBitChannelsIsABitFlipAtTheRate) {
+  // Rate 1.0 must flip *every* outcome -- a +-1 count shift would only
+  // flip half of them after re-collapsing.
+  std::vector<std::uint32_t> y = {1, 0, 1, 0, 1, 1, 0, 0};
+  apply_noise(y, NoiseModel::symmetric(1.0, 3), ChannelKind::Binary);
+  const std::vector<std::uint32_t> flipped = {0, 1, 0, 1, 0, 0, 1, 1};
+  EXPECT_EQ(y, flipped);
+
+  // Gaussian noise perturbs the count and re-collapses: still 0/1.
+  std::vector<std::uint32_t> g = {1, 0, 1, 0, 1, 1, 0, 0};
+  apply_noise(g, NoiseModel::gaussian(2.0, 3), ChannelKind::Threshold);
+  for (std::uint32_t v : g) EXPECT_LE(v, 1u);
+}
+
+TEST(NoiseModel_, WithNoiseRebuildsStreamedAndStoredInstances) {
+  ThreadPool pool(1);
+  TrialConfig config;
+  config.n = 200;
+  config.k = 4;
+  config.m = 60;
+  config.seed_base = 23;
+  Signal truth(1);
+  config.streamed = true;
+  std::shared_ptr<const Instance> streamed =
+      build_trial_instance(config, 0, truth, pool);
+  config.streamed = false;
+  std::shared_ptr<const Instance> stored =
+      build_trial_instance(config, 0, truth, pool);
+
+  // Disabled model: the very same object comes back, no copy.
+  EXPECT_EQ(with_noise(streamed, NoiseModel{}).get(), streamed.get());
+
+  const NoiseModel model = NoiseModel::symmetric(0.5, 31);
+  const auto noisy_streamed = with_noise(streamed, model);
+  const auto noisy_stored = with_noise(stored, model);
+  // Same perturbation on both backends; originals untouched.
+  EXPECT_EQ(noisy_streamed->results(), noisy_stored->results());
+  EXPECT_EQ(streamed->results(), stored->results());
+  EXPECT_NE(noisy_streamed->results(), streamed->results());
+  EXPECT_EQ(noisy_streamed->n(), streamed->n());
+  EXPECT_EQ(noisy_streamed->m(), streamed->m());
+}
+
 TEST(SymmetricNoise, ZeroRateIsIdentity) {
   std::vector<std::uint32_t> y = {5, 0, 3, 7};
   const auto original = y;
@@ -82,7 +170,7 @@ TEST(NoisyTrials, MnToleratesMildNoiseAboveThreshold) {
   config.m = static_cast<std::uint32_t>(
       2.0 * thresholds::m_mn_finite(config.n, config.k));
   config.seed_base = 11;
-  config.noise_rate = 0.05;
+  config.noise = NoiseModel::symmetric(0.05);
   const AggregateResult agg = run_trials(config, MnDecoder(), 10, pool);
   EXPECT_GE(agg.success_rate(), 0.7);
 }
@@ -95,7 +183,7 @@ TEST(NoisyTrials, HeavyNoiseDegradesOverlapNotCatastrophically) {
   config.m = static_cast<std::uint32_t>(
       2.0 * thresholds::m_mn_finite(config.n, config.k));
   config.seed_base = 13;
-  config.noise_rate = 0.5;
+  config.noise = NoiseModel::symmetric(0.5);
   const AggregateResult agg = run_trials(config, MnDecoder(), 10, pool);
   // +-1 noise shifts scores by O(sqrt(m)) << the m/2 gap: overlap stays high.
   EXPECT_GE(agg.overlap.mean(), 0.8);
@@ -109,7 +197,7 @@ TEST(NoisyTrials, NoiseRateZeroMatchesCleanPath) {
   clean.m = 120;
   clean.seed_base = 17;
   TrialConfig noisy = clean;
-  noisy.noise_rate = 0.0;
+  noisy.noise = NoiseModel{};
   const MnDecoder decoder;
   const TrialResult a = run_trial(clean, decoder, 2, pool);
   const TrialResult b = run_trial(noisy, decoder, 2, pool);
@@ -124,7 +212,7 @@ TEST(NoisyTrials, StoredBackendCarriesTheSameNoisyResults) {
   config.k = 4;
   config.m = 60;
   config.seed_base = 19;
-  config.noise_rate = 0.3;
+  config.noise = NoiseModel::symmetric(0.3);
   Signal t1(1), t2(1);
   config.streamed = true;
   const auto streamed = build_trial_instance(config, 0, t1, pool);

@@ -1,0 +1,168 @@
+// Protocol v1 -> v2 compatibility against golden fixtures.
+//
+// tests/data/golden_v1_requests.txt and golden_v1_responses.txt were
+// produced by the PR-2 binary (protocol v1) and checked in verbatim:
+// three jobs -- mn and gt:binary scored against their truths, plus an
+// unscored peeling job -- and the exact result frames v1 serving wrote
+// for them. The tests pin the compatibility contract: a v1 stream loads
+// with v1 semantics (no noise, no caps), decodes to byte-identical
+// supports, and mixes freely with v2 frames in one serve stream.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/batch_engine.hpp"
+#include "engine/protocol.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/assert.hpp"
+
+namespace pooled {
+namespace {
+
+std::string fixture_path(const std::string& name) {
+  return std::string(POOLED_TEST_DATA_DIR) + "/" + name;
+}
+
+std::string read_fixture(const std::string& name) {
+  std::ifstream is(fixture_path(name));
+  EXPECT_TRUE(static_cast<bool>(is)) << "missing fixture " << name;
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return buffer.str();
+}
+
+std::vector<DecodeJob> load_all_jobs(std::istream& is) {
+  std::vector<DecodeJob> jobs;
+  while (auto job = load_job(is)) jobs.push_back(std::move(*job));
+  return jobs;
+}
+
+std::vector<DecodeReport> load_all_reports(std::istream& is) {
+  std::vector<DecodeReport> reports;
+  while (auto report = load_report(is)) reports.push_back(std::move(*report));
+  return reports;
+}
+
+TEST(ProtocolCompat, GoldenV1RequestsLoadWithV1Semantics) {
+  std::istringstream stream(read_fixture("golden_v1_requests.txt"));
+  const auto jobs = load_all_jobs(stream);
+  ASSERT_EQ(jobs.size(), 3u);
+  EXPECT_EQ(jobs[0].decoder, "mn");
+  EXPECT_EQ(jobs[1].decoder, "gt:binary");
+  EXPECT_EQ(jobs[2].decoder, "peeling");
+  for (const DecodeJob& job : jobs) {
+    EXPECT_EQ(job.k, 4u);
+    ASSERT_TRUE(job.spec.has_value());
+    // v1 carries no decode options: everything defaults.
+    EXPECT_FALSE(job.noise.enabled());
+    EXPECT_EQ(job.rounds, 0u);
+    EXPECT_EQ(job.budget, 0u);
+    EXPECT_FALSE(job.deadline_seconds.has_value());
+  }
+  EXPECT_TRUE(jobs[0].truth_support.has_value());
+  EXPECT_TRUE(jobs[1].truth_support.has_value());
+  EXPECT_FALSE(jobs[2].truth_support.has_value());
+}
+
+TEST(ProtocolCompat, GoldenV1ResponsesLoadWithDefaultDiagnostics) {
+  std::istringstream stream(read_fixture("golden_v1_responses.txt"));
+  const auto reports = load_all_reports(stream);
+  ASSERT_EQ(reports.size(), 3u);
+  for (const DecodeReport& report : reports) {
+    EXPECT_TRUE(report.ok()) << report.error;
+    // v1 frames have no diagnostics: the defaults stand in.
+    EXPECT_EQ(report.rounds, 1u);
+    EXPECT_EQ(report.queries, 0u);
+    EXPECT_EQ(report.stop, StopReason::Completed);
+  }
+  EXPECT_EQ(reports[0].decoder_name, "mn");
+  EXPECT_EQ(reports[1].decoder_name, "gt-dd");
+  EXPECT_EQ(reports[2].decoder_name, "peeling");
+}
+
+TEST(ProtocolCompat, GoldenV1JobsDecodeByteIdentically) {
+  // Serving the archived v1 requests must reproduce the archived v1
+  // results field for field (seconds excepted -- it is wall time).
+  std::istringstream requests(read_fixture("golden_v1_requests.txt"));
+  ThreadPool pool(1);
+  std::stringstream responses;
+  const std::size_t served = serve_stream(requests, responses, BatchEngine(pool));
+  EXPECT_EQ(served, 3u);
+  const auto now = load_all_reports(responses);
+
+  std::istringstream golden_stream(read_fixture("golden_v1_responses.txt"));
+  const auto golden = load_all_reports(golden_stream);
+  ASSERT_EQ(now.size(), golden.size());
+  for (std::size_t j = 0; j < golden.size(); ++j) {
+    EXPECT_TRUE(now[j].ok()) << now[j].error;
+    EXPECT_EQ(now[j].index, golden[j].index);
+    EXPECT_EQ(now[j].decoder_name, golden[j].decoder_name);
+    EXPECT_EQ(now[j].n, golden[j].n);
+    EXPECT_EQ(now[j].k, golden[j].k);
+    EXPECT_EQ(now[j].support, golden[j].support) << "job " << j;
+    EXPECT_EQ(now[j].consistent, golden[j].consistent);
+    EXPECT_EQ(now[j].scored, golden[j].scored);
+    EXPECT_EQ(now[j].exact, golden[j].exact);
+    EXPECT_EQ(now[j].overlap, golden[j].overlap);
+  }
+}
+
+TEST(ProtocolCompat, MixedV1AndV2StreamsServeTogether) {
+  // A v2 client and an archived v1 batch share one connection: frames of
+  // both versions interleave on the request stream.
+  std::string mixed = read_fixture("golden_v1_requests.txt");
+  {
+    std::istringstream v1(mixed);
+    auto jobs = load_all_jobs(v1);
+    DecodeJob v2_job = jobs[0];          // same instance, v2 options
+    v2_job.decoder = "adaptive:mn:L=8";  // round-based, reports trajectory
+    std::ostringstream tail;
+    save_job(tail, v2_job);
+    mixed += tail.str();
+  }
+  std::istringstream requests(mixed);
+  ThreadPool pool(2);
+  std::stringstream responses;
+  const std::size_t served = serve_stream(requests, responses, BatchEngine(pool));
+  EXPECT_EQ(served, 4u);
+  const auto reports = load_all_reports(responses);
+  ASSERT_EQ(reports.size(), 4u);
+  for (std::size_t j = 0; j < reports.size(); ++j) {
+    EXPECT_TRUE(reports[j].ok()) << reports[j].error;
+    EXPECT_EQ(reports[j].index, j);
+  }
+  // The v1 mn job and the v2 adaptive job decode the same instance; both
+  // recover the same support, the adaptive one with a real trajectory.
+  EXPECT_EQ(reports[3].support, reports[0].support);
+  EXPECT_GE(reports[3].rounds, 1u);
+  EXPECT_GT(reports[3].queries, 0u);
+}
+
+TEST(ProtocolCompat, RoundTrippedV1JobsReserializeAsV2) {
+  // Loading a v1 frame and saving it again upgrades the wire format
+  // without changing the job's meaning.
+  std::istringstream stream(read_fixture("golden_v1_requests.txt"));
+  const auto jobs = load_all_jobs(stream);
+  std::stringstream reserialized;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    save_job(reserialized, jobs[j], j);
+  }
+  const std::string text = reserialized.str();
+  EXPECT_NE(text.find("pooled-job v2"), std::string::npos);
+  EXPECT_EQ(text.find("pooled-job v1"), std::string::npos);
+  std::istringstream reparse(text);
+  const auto again = load_all_jobs(reparse);
+  ASSERT_EQ(again.size(), jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    EXPECT_EQ(again[j].decoder, jobs[j].decoder);
+    EXPECT_EQ(again[j].k, jobs[j].k);
+    EXPECT_EQ(again[j].spec->y, jobs[j].spec->y);
+    EXPECT_EQ(again[j].truth_support, jobs[j].truth_support);
+  }
+}
+
+}  // namespace
+}  // namespace pooled

@@ -3,16 +3,21 @@
 // Subcommands:
 //   simulate    draw a signal, run the parallel queries, save the
 //               observables (and the hidden truth separately)
-//   decode      load observables, run a decoder, report the estimate
+//   decode      load observables, run a decoder through the engine,
+//               report the estimate + decode diagnostics
 //   serve       read newline-delimited decode requests, stream results
 //   sweep       success-rate sweep over m, CSV to stdout
+//   decoders    list every registry spec with its variants and docs
 //   thresholds  print every theoretical threshold for (n, theta)
 //
 // Examples:
 //   pooled_cli simulate --n 10000 --theta 0.3 --budget 1.4 --out run.inst
 //   pooled_cli decode --in run.inst --k 16 --decoder mn
+//   pooled_cli decode --in run.inst --k 16 --decoder adaptive:mn:L=16
+//   pooled_cli decode --in run.inst --k 16 --noise sym:0.05:7
 //   pooled_cli serve --in jobs.txt --out results.txt
 //   pooled_cli sweep --n 1000 --theta 0.3 --trials 20
+//   pooled_cli decoders
 //   pooled_cli thresholds --n 10000 --theta 0.3
 #include <cstdio>
 #include <cstring>
@@ -42,7 +47,8 @@ using namespace pooled;
 
 int usage() {
   std::fputs(
-      "usage: pooled_cli <simulate|decode|serve|sweep|thresholds> [options]\n"
+      "usage: pooled_cli <simulate|decode|serve|sweep|decoders|thresholds> "
+      "[options]\n"
       "       pooled_cli <subcommand> --help for options\n",
       stderr);
   return 2;
@@ -112,33 +118,82 @@ int cmd_decode(int argc, const char* const* argv) {
   cli.add_i64("k", "Hamming weight to decode", 16);
   cli.add_string("decoder", decoder_help(), "mn");
   cli.add_string("truth", "optional truth file to score against", "");
+  cli.add_string("noise", "decode-time noise: none|sym:<rate>[:<seed>]|"
+                          "gauss:<sigma>[:<seed>]", "none");
+  cli.add_i64("rounds", "round cap for adaptive decoders (0 = default)", 0);
+  cli.add_i64("budget", "query budget for adaptive decoders (0 = all)", 0);
+  cli.add_i64("deadline-ms", "wall-clock budget in ms (0 = none)", 0);
   cli.parse(argc, argv);
   if (cli.help_requested()) {
     std::fputs(cli.help_text().c_str(), stdout);
     return 0;
   }
+  POOLED_REQUIRE(cli.i64("rounds") >= 0 && cli.i64("budget") >= 0 &&
+                     cli.i64("deadline-ms") >= 0,
+                 "--rounds/--budget/--deadline-ms must be >= 0");
+  POOLED_REQUIRE(cli.i64("k") >= 0 && cli.i64("k") <= 0xFFFFFFFFll &&
+                     cli.i64("rounds") <= 0xFFFFFFFFll,
+                 "--k/--rounds must fit in 32 bits");
   ThreadPool pool;
-  const InstanceSpec spec = load_instance_file(cli.string("in"));
-  const auto instance = spec.to_instance();
-  const auto k = static_cast<std::uint32_t>(cli.i64("k"));
-  const auto decoder = make_decoder(cli.string("decoder"));
-  const Signal estimate = decoder->decode(*instance, k, pool);
-  std::printf("decoded %s with %s: support =", cli.string("in").c_str(),
-              decoder->name().c_str());
-  for (auto i : estimate.support()) std::printf(" %u", i);
-  std::printf("\nconsistent with observations: %s\n",
-              instance->is_consistent(estimate) ? "yes" : "no");
+
+  // The decode rides the engine, exactly like one serve-mode job: same
+  // noise application, diagnostics, and error surface.
+  DecodeJob job;
+  job.spec = load_instance_file(cli.string("in"));
+  job.decoder = cli.string("decoder");
+  job.k = static_cast<std::uint32_t>(cli.i64("k"));
+  job.noise = NoiseModel::parse(cli.string("noise"));
+  job.rounds = static_cast<std::uint32_t>(cli.i64("rounds"));
+  job.budget = static_cast<std::uint64_t>(cli.i64("budget"));
+  if (cli.i64("deadline-ms") > 0) {
+    job.deadline_seconds = static_cast<double>(cli.i64("deadline-ms")) / 1000.0;
+  }
   if (!cli.string("truth").empty()) {
     std::ifstream is(cli.string("truth"));
     POOLED_REQUIRE(static_cast<bool>(is), "cannot open truth file");
     std::vector<std::uint32_t> support;
     std::uint32_t index;
     while (is >> index) support.push_back(index);
-    const Signal truth(instance->n(), support);
-    std::printf("exact=%s overlap=%.1f%%\n",
-                exact_recovery(estimate, truth) ? "yes" : "no",
-                100.0 * overlap_fraction(estimate, truth));
+    job.truth_support = std::move(support);
   }
+
+  EngineOptions options;
+  options.capture_errors = false;  // a broken flag should fail loudly
+  const DecodeReport report = BatchEngine(pool, options).run_one(job);
+  std::printf("decoded %s with %s: support =", cli.string("in").c_str(),
+              report.decoder_name.c_str());
+  for (auto i : report.support) std::printf(" %u", i);
+  std::printf("\nconsistent with observations: %s\n",
+              report.consistent ? "yes" : "no");
+  std::printf("rounds=%u queries=%llu stop=%s (%.3f ms)\n", report.rounds,
+              static_cast<unsigned long long>(report.queries),
+              stop_reason_name(report.stop).c_str(), 1000.0 * report.seconds);
+  if (report.scored) {
+    std::printf("exact=%s overlap=%.1f%%\n", report.exact ? "yes" : "no",
+                100.0 * report.overlap);
+  }
+  return 0;
+}
+
+int cmd_decoders(int argc, const char* const* argv) {
+  CliParser cli("pooled_cli decoders");
+  cli.parse(argc, argv);
+  if (cli.help_requested()) {
+    std::fputs(cli.help_text().c_str(), stdout);
+    return 0;
+  }
+  // Discovery endpoint for serve clients: every spec the registry
+  // resolves, with its variant grammar and one-line doc.
+  std::printf("decoder specs: %s\n\n",
+              DecoderRegistry::global().spec_help().c_str());
+  ConsoleTable table({"spec", "description"});
+  for (const auto& entry : DecoderRegistry::global().help_entries()) {
+    table.add_row({entry.name + entry.variants_help, entry.description});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nv2 job options apply to any spec: noise (sym/gauss), deadline-ms,\n"
+      "and -- for adaptive -- rounds and budget (see engine/protocol.hpp).\n");
   return 0;
 }
 
@@ -208,6 +263,8 @@ int cmd_sweep(int argc, const char* const* argv) {
   cli.add_i64("points", "grid points", 12);
   cli.add_f64("max-factor", "grid top as multiple of m_MN(finite)", 2.5);
   cli.add_string("decoder", decoder_help(), "mn");
+  cli.add_string("noise", "per-trial noise: none|sym:<rate>[:<seed>]|"
+                          "gauss:<sigma>[:<seed>]", "none");
   cli.add_i64("seed", "seed base", 1);
   cli.parse(argc, argv);
   if (cli.help_requested()) {
@@ -219,6 +276,7 @@ int cmd_sweep(int argc, const char* const* argv) {
   config.n = static_cast<std::uint32_t>(cli.i64("n"));
   config.k = thresholds::k_of(config.n, cli.f64("theta"));
   config.seed_base = static_cast<std::uint64_t>(cli.i64("seed"));
+  config.noise = NoiseModel::parse(cli.string("noise"));
   const double m_star =
       thresholds::m_mn_finite(config.n, std::max<std::uint32_t>(config.k, 2));
   const auto grid = linear_grid(
@@ -293,6 +351,7 @@ int main(int argc, char** argv) {
     if (command == "decode") return cmd_decode(argc - 1, argv + 1);
     if (command == "serve") return cmd_serve(argc - 1, argv + 1);
     if (command == "sweep") return cmd_sweep(argc - 1, argv + 1);
+    if (command == "decoders") return cmd_decoders(argc - 1, argv + 1);
     if (command == "thresholds") return cmd_thresholds(argc - 1, argv + 1);
   } catch (const pooled::ContractError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
