@@ -67,6 +67,9 @@ DecodeReport execute(const DecodeJob& job, std::size_t index, ThreadPool& pool,
   context.max_rounds = job.rounds;
   context.query_budget = job.budget;
   context.deadline_seconds = job.deadline_seconds;
+  context.rng_seed = job.rng_seed;
+  context.cancel = job.cancel;
+  context.stats = job.stats;
 
   const Instance& instance = *bundle.instance;
   report.decoder_name = decoder->name();
@@ -85,7 +88,11 @@ DecodeReport execute(const DecodeJob& job, std::size_t index, ThreadPool& pool,
     report.overlap = overlap_fraction(estimate, truth);
   }
   report.seconds = timer.seconds();
-  if (cache != nullptr && cache_key) cache->insert(*cache_key, report);
+  // A cancelled (or clock-bound) stop is not the job's canonical result;
+  // caching it would replay the truncated decode forever.
+  const bool partial = report.stop == StopReason::Cancelled ||
+                       report.stop == StopReason::Deadline;
+  if (cache != nullptr && cache_key && !partial) cache->insert(*cache_key, report);
   return report;
 }
 

@@ -64,6 +64,19 @@ struct DecodeJob {
   /// Deadline-bearing jobs are never cached: their outcome depends on the
   /// clock, not just the inputs.
   std::optional<double> deadline_seconds;
+  /// Seed for stochastic decoders (protocol field `seed`; 0 = the
+  /// decoder's own default). Part of the cache key: seeded and unseeded
+  /// decodes of one instance never alias.
+  std::uint64_t rng_seed = 0;
+
+  // -- per-job plumbing (not serialized; wired by the serving layer) ----
+  /// Cooperative cancellation token forwarded to DecodeContext::cancel
+  /// (may be null). The socket server points every job of a connection at
+  /// the connection's token so a dropped client reclaims its workers.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Per-round progress observer forwarded to DecodeContext::stats (may
+  /// be null; see ProgressStream in engine/protocol.hpp).
+  DecodeStatsSink* stats = nullptr;
 };
 
 /// Outcome of one job; `index` is the job's submission position.

@@ -99,6 +99,7 @@ void save_job(std::ostream& os, const DecodeJob& job,
   os.precision(old_precision);
   if (job.rounds > 0) os << "rounds " << job.rounds << '\n';
   if (job.budget > 0) os << "budget " << job.budget << '\n';
+  if (job.rng_seed != 0) os << "seed " << job.rng_seed << '\n';
   os << "instance\n";
   save_instance(os, *job.spec);
   os << kEnd << '\n';
@@ -146,6 +147,10 @@ std::optional<DecodeJob> load_job(std::istream& is) {
       require_v2(*version, key);
       POOLED_REQUIRE(static_cast<bool>(fields >> job.budget),
                      "truncated budget field");
+    } else if (key == "seed") {
+      require_v2(*version, key);
+      POOLED_REQUIRE(static_cast<bool>(fields >> job.rng_seed),
+                     "truncated seed field");
     } else if (key == "truth") {
       std::vector<std::uint32_t> support;
       std::uint32_t index = 0;
@@ -282,11 +287,23 @@ std::optional<DecodeReport> load_report(std::istream& is) {
   return report;
 }
 
+void ProgressStream::emit(std::uint64_t connection, std::size_t job_index,
+                          std::uint32_t round, std::uint64_t queries) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  os_ << "progress ";
+  if (connection != 0) os_ << "conn=" << connection << ' ';
+  os_ << "job=" << job_index << " round=" << round << " queries=" << queries
+      << '\n';
+  os_.flush();
+}
+
 std::size_t serve_stream(std::istream& is, std::ostream& os,
-                         const BatchEngine& engine, std::size_t chunk) {
+                         const BatchEngine& engine, std::size_t chunk,
+                         ProgressStream* progress,
+                         const std::atomic<bool>* cancel) {
   if (chunk == 0) chunk = engine.window();
   std::size_t served = 0;
-  while (true) {
+  while (cancel == nullptr || !cancel->load(std::memory_order_relaxed)) {
     std::vector<DecodeJob> jobs;
     jobs.reserve(chunk);
     while (jobs.size() < chunk) {
@@ -295,6 +312,17 @@ std::size_t serve_stream(std::istream& is, std::ostream& os,
       jobs.push_back(std::move(*job));
     }
     if (jobs.empty()) break;
+    // Progress sinks are tagged with the stream-global index the result
+    // frame will carry, so a client can correlate the two.
+    std::vector<ProgressStream::JobSink> sinks;
+    sinks.reserve(jobs.size());
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      jobs[j].cancel = cancel;
+      if (progress != nullptr) {
+        sinks.push_back(progress->sink(served + j));
+        jobs[j].stats = &sinks.back();
+      }
+    }
     std::vector<DecodeReport> reports = engine.run(jobs);
     for (DecodeReport& report : reports) {
       report.index += served;  // global index across the stream

@@ -14,13 +14,13 @@
 //   deadline-ms 250  (optional)      k 16
 //   rounds 32        (optional)      seconds 0.00123
 //   budget 4096      (optional)      consistent 1
-//   instance                         rounds 3
-//   pooled-instance v1               queries 48
-//   design random-regular            stop converged
-//   ...                              support 3 17 42
-//   y 12 9 14                        exact 1       (only when truth given)
-//   end                              overlap 1     (only when truth given)
-//                                    end
+//   seed 9181        (optional)      rounds 3
+//   instance                         queries 48
+//   pooled-instance v1               stop converged
+//   design random-regular            support 3 17 42
+//   ...                              exact 1       (only when truth given)
+//   y 12 9 14                        overlap 1     (only when truth given)
+//   end                              end
 //
 // Writers emit v2; readers accept v1 frames (the PR-2 format) unchanged:
 // a v1 job decodes exactly as before (no noise, no caps) and a v1 result
@@ -32,13 +32,63 @@
 // fields.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <iosfwd>
+#include <mutex>
 #include <optional>
 
 #include "engine/batch_engine.hpp"
 
 namespace pooled {
+
+/// Thread-safe per-round progress reporting for serve mode: one stream
+/// shared by every in-flight job, each job writing lines tagged with its
+/// global index ("progress job=3 round=2 queries=32"). The socket server
+/// additionally tags the connection ("progress conn=2 job=0 ..."), since
+/// each connection numbers its jobs from zero. `pooled_cli serve
+/// --progress` points one at stderr so long adaptive decodes are
+/// observable while the result frame is still pending.
+class ProgressStream {
+ public:
+  explicit ProgressStream(std::ostream& os) : os_(os) {}
+
+  /// `connection` 0 = untagged (single-stream serve).
+  void emit(std::uint64_t connection, std::size_t job_index,
+            std::uint32_t round, std::uint64_t queries);
+
+  /// Sink tagging every round callback with one job's global index (and
+  /// its connection, under the socket server). Value type so serve loops
+  /// can hold one per job of a window; the ProgressStream must outlive
+  /// it.
+  class JobSink final : public DecodeStatsSink {
+   public:
+    JobSink(ProgressStream& owner, std::uint64_t connection,
+            std::size_t job_index)
+        : owner_(&owner), connection_(connection), job_index_(job_index) {}
+    void on_round(std::uint32_t round, std::uint64_t queries_so_far) override {
+      owner_->emit(connection_, job_index_, round, queries_so_far);
+    }
+
+   private:
+    ProgressStream* owner_;
+    std::uint64_t connection_;
+    std::size_t job_index_;
+  };
+
+  [[nodiscard]] JobSink sink(std::size_t job_index) {
+    return JobSink(*this, 0, job_index);
+  }
+
+  [[nodiscard]] JobSink connection_sink(std::uint64_t connection,
+                                        std::size_t job_index) {
+    return JobSink(*this, connection, job_index);
+  }
+
+ private:
+  std::mutex mutex_;  // one progress line at a time
+  std::ostream& os_;
+};
 
 /// Writes one request. Only spec-backed jobs serialize (prebuilt or
 /// lazily-built instances and decoder overrides have no textual form);
@@ -61,8 +111,13 @@ std::optional<DecodeReport> load_report(std::istream& is);
 /// (0 = the engine's window), runs each window through `engine`, and
 /// writes responses to `os` as each window completes -- results stream
 /// out while later requests are still unread. Job indices are global
-/// across the stream. Returns the number of jobs served.
+/// across the stream. A non-null `progress` receives per-round callbacks
+/// tagged with those global indices; a non-null `cancel` is forwarded to
+/// every job (and stops the loop between windows once set). Returns the
+/// number of jobs served.
 std::size_t serve_stream(std::istream& is, std::ostream& os,
-                         const BatchEngine& engine, std::size_t chunk = 0);
+                         const BatchEngine& engine, std::size_t chunk = 0,
+                         ProgressStream* progress = nullptr,
+                         const std::atomic<bool>* cancel = nullptr);
 
 }  // namespace pooled

@@ -26,9 +26,9 @@ std::optional<std::string> ResultCache::job_key(const DecodeJob& job) {
       << "|cc=" << (job.check_consistency ? 1 : 0)
       // Every decode option that shapes the outcome keys the entry:
       // noisy and noiseless decodes of the same instance never alias,
-      // and neither do different round/budget caps.
+      // and neither do different round/budget caps or RNG seeds.
       << "|noise=" << job.noise.to_string() << "|rounds=" << job.rounds
-      << "|budget=" << job.budget << "|truth=";
+      << "|budget=" << job.budget << "|seed=" << job.rng_seed << "|truth=";
   if (job.truth_support) {
     for (std::uint32_t i : *job.truth_support) key << i << ',';
   } else {

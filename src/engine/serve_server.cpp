@@ -1,0 +1,278 @@
+#include "engine/serve_server.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace pooled {
+
+/// Per-connection state shared by the handler thread, its reader thread,
+/// and the reaper.
+struct ServeServer::Connection {
+  Connection(Socket socket, std::size_t chunk_, std::uint64_t serial_)
+      : stream(std::move(socket)), chunk(chunk_), serial(serial_) {}
+
+  SocketStream stream;
+  const std::size_t chunk;
+  const std::uint64_t serial;  ///< 1-based accept order; tags progress lines
+
+  /// Serializes result frames and liveness probes so a probe newline
+  /// never lands inside a frame (frames are always flushed whole under
+  /// this mutex).
+  std::mutex write_mutex;
+
+  /// The connection's cancel token; every in-flight DecodeContext points
+  /// here. Set by the reaper (dropped peer) or by stop().
+  std::atomic<bool> cancel{false};
+  std::atomic<bool> done{false};
+
+  // Reader -> handler pipeline. Bounded at two windows so a fast client
+  // cannot buffer an unbounded backlog server-side.
+  std::mutex queue_mutex;
+  std::condition_variable queue_cv;
+  std::deque<DecodeJob> queue;
+  bool reader_done = false;
+  std::string parse_error;
+
+  std::thread handler;
+};
+
+ServeServer::ServeServer(ListenSocket listener, const BatchEngine& engine,
+                         ServeServerOptions options)
+    : listener_(std::move(listener)), engine_(engine), options_(options) {
+  POOLED_REQUIRE(listener_.valid(), "serve server needs a bound listener");
+  POOLED_REQUIRE(options_.probe_seconds > 0.0,
+                 "reaper probe period must be positive");
+}
+
+ServeServer::~ServeServer() { stop(); }
+
+const SocketAddress& ServeServer::address() const {
+  return listener_.local_address();
+}
+
+void ServeServer::start() {
+  POOLED_REQUIRE(!accept_thread_.joinable(), "serve server already started");
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  reaper_thread_ = std::thread([this] { reaper_loop(); });
+}
+
+void ServeServer::stop() {
+  stop_.store(true);
+  listener_.close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (reaper_thread_.joinable()) reaper_thread_.join();
+  // The accept loop is gone, but a concurrent stats() may still walk the
+  // list; handlers never take connections_mutex_, so joining under it is
+  // deadlock-free.
+  const std::lock_guard<std::mutex> lock(connections_mutex_);
+  for (const auto& connection : connections_) {
+    connection->cancel.store(true);
+    connection->stream.socket().shutdown_both();  // unblocks the reader
+    connection->queue_cv.notify_all();
+  }
+  for (const auto& connection : connections_) {
+    if (connection->handler.joinable()) connection->handler.join();
+  }
+  connections_.clear();
+}
+
+ServeServerStats ServeServer::stats() const {
+  ServeServerStats stats;
+  stats.connections_accepted = connections_accepted_.load();
+  stats.connections_reaped = connections_reaped_.load();
+  stats.jobs_served = jobs_served_.load();
+  stats.jobs_cancelled = jobs_cancelled_.load();
+  stats.jobs_failed = jobs_failed_.load();
+  const std::lock_guard<std::mutex> lock(connections_mutex_);
+  for (const auto& connection : connections_) {
+    if (!connection->done.load()) ++stats.active_connections;
+  }
+  return stats;
+}
+
+void ServeServer::accept_loop() {
+  const std::size_t chunk =
+      options_.chunk > 0 ? options_.chunk : engine_.window();
+  while (!stop_.load()) {
+    std::optional<Socket> socket = listener_.accept(/*timeout_ms=*/100);
+    // Reap finished connections on every wakeup so a long-lived server
+    // does not accumulate one thread + fd per past client.
+    {
+      const std::lock_guard<std::mutex> lock(connections_mutex_);
+      for (auto it = connections_.begin(); it != connections_.end();) {
+        if ((*it)->done.load()) {
+          if ((*it)->handler.joinable()) (*it)->handler.join();
+          it = connections_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    if (!socket) continue;
+    socket->set_send_timeout(options_.write_timeout_seconds);
+    const std::uint64_t serial = connections_accepted_.fetch_add(1) + 1;
+    auto connection =
+        std::make_unique<Connection>(std::move(*socket), chunk, serial);
+    Connection& ref = *connection;
+    {
+      const std::lock_guard<std::mutex> lock(connections_mutex_);
+      connections_.push_back(std::move(connection));
+    }
+    ref.handler = std::thread([this, &ref] { handle_connection(ref); });
+  }
+}
+
+void ServeServer::reaper_loop() {
+  while (!stop_.load()) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(options_.probe_seconds));
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (const auto& connection : connections_) {
+      if (connection->done.load() || connection->cancel.load()) continue;
+      bool alive;
+      {
+        // try_lock, not lock: a handler mid-write (possibly blocked in
+        // send against a stalled reader) must not wedge the reaper --
+        // and with it connections_mutex_, accepts, and stop().
+        const std::unique_lock<std::mutex> write_lock(connection->write_mutex,
+                                                      std::try_to_lock);
+        if (!write_lock.owns_lock()) continue;  // probe again next period
+        alive = send_liveness_probe(connection->stream.socket());
+      }
+      if (alive) continue;
+      // Peer is gone: reclaim the workers. The cancel token stops every
+      // in-flight round-based decode at its next round boundary, and the
+      // shutdown unblocks a reader waiting in recv.
+      connection->cancel.store(true);
+      connections_reaped_.fetch_add(1);
+      connection->stream.socket().shutdown_both();
+      connection->queue_cv.notify_all();
+    }
+  }
+}
+
+void ServeServer::read_requests(Connection& connection) {
+  std::istream& in = connection.stream.in();
+  const std::size_t queue_cap = 2 * connection.chunk;
+  try {
+    while (!connection.cancel.load()) {
+      std::optional<DecodeJob> job = load_job(in);
+      if (!job) break;  // clean end of requests (client half-closed)
+      std::unique_lock<std::mutex> lock(connection.queue_mutex);
+      connection.queue_cv.wait(lock, [&] {
+        return connection.queue.size() < queue_cap || connection.cancel.load();
+      });
+      if (connection.cancel.load()) break;
+      connection.queue.push_back(std::move(*job));
+      lock.unlock();
+      connection.queue_cv.notify_all();
+    }
+  } catch (const std::exception& e) {
+    // Framing is lost after a parse error; the handler reports it as the
+    // connection's final frame. A cancelled connection's read errors are
+    // teardown noise, not protocol errors.
+    const std::lock_guard<std::mutex> lock(connection.queue_mutex);
+    if (!connection.cancel.load()) connection.parse_error = e.what();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(connection.queue_mutex);
+    connection.reader_done = true;
+  }
+  connection.queue_cv.notify_all();
+}
+
+void ServeServer::handle_connection(Connection& connection) {
+  std::thread reader([this, &connection] { read_requests(connection); });
+  std::ostream& out = connection.stream.out();
+  std::size_t served = 0;
+  bool peer_writable = true;
+  while (true) {
+    std::vector<DecodeJob> jobs;
+    bool drained = false;
+    {
+      std::unique_lock<std::mutex> lock(connection.queue_mutex);
+      connection.queue_cv.wait(lock, [&] {
+        return !connection.queue.empty() || connection.reader_done ||
+               connection.cancel.load();
+      });
+      if (connection.cancel.load()) break;
+      while (!connection.queue.empty() && jobs.size() < connection.chunk) {
+        jobs.push_back(std::move(connection.queue.front()));
+        connection.queue.pop_front();
+      }
+      drained = connection.queue.empty() && connection.reader_done;
+    }
+    connection.queue_cv.notify_all();  // the reader may be waiting on space
+    if (!jobs.empty()) {
+      // The window decodes while the reader keeps parsing ahead. Every
+      // job shares the connection's cancel token; progress sinks carry
+      // the connection-global index the result frame will use.
+      std::vector<ProgressStream::JobSink> sinks;
+      sinks.reserve(jobs.size());
+      for (std::size_t j = 0; j < jobs.size(); ++j) {
+        jobs[j].cancel = &connection.cancel;
+        if (options_.progress != nullptr) {
+          // conn-tagged: every connection numbers its jobs from zero, so
+          // the bare index would be ambiguous across clients.
+          sinks.push_back(options_.progress->connection_sink(connection.serial,
+                                                             served + j));
+          jobs[j].stats = &sinks.back();
+        }
+      }
+      std::vector<DecodeReport> reports = engine_.run(jobs);
+      try {
+        const std::lock_guard<std::mutex> lock(connection.write_mutex);
+        for (DecodeReport& report : reports) {
+          report.index += served;  // global index across the connection
+          if (report.stop == StopReason::Cancelled) {
+            jobs_cancelled_.fetch_add(1);
+          }
+          if (!report.ok()) jobs_failed_.fetch_add(1);
+          save_report(out, report);
+        }
+        out.flush();
+        POOLED_REQUIRE(static_cast<bool>(out), "result frame write failed");
+      } catch (const std::exception&) {
+        // The peer stopped reading mid-stream: nothing left to deliver.
+        peer_writable = false;
+        connection.cancel.store(true);
+        break;
+      }
+      served += jobs.size();
+      jobs_served_.fetch_add(jobs.size());
+    }
+    if (drained) break;
+  }
+  // A parse error ends the connection with one final error frame so the
+  // client learns why its later requests were never answered.
+  std::string parse_error;
+  {
+    const std::lock_guard<std::mutex> lock(connection.queue_mutex);
+    parse_error = connection.parse_error;
+  }
+  if (!parse_error.empty() && peer_writable && !connection.cancel.load()) {
+    DecodeReport failure;
+    failure.index = served;
+    failure.error = "protocol error: " + parse_error;
+    jobs_failed_.fetch_add(1);
+    try {
+      const std::lock_guard<std::mutex> lock(connection.write_mutex);
+      save_report(out, failure);
+      out.flush();
+    } catch (const std::exception&) {
+      // The peer is gone too; the counter above still records it.
+    }
+  }
+  connection.stream.socket().shutdown_both();  // unblocks a waiting reader
+  reader.join();
+  connection.done.store(true);
+}
+
+}  // namespace pooled

@@ -1,0 +1,124 @@
+// Concurrent socket serving of the decode protocol.
+//
+// `pooled_cli serve --listen <addr>` runs one of these around the same
+// BatchEngine the stdin serve loop uses. Each accepted connection gets a
+// request pipeline of its own:
+//
+//   reader thread --- load_job() ---> bounded job queue
+//   handler thread <-- pops windows -- engine.run() --> result frames
+//
+// so frame parsing overlaps with decoding: while one window decodes on
+// the shared ThreadPool, the reader is already parsing the next requests
+// (up to two windows deep). Result frames are rebased by the
+// connection-global job index, exactly as serve_stream does per window,
+// and v1/v2 frames mix freely on one connection because protocol version
+// negotiation is per frame.
+//
+// Connection lifecycle:
+//   - A client half-close (shutdown of its write side) means "no more
+//     requests": queued jobs finish, their results flush, the server
+//     half-closes its own write side, and the connection winds down.
+//   - A *dropped* connection is detected by the reaper thread, which
+//     probes every live connection with an out-of-band blank line (frame
+//     readers skip blank lines) every probe period. A probe that fails
+//     with a dead-peer error sets the connection's cancel token -- the
+//     same std::atomic that every in-flight DecodeContext::cancel points
+//     at -- so round-based decodes stop at the next round boundary and
+//     the workers go back to serving live connections instead of
+//     decoding for a ghost. Per-job deadlines (`deadline-ms`) ride the
+//     normal DecodeContext::deadline_seconds path and stop with
+//     `stop deadline`.
+//   - A malformed frame loses framing for good, so the reader stops,
+//     in-flight jobs drain, and the connection ends with a final
+//     `status error` frame naming the parse failure.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "engine/protocol.hpp"
+#include "engine/socket_transport.hpp"
+
+namespace pooled {
+
+struct ServeServerOptions {
+  /// Jobs per scheduling window (0 = the engine's window). The parsed-
+  /// job queue holds at most two windows, bounding per-connection
+  /// buffering the same way serve_stream's chunking does.
+  std::size_t chunk = 0;
+  /// Reaper probe period. A dropped connection is detected within about
+  /// two periods (the first probe after the drop may still buffer).
+  double probe_seconds = 0.05;
+  /// Per-send cap on result writes (SO_SNDTIMEO; 0 = unbounded). A
+  /// connected client that stops reading stalls its writer at most this
+  /// long before the connection errors out and its jobs cancel.
+  double write_timeout_seconds = 30.0;
+  /// Per-round progress lines tagged with connection-global job indices
+  /// (`serve --progress`); may be null. Must outlive the server.
+  ProgressStream* progress = nullptr;
+};
+
+/// Counter snapshot (monotonic except active_connections).
+struct ServeServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_reaped = 0;  ///< dropped by the liveness probe
+  std::uint64_t active_connections = 0;
+  std::uint64_t jobs_served = 0;     ///< result frames written (or attempted)
+  std::uint64_t jobs_cancelled = 0;  ///< served jobs that stopped on cancel
+  std::uint64_t jobs_failed = 0;     ///< `status error` frames, parse errors included
+};
+
+class ServeServer {
+ public:
+  /// Takes ownership of a bound listener. The engine (and its pool,
+  /// cache, and the options' progress stream) must outlive the server.
+  ServeServer(ListenSocket listener, const BatchEngine& engine,
+              ServeServerOptions options = {});
+  ~ServeServer();  ///< stop() if still running
+
+  ServeServer(const ServeServer&) = delete;
+  ServeServer& operator=(const ServeServer&) = delete;
+
+  /// Spawns the accept loop and the reaper; returns immediately.
+  void start();
+
+  /// Stops accepting, cancels every in-flight decode, unblocks and joins
+  /// every connection thread. Idempotent.
+  void stop();
+
+  /// The resolved listen address (real port when bound with port 0).
+  [[nodiscard]] const SocketAddress& address() const;
+
+  [[nodiscard]] ServeServerStats stats() const;
+
+ private:
+  struct Connection;
+
+  void accept_loop();
+  void reaper_loop();
+  void handle_connection(Connection& connection);
+  void read_requests(Connection& connection);
+
+  ListenSocket listener_;
+  const BatchEngine& engine_;
+  ServeServerOptions options_;
+
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+  std::thread reaper_thread_;
+
+  mutable std::mutex connections_mutex_;
+  std::list<std::unique_ptr<Connection>> connections_;
+
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> connections_reaped_{0};
+  std::atomic<std::uint64_t> jobs_served_{0};
+  std::atomic<std::uint64_t> jobs_cancelled_{0};
+  std::atomic<std::uint64_t> jobs_failed_{0};
+};
+
+}  // namespace pooled

@@ -1,0 +1,264 @@
+#include "engine/socket_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <utility>
+
+#include "support/assert.hpp"
+
+namespace pooled {
+
+namespace {
+
+constexpr std::size_t kBufferSize = 1 << 16;
+
+std::string errno_text() { return std::strerror(errno); }
+
+/// Builds the sockaddr for either family; returns the usable length.
+socklen_t fill_sockaddr(const SocketAddress& address, sockaddr_storage* storage) {
+  std::memset(storage, 0, sizeof(*storage));
+  if (address.family == SocketAddress::Family::Unix) {
+    auto* sun = reinterpret_cast<sockaddr_un*>(storage);
+    sun->sun_family = AF_UNIX;
+    POOLED_REQUIRE(address.path.size() < sizeof(sun->sun_path),
+                   "unix socket path too long: " + address.path);
+    std::memcpy(sun->sun_path, address.path.c_str(), address.path.size() + 1);
+    return sizeof(sockaddr_un);
+  }
+  auto* sin = reinterpret_cast<sockaddr_in*>(storage);
+  sin->sin_family = AF_INET;
+  sin->sin_port = htons(address.port);
+  const std::string host =
+      address.host == "localhost" ? std::string("127.0.0.1") : address.host;
+  POOLED_REQUIRE(inet_pton(AF_INET, host.c_str(), &sin->sin_addr) == 1,
+                 "cannot parse host '" + address.host +
+                     "' (numeric IPv4 or 'localhost')");
+  return sizeof(sockaddr_in);
+}
+
+int open_socket(const SocketAddress& address) {
+  const int domain =
+      address.family == SocketAddress::Family::Unix ? AF_UNIX : AF_INET;
+  const int fd = ::socket(domain, SOCK_STREAM, 0);
+  POOLED_REQUIRE(fd >= 0, "socket() failed: " + errno_text());
+  return fd;
+}
+
+/// Interactive request/response traffic wants frames on the wire now,
+/// not Nagle-batched 40ms later.
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+SocketAddress SocketAddress::parse(const std::string& text) {
+  POOLED_REQUIRE(!text.empty(), "empty socket address");
+  SocketAddress address;
+  constexpr const char* kUnixPrefix = "unix:";
+  if (text.rfind(kUnixPrefix, 0) == 0) {
+    address.family = Family::Unix;
+    address.path = text.substr(std::strlen(kUnixPrefix));
+    POOLED_REQUIRE(!address.path.empty(),
+                   "unix socket address needs a path: '" + text + "'");
+    return address;
+  }
+  const auto colon = text.rfind(':');
+  POOLED_REQUIRE(colon != std::string::npos,
+                 "socket address must be <host>:<port> or unix:/path, got '" +
+                     text + "'");
+  if (colon > 0) address.host = text.substr(0, colon);
+  const std::string port_text = text.substr(colon + 1);
+  unsigned port = 0;
+  const auto [ptr, ec] = std::from_chars(
+      port_text.data(), port_text.data() + port_text.size(), port);
+  POOLED_REQUIRE(ec == std::errc() &&
+                     ptr == port_text.data() + port_text.size() &&
+                     port <= 0xFFFF,
+                 "bad port in socket address '" + text + "'");
+  address.port = static_cast<std::uint16_t>(port);
+  return address;
+}
+
+std::string SocketAddress::to_string() const {
+  if (family == Family::Unix) return "unix:" + path;
+  return host + ":" + std::to_string(port);
+}
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void Socket::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::set_send_timeout(double seconds) {
+  if (fd_ < 0 || seconds <= 0.0) return;
+  timeval timeout;
+  timeout.tv_sec = static_cast<time_t>(seconds);
+  timeout.tv_usec = static_cast<suseconds_t>(
+      (seconds - static_cast<double>(timeout.tv_sec)) * 1e6);
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket Socket::dial(const SocketAddress& address) {
+  sockaddr_storage storage;
+  const socklen_t length = fill_sockaddr(address, &storage);
+  Socket socket(open_socket(address));
+  POOLED_REQUIRE(::connect(socket.fd(),
+                           reinterpret_cast<const sockaddr*>(&storage),
+                           length) == 0,
+                 "cannot connect to " + address.to_string() + ": " +
+                     errno_text());
+  if (address.family == SocketAddress::Family::Tcp) set_nodelay(socket.fd());
+  return socket;
+}
+
+SocketStreambuf::SocketStreambuf(int fd)
+    : fd_(fd), in_buffer_(kBufferSize), out_buffer_(kBufferSize) {
+  setg(in_buffer_.data(), in_buffer_.data(), in_buffer_.data());
+  setp(out_buffer_.data(), out_buffer_.data() + out_buffer_.size());
+}
+
+SocketStreambuf::int_type SocketStreambuf::underflow() {
+  if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+  ssize_t got;
+  do {
+    got = ::recv(fd_, in_buffer_.data(), in_buffer_.size(), 0);
+  } while (got < 0 && errno == EINTR);
+  if (got <= 0) return traits_type::eof();  // EOF or error: stream ends
+  setg(in_buffer_.data(), in_buffer_.data(), in_buffer_.data() + got);
+  return traits_type::to_int_type(*gptr());
+}
+
+bool SocketStreambuf::flush_buffer() {
+  const char* data = pbase();
+  std::size_t remaining = static_cast<std::size_t>(pptr() - pbase());
+  while (remaining > 0) {
+    const ssize_t sent = ::send(fd_, data, remaining, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;  // peer gone: iostream turns this into badbit
+    }
+    data += sent;
+    remaining -= static_cast<std::size_t>(sent);
+  }
+  setp(out_buffer_.data(), out_buffer_.data() + out_buffer_.size());
+  return true;
+}
+
+SocketStreambuf::int_type SocketStreambuf::overflow(int_type ch) {
+  if (!flush_buffer()) return traits_type::eof();
+  if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+    *pptr() = traits_type::to_char_type(ch);
+    pbump(1);
+  }
+  return traits_type::not_eof(ch);
+}
+
+int SocketStreambuf::sync() { return flush_buffer() ? 0 : -1; }
+
+SocketStream::SocketStream(Socket socket)
+    : socket_(std::move(socket)),
+      buffer_(socket_.fd()),
+      in_(&buffer_),
+      out_(&buffer_) {}
+
+ListenSocket::ListenSocket(Socket socket, SocketAddress address)
+    : socket_(std::move(socket)), address_(std::move(address)) {}
+
+ListenSocket ListenSocket::bind_and_listen(const SocketAddress& address,
+                                           int backlog) {
+  SocketAddress resolved = address;
+  if (address.family == SocketAddress::Family::Unix) {
+    ::unlink(address.path.c_str());  // stale socket from a previous run
+  }
+  Socket socket(open_socket(address));
+  if (address.family == SocketAddress::Family::Tcp) {
+    int one = 1;
+    ::setsockopt(socket.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  }
+  sockaddr_storage storage;
+  const socklen_t length = fill_sockaddr(address, &storage);
+  POOLED_REQUIRE(::bind(socket.fd(), reinterpret_cast<const sockaddr*>(&storage),
+                        length) == 0,
+                 "cannot bind " + address.to_string() + ": " + errno_text());
+  POOLED_REQUIRE(::listen(socket.fd(), backlog) == 0,
+                 "cannot listen on " + address.to_string() + ": " + errno_text());
+  if (address.family == SocketAddress::Family::Tcp) {
+    // Port 0 asked the kernel to pick: read the real port back.
+    sockaddr_in bound;
+    socklen_t bound_length = sizeof(bound);
+    POOLED_REQUIRE(::getsockname(socket.fd(),
+                                 reinterpret_cast<sockaddr*>(&bound),
+                                 &bound_length) == 0,
+                   "getsockname failed: " + errno_text());
+    resolved.port = ntohs(bound.sin_port);
+  }
+  return ListenSocket(std::move(socket), std::move(resolved));
+}
+
+ListenSocket::~ListenSocket() { close(); }
+
+void ListenSocket::close() {
+  if (!socket_.valid()) return;
+  socket_.close();
+  if (address_.family == SocketAddress::Family::Unix) {
+    ::unlink(address_.path.c_str());
+  }
+}
+
+std::optional<Socket> ListenSocket::accept(int timeout_ms) {
+  if (!socket_.valid()) return std::nullopt;
+  pollfd poller{socket_.fd(), POLLIN, 0};
+  const int ready = ::poll(&poller, 1, timeout_ms);
+  if (ready <= 0) return std::nullopt;  // timeout or (transient) error
+  const int fd = ::accept(socket_.fd(), nullptr, nullptr);
+  if (fd < 0) return std::nullopt;  // raced with close(), or client gone
+  if (address_.family == SocketAddress::Family::Tcp) set_nodelay(fd);
+  return Socket(fd);
+}
+
+bool send_liveness_probe(const Socket& socket) {
+  if (!socket.valid()) return false;
+  const char newline = '\n';
+  const ssize_t sent =
+      ::send(socket.fd(), &newline, 1, MSG_NOSIGNAL | MSG_DONTWAIT);
+  if (sent == 1) return true;
+  // A full send buffer (EAGAIN) means a slow reader, not a dead one.
+  return errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR;
+}
+
+}  // namespace pooled

@@ -431,6 +431,15 @@ TEST(ResultCache, JobKeyCoversEveryReportShapingInput) {
   capped_budget.budget = 100;
   EXPECT_NE(ResultCache::job_key(capped_budget), base_key);
 
+  // The RNG seed shapes stochastic decodes: seeded and unseeded jobs
+  // (and differently-seeded ones) must never alias.
+  DecodeJob seeded = base;
+  seeded.rng_seed = 7;
+  EXPECT_NE(ResultCache::job_key(seeded), base_key);
+  DecodeJob reseeded = seeded;
+  reseeded.rng_seed = 8;
+  EXPECT_NE(ResultCache::job_key(reseeded), ResultCache::job_key(seeded));
+
   // Deadline outcomes depend on the clock: never cacheable.
   DecodeJob with_deadline = base;
   with_deadline.deadline_seconds = 0.5;
@@ -840,6 +849,7 @@ TEST(ProtocolV2, JobRoundTripPreservesDecodeOptions) {
   job.rounds = 12;
   job.budget = 4096;
   job.deadline_seconds = 0.25;
+  job.rng_seed = 9181;
   std::stringstream buffer;
   save_job(buffer, job);
   EXPECT_EQ(buffer.str().rfind("pooled-job v2", 0), 0u);
@@ -849,6 +859,7 @@ TEST(ProtocolV2, JobRoundTripPreservesDecodeOptions) {
   EXPECT_EQ(loaded->noise, job.noise);
   EXPECT_EQ(loaded->rounds, 12u);
   EXPECT_EQ(loaded->budget, 4096u);
+  EXPECT_EQ(loaded->rng_seed, 9181u);
   ASSERT_TRUE(loaded->deadline_seconds.has_value());
   EXPECT_DOUBLE_EQ(*loaded->deadline_seconds, 0.25);
   ASSERT_TRUE(loaded->truth_support.has_value());
@@ -890,7 +901,7 @@ TEST(ProtocolV2, ReportRoundTripCarriesDiagnostics) {
 
 TEST(ProtocolV2, V1FramesRejectV2Fields) {
   for (const char* field : {"noise sym 0.1 1", "deadline-ms 100", "rounds 3",
-                            "budget 64"}) {
+                            "budget 64", "seed 7"}) {
     std::stringstream frame(std::string("pooled-job v1\nk 3\n") + field + "\n");
     EXPECT_THROW((void)load_job(frame), ContractError) << field;
   }
@@ -919,6 +930,97 @@ TEST(ProtocolV2, SaveJobErrorsNameTheJobAndDecoder) {
     EXPECT_NE(what.find("#17"), std::string::npos) << what;
     EXPECT_NE(what.find("peeling"), std::string::npos) << what;
   }
+}
+
+TEST(DecodeV2, RngSeedReachesStochasticDecodersThroughTheEngine) {
+  // The ROADMAP bug: DecodeContext::rng_seed existed but every caller
+  // dropped it. Through the engine a seeded job must decode
+  // deterministically, and a different seed must change the guess.
+  ThreadPool pool(2);
+  DecodeJob job = sample_job(81, nullptr, "random");
+  job.rng_seed = 7;
+  const BatchEngine engine(pool);
+  const DecodeReport first = engine.run_one(job);
+  const DecodeReport replay = engine.run_one(job);
+  ASSERT_TRUE(first.ok()) << first.error;
+  EXPECT_EQ(first.support, replay.support);
+
+  DecodeJob reseeded = job;
+  reseeded.rng_seed = 8;
+  const DecodeReport other = engine.run_one(reseeded);
+  EXPECT_NE(other.support, first.support);
+
+  // And the seed survives the wire: a protocol round trip decodes to the
+  // same support as the in-process job.
+  std::stringstream buffer;
+  save_job(buffer, job);
+  const auto loaded = load_job(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(engine.run_one(*loaded).support, first.support);
+}
+
+TEST(DecodeV2, CacheNeverAliasesSeededAndUnseededDecodes) {
+  ThreadPool pool(1);
+  DecodeJob unseeded = sample_job(82, nullptr, "random");
+  DecodeJob seeded = unseeded;
+  seeded.rng_seed = 7;
+
+  ResultCache cache(16);
+  EngineOptions options;
+  options.cache = &cache;
+  const BatchEngine engine(pool, options);
+  const DecodeReport unseeded_cold = engine.run_one(unseeded);
+  const DecodeReport seeded_cold = engine.run_one(seeded);
+  EXPECT_EQ(cache.stats().insertions, 2u);  // two keys, no aliasing
+  const DecodeReport seeded_warm = engine.run_one(seeded);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(seeded_warm.support, seeded_cold.support);
+  EXPECT_NE(seeded_cold.support, unseeded_cold.support);
+}
+
+TEST(DecodeV2, CancelledDecodesAreNeverCached) {
+  // A cancelled stop is not the job's canonical result; replaying it
+  // from the cache would freeze the truncated estimate forever.
+  ThreadPool pool(1);
+  DecodeJob job = sample_job(83, nullptr, "adaptive:mn:L=16");
+  std::atomic<bool> cancel{true};
+  job.cancel = &cancel;
+
+  ResultCache cache(16);
+  EngineOptions options;
+  options.cache = &cache;
+  const BatchEngine engine(pool, options);
+  const DecodeReport cancelled = engine.run_one(job);
+  ASSERT_TRUE(cancelled.ok()) << cancelled.error;
+  EXPECT_EQ(cancelled.stop, StopReason::Cancelled);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+
+  // Once the token clears, the real decode runs and is cached.
+  cancel.store(false);
+  const DecodeReport live = engine.run_one(job);
+  EXPECT_NE(live.stop, StopReason::Cancelled);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+}
+
+TEST(ServeStream, ProgressStreamTagsRoundsWithGlobalIndices) {
+  // serve --progress: one line per adaptive round, tagged with the same
+  // stream-global job index the result frame carries.
+  std::stringstream requests;
+  save_job(requests, sample_job(84, nullptr, "adaptive:mn:L=16"));
+  save_job(requests, sample_job(85, nullptr, "adaptive:mn:L=16"));
+
+  ThreadPool pool(1);
+  std::ostringstream progress_lines;
+  ProgressStream progress(progress_lines);
+  std::stringstream responses;
+  const std::size_t served = serve_stream(requests, responses, BatchEngine(pool),
+                                          /*chunk=*/1, &progress);
+  EXPECT_EQ(served, 2u);
+  const std::string text = progress_lines.str();
+  EXPECT_NE(text.find("progress job=0 round=1 queries=16"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("progress job=1 round=1 queries=16"), std::string::npos)
+      << text;
 }
 
 TEST(ServeStream, AdaptiveServesWithRoundsAndQueriesInTheFrame) {

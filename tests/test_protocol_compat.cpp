@@ -164,5 +164,64 @@ TEST(ProtocolCompat, RoundTrippedV1JobsReserializeAsV2) {
   }
 }
 
+// ---- golden v2 fixtures: the writer format is pinned byte for byte ----
+//
+// tests/data/golden_v2_requests.txt carries every v2 job option at once
+// (noise + deadline-ms + rounds + budget + seed) plus a seed-only job;
+// golden_v2_responses.txt carries a full-diagnostics frame and an error
+// frame. load -> save must reproduce the files exactly: any drift in
+// field order, spelling, or float formatting breaks archived streams.
+
+TEST(ProtocolCompat, GoldenV2RequestsLoadWithEveryOption) {
+  std::istringstream stream(read_fixture("golden_v2_requests.txt"));
+  const auto jobs = load_all_jobs(stream);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].decoder, "adaptive:mn:L=8");
+  EXPECT_EQ(jobs[0].k, 4u);
+  ASSERT_TRUE(jobs[0].truth_support.has_value());
+  EXPECT_TRUE(jobs[0].noise.enabled());
+  EXPECT_DOUBLE_EQ(jobs[0].noise.level, 0.05);
+  EXPECT_EQ(jobs[0].noise.seed, 7u);
+  ASSERT_TRUE(jobs[0].deadline_seconds.has_value());
+  EXPECT_DOUBLE_EQ(*jobs[0].deadline_seconds, 0.25);
+  EXPECT_EQ(jobs[0].rounds, 12u);
+  EXPECT_EQ(jobs[0].budget, 96u);
+  EXPECT_EQ(jobs[0].rng_seed, 9181u);
+
+  EXPECT_EQ(jobs[1].decoder, "random");
+  EXPECT_EQ(jobs[1].rng_seed, 42u);
+  EXPECT_FALSE(jobs[1].noise.enabled());
+  EXPECT_FALSE(jobs[1].deadline_seconds.has_value());
+}
+
+TEST(ProtocolCompat, GoldenV2RequestsReserializeByteIdentically) {
+  const std::string golden = read_fixture("golden_v2_requests.txt");
+  std::istringstream stream(golden);
+  const auto jobs = load_all_jobs(stream);
+  ASSERT_EQ(jobs.size(), 2u);
+  std::ostringstream reserialized;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    save_job(reserialized, jobs[j], j);
+  }
+  EXPECT_EQ(reserialized.str(), golden);
+}
+
+TEST(ProtocolCompat, GoldenV2ResponsesReserializeByteIdentically) {
+  const std::string golden = read_fixture("golden_v2_responses.txt");
+  std::istringstream stream(golden);
+  const auto reports = load_all_reports(stream);
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_TRUE(reports[0].ok()) << reports[0].error;
+  EXPECT_EQ(reports[0].rounds, 3u);
+  EXPECT_EQ(reports[0].queries, 24u);
+  EXPECT_EQ(reports[0].stop, StopReason::Converged);
+  EXPECT_DOUBLE_EQ(reports[0].seconds, 0.001953125);
+  EXPECT_FALSE(reports[1].ok());
+  EXPECT_NE(reports[1].error.find("unknown decoder spec"), std::string::npos);
+  std::ostringstream reserialized;
+  for (const DecodeReport& report : reports) save_report(reserialized, report);
+  EXPECT_EQ(reserialized.str(), golden);
+}
+
 }  // namespace
 }  // namespace pooled

@@ -1,0 +1,402 @@
+// Socket serve server: concurrent connections, overlapping parse/decode,
+// connection reaper, and the v2 seed field end to end.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/serialize.hpp"
+#include "engine/batch_engine.hpp"
+#include "engine/protocol.hpp"
+#include "engine/serve_server.hpp"
+#include "engine/socket_transport.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/assert.hpp"
+
+namespace pooled {
+namespace {
+
+using std::chrono::steady_clock;
+
+/// Spec-backed job over a fresh teacher instance; truth returned via out.
+DecodeJob sample_job(std::uint64_t seed, std::vector<std::uint32_t>* truth_out,
+                     const std::string& decoder = "mn", std::uint32_t n = 300,
+                     std::uint32_t k = 5, std::uint32_t m = 220) {
+  ThreadPool pool(1);
+  DesignParams params;
+  params.n = n;
+  params.seed = seed;
+  const Signal truth = Signal::random(n, k, seed ^ 0x51D);
+  DecodeJob job;
+  job.spec = simulate_spec(DesignKind::RandomRegular, params, m, truth, pool);
+  job.decoder = decoder;
+  job.k = k;
+  if (truth_out) truth_out->assign(truth.support().begin(), truth.support().end());
+  return job;
+}
+
+/// A noisy round-by-round job that can never converge (the estimate
+/// cannot explain perturbed observations), so it grinds through rounds
+/// until exhausted/cancelled/deadline -- the cancellation test fixture.
+DecodeJob long_running_job(std::uint64_t seed) {
+  DecodeJob job = sample_job(seed, nullptr, "adaptive:mn:L=1", /*n=*/600,
+                             /*k=*/6, /*m=*/600);
+  job.noise = NoiseModel::symmetric(0.3, 11);
+  return job;
+}
+
+ListenSocket loopback_listener() {
+  return ListenSocket::bind_and_listen(SocketAddress::parse("127.0.0.1:0"));
+}
+
+std::vector<DecodeReport> drain_reports(std::istream& is) {
+  std::vector<DecodeReport> reports;
+  while (auto report = load_report(is)) reports.push_back(std::move(*report));
+  return reports;
+}
+
+/// Polls until `predicate` holds; fails the test on timeout.
+template <typename Predicate>
+void wait_until(Predicate predicate, const char* what,
+                double timeout_seconds = 30.0) {
+  const auto deadline = steady_clock::now() +
+                        std::chrono::duration<double>(timeout_seconds);
+  while (!predicate()) {
+    ASSERT_LT(steady_clock::now(), deadline) << "timed out waiting for " << what;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+TEST(SocketTransport, ParsesAndFormatsAddresses) {
+  const SocketAddress tcp = SocketAddress::parse("10.1.2.3:7733");
+  EXPECT_EQ(tcp.family, SocketAddress::Family::Tcp);
+  EXPECT_EQ(tcp.host, "10.1.2.3");
+  EXPECT_EQ(tcp.port, 7733);
+  EXPECT_EQ(tcp.to_string(), "10.1.2.3:7733");
+
+  const SocketAddress bare_port = SocketAddress::parse(":8080");
+  EXPECT_EQ(bare_port.host, "127.0.0.1");  // loopback default
+  EXPECT_EQ(bare_port.port, 8080);
+
+  const SocketAddress unix_addr = SocketAddress::parse("unix:/tmp/pooled.sock");
+  EXPECT_EQ(unix_addr.family, SocketAddress::Family::Unix);
+  EXPECT_EQ(unix_addr.path, "/tmp/pooled.sock");
+  EXPECT_EQ(unix_addr.to_string(), "unix:/tmp/pooled.sock");
+
+  EXPECT_THROW((void)SocketAddress::parse(""), ContractError);
+  EXPECT_THROW((void)SocketAddress::parse("no-port"), ContractError);
+  EXPECT_THROW((void)SocketAddress::parse("host:99999"), ContractError);
+  EXPECT_THROW((void)SocketAddress::parse("host:abc"), ContractError);
+  EXPECT_THROW((void)SocketAddress::parse("unix:"), ContractError);
+}
+
+TEST(SocketTransport, DialFailsWhenNothingListens) {
+  // Bind-then-close guarantees the port is allocated but dead.
+  SocketAddress address;
+  {
+    ListenSocket listener = loopback_listener();
+    address = listener.local_address();
+  }
+  EXPECT_THROW((void)Socket::dial(address), ContractError);
+}
+
+TEST(ServeServer, StartsOnEphemeralPortAndStopsCleanly) {
+  ThreadPool pool(2);
+  const BatchEngine engine(pool);
+  ServeServer server(loopback_listener(), engine);
+  EXPECT_NE(server.address().port, 0);  // the kernel's pick was resolved
+  server.start();
+  server.stop();
+  server.stop();  // idempotent
+  EXPECT_EQ(server.stats().connections_accepted, 0u);
+}
+
+TEST(ServeServer, ServesOneConnectionEndToEnd) {
+  ThreadPool pool(2);
+  const BatchEngine engine(pool);
+  ServeServer server(loopback_listener(), engine);
+  server.start();
+
+  SocketStream client(Socket::dial(server.address()));
+  std::vector<std::uint32_t> truth;
+  DecodeJob scored = sample_job(21, &truth);
+  scored.truth_support = truth;
+  save_job(client.out(), scored);
+  DecodeJob seeded = sample_job(21, nullptr, "random");
+  seeded.rng_seed = 7;
+  save_job(client.out(), seeded);
+  client.out().flush();
+  client.socket().shutdown_write();  // no more requests
+
+  const auto reports = drain_reports(client.in());
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_TRUE(reports[0].ok()) << reports[0].error;
+  EXPECT_EQ(reports[0].index, 0u);
+  EXPECT_TRUE(reports[0].exact);
+  EXPECT_TRUE(reports[1].ok()) << reports[1].error;
+  EXPECT_EQ(reports[1].index, 1u);
+  EXPECT_EQ(reports[1].decoder_name, "random-guess");
+
+  // The seed must round-trip through the wire: the same seeded job via
+  // the local engine reproduces the socket-served support.
+  const DecodeReport local = engine.run_one(seeded);
+  EXPECT_EQ(reports[1].support, local.support);
+
+  server.stop();
+  const ServeServerStats stats = server.stats();
+  EXPECT_EQ(stats.connections_accepted, 1u);
+  EXPECT_EQ(stats.jobs_served, 2u);
+  EXPECT_EQ(stats.jobs_failed, 0u);
+  EXPECT_EQ(stats.connections_reaped, 0u);
+}
+
+TEST(ServeServer, ServesConcurrentClientsWithIndependentIndices) {
+  ThreadPool pool(2);
+  const BatchEngine engine(pool);
+  ServeServerOptions options;
+  options.chunk = 2;  // force multiple windows per connection
+  ServeServer server(loopback_listener(), engine, options);
+  server.start();
+
+  constexpr int kClients = 4;
+  constexpr int kJobsPerClient = 3;
+  std::vector<std::thread> clients;
+  std::vector<std::string> failures(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        SocketStream client(Socket::dial(server.address()));
+        std::vector<std::uint32_t> truth;
+        for (int j = 0; j < kJobsPerClient; ++j) {
+          DecodeJob job = sample_job(1000 + 10 * c + j, &truth);
+          job.truth_support = truth;
+          save_job(client.out(), job);
+        }
+        client.out().flush();
+        client.socket().shutdown_write();
+        const auto reports = drain_reports(client.in());
+        if (reports.size() != kJobsPerClient) {
+          failures[c] = "expected " + std::to_string(kJobsPerClient) +
+                        " reports, got " + std::to_string(reports.size());
+          return;
+        }
+        for (int j = 0; j < kJobsPerClient; ++j) {
+          // Indices are connection-global, independent of other clients.
+          if (reports[j].index != static_cast<std::size_t>(j)) {
+            failures[c] = "bad index " + std::to_string(reports[j].index);
+            return;
+          }
+          if (!reports[j].ok()) {
+            failures[c] = reports[j].error;
+            return;
+          }
+          if (!reports[j].exact) {
+            failures[c] = "job " + std::to_string(j) + " not exact";
+            return;
+          }
+        }
+      } catch (const std::exception& e) {
+        failures[c] = e.what();
+      }
+    });
+  }
+  for (auto& thread : clients) thread.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_TRUE(failures[c].empty()) << "client " << c << ": " << failures[c];
+  }
+  server.stop();
+  const ServeServerStats stats = server.stats();
+  EXPECT_EQ(stats.connections_accepted, kClients);
+  EXPECT_EQ(stats.jobs_served, kClients * kJobsPerClient);
+  EXPECT_EQ(stats.jobs_failed, 0u);
+}
+
+TEST(ServeServer, MixedV1AndV2FramesShareOneConnection) {
+  ThreadPool pool(2);
+  const BatchEngine engine(pool);
+  ServeServer server(loopback_listener(), engine);
+  server.start();
+
+  std::vector<std::uint32_t> truth;
+  const DecodeJob job = sample_job(31, &truth);
+  // Hand-written v1 frame (the PR-2 format) followed by a v2 frame with
+  // v2-only options: version negotiation is per frame.
+  std::ostringstream v1_frame;
+  v1_frame << "pooled-job v1\ndecoder mn\nk " << job.k << "\ninstance\n";
+  save_instance(v1_frame, *job.spec);
+  v1_frame << "end\n";
+
+  SocketStream client(Socket::dial(server.address()));
+  client.out() << v1_frame.str();
+  DecodeJob v2_job = job;
+  v2_job.decoder = "adaptive:mn:L=16";
+  v2_job.rounds = 12;
+  save_job(client.out(), v2_job);
+  client.out().flush();
+  client.socket().shutdown_write();
+
+  const auto reports = drain_reports(client.in());
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_TRUE(reports[0].ok()) << reports[0].error;
+  EXPECT_EQ(reports[0].decoder_name, "mn");
+  EXPECT_TRUE(reports[1].ok()) << reports[1].error;
+  EXPECT_EQ(reports[1].decoder_name, "adaptive-mn-L16");
+  EXPECT_GE(reports[1].rounds, 1u);
+  // Same instance, same estimate, either protocol version.
+  EXPECT_EQ(reports[0].support, reports[1].support);
+  server.stop();
+}
+
+TEST(ServeServer, RejectsV2FieldsInsideV1FramesWithAnErrorFrame) {
+  ThreadPool pool(2);
+  const BatchEngine engine(pool);
+  ServeServer server(loopback_listener(), engine);
+  server.start();
+
+  {
+    SocketStream client(Socket::dial(server.address()));
+    // `seed` is v2-only: inside a v1 frame the parse must fail loudly
+    // and come back as the connection's final error frame.
+    client.out() << "pooled-job v1\ndecoder random\nk 4\nseed 7\n";
+    client.out().flush();
+    client.socket().shutdown_write();
+    const auto reports = drain_reports(client.in());
+    ASSERT_EQ(reports.size(), 1u);
+    EXPECT_FALSE(reports[0].ok());
+    EXPECT_NE(reports[0].error.find("protocol error"), std::string::npos)
+        << reports[0].error;
+    EXPECT_NE(reports[0].error.find("v2"), std::string::npos)
+        << reports[0].error;
+  }
+
+  // The parse error poisoned one connection, not the server.
+  SocketStream next(Socket::dial(server.address()));
+  save_job(next.out(), sample_job(32, nullptr));
+  next.out().flush();
+  next.socket().shutdown_write();
+  const auto reports = drain_reports(next.in());
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_TRUE(reports[0].ok()) << reports[0].error;
+
+  server.stop();
+  EXPECT_GE(server.stats().jobs_failed, 1u);
+}
+
+TEST(ServeServer, ClientDisconnectMidDecodeCancelsInFlightJobs) {
+  ThreadPool pool(2);
+  const BatchEngine engine(pool);
+  ServeServerOptions options;
+  options.probe_seconds = 0.02;  // detect the drop fast
+  ServeServer server(loopback_listener(), engine, options);
+  server.start();
+
+  {
+    // Send a long noisy round-by-round decode, then vanish without
+    // reading anything -- the abandoned-client scenario.
+    SocketStream client(Socket::dial(server.address()));
+    save_job(client.out(), long_running_job(41));
+    client.out().flush();
+  }  // full close, no shutdown_write handshake
+
+  // The reaper's liveness probe must notice the dead peer and flip the
+  // connection's cancel token; the in-flight adaptive decode then stops
+  // at its next round boundary instead of grinding through 600 rounds.
+  wait_until([&] { return server.stats().jobs_cancelled >= 1; },
+             "the in-flight decode to be cancelled");
+  EXPECT_GE(server.stats().connections_reaped, 1u);
+
+  // The workers are back: a live client is served promptly.
+  SocketStream next(Socket::dial(server.address()));
+  save_job(next.out(), sample_job(42, nullptr));
+  next.out().flush();
+  next.socket().shutdown_write();
+  const auto reports = drain_reports(next.in());
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_TRUE(reports[0].ok()) << reports[0].error;
+
+  server.stop();  // must not hang on the torn-down connection
+}
+
+TEST(ServeServer, DeadlineExpiredJobReportsStopDeadline) {
+  ThreadPool pool(2);
+  const BatchEngine engine(pool);
+  ServeServer server(loopback_listener(), engine);
+  server.start();
+
+  SocketStream client(Socket::dial(server.address()));
+  DecodeJob job = long_running_job(43);
+  job.deadline_seconds = 0.1;  // far below the full decode's wall time
+  save_job(client.out(), job);
+  client.out().flush();
+  client.socket().shutdown_write();
+
+  const auto reports = drain_reports(client.in());
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_TRUE(reports[0].ok()) << reports[0].error;
+  EXPECT_EQ(reports[0].stop, StopReason::Deadline);
+  EXPECT_LT(reports[0].rounds, 600u);  // it really stopped early
+  server.stop();
+}
+
+TEST(ServeServer, ServesOverUnixDomainSockets) {
+  const std::string path =
+      "/tmp/pooled_serve_test_" + std::to_string(::getpid()) + ".sock";
+  ThreadPool pool(2);
+  const BatchEngine engine(pool);
+  ServeServer server(
+      ListenSocket::bind_and_listen(SocketAddress::parse("unix:" + path)),
+      engine);
+  server.start();
+
+  SocketStream client(Socket::dial(SocketAddress::parse("unix:" + path)));
+  std::vector<std::uint32_t> truth;
+  DecodeJob job = sample_job(51, &truth);
+  job.truth_support = truth;
+  save_job(client.out(), job);
+  client.out().flush();
+  client.socket().shutdown_write();
+  const auto reports = drain_reports(client.in());
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_TRUE(reports[0].ok()) << reports[0].error;
+  EXPECT_TRUE(reports[0].exact);
+  server.stop();
+}
+
+TEST(ServeServer, ProgressSinkEmitsUnderTheSocketServer) {
+  ThreadPool pool(2);
+  const BatchEngine engine(pool);
+  std::ostringstream progress_lines;
+  ProgressStream progress(progress_lines);
+  ServeServerOptions options;
+  options.progress = &progress;
+  ServeServer server(loopback_listener(), engine, options);
+  server.start();
+
+  SocketStream client(Socket::dial(server.address()));
+  DecodeJob job = sample_job(61, nullptr, "adaptive:mn:L=16");
+  save_job(client.out(), job);
+  client.out().flush();
+  client.socket().shutdown_write();
+  const auto reports = drain_reports(client.in());
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_TRUE(reports[0].ok()) << reports[0].error;
+  server.stop();
+
+  // One line per round, tagged with the connection serial and the
+  // connection-global job index (bare job indices would collide across
+  // concurrent clients, which all number from zero).
+  const std::string text = progress_lines.str();
+  EXPECT_NE(text.find("progress conn=1 job=0 round=1 queries=16"),
+            std::string::npos)
+      << text;
+}
+
+}  // namespace
+}  // namespace pooled

@@ -5,7 +5,8 @@
 //               observables (and the hidden truth separately)
 //   decode      load observables, run a decoder through the engine,
 //               report the estimate + decode diagnostics
-//   serve       read newline-delimited decode requests, stream results
+//   serve       serve decode requests: newline-delimited streams from a
+//               file/stdin, or concurrent connections with --listen
 //   sweep       success-rate sweep over m, CSV to stdout
 //   decoders    list every registry spec with its variants and docs
 //   thresholds  print every theoretical threshold for (n, theta)
@@ -16,14 +17,20 @@
 //   pooled_cli decode --in run.inst --k 16 --decoder adaptive:mn:L=16
 //   pooled_cli decode --in run.inst --k 16 --noise sym:0.05:7
 //   pooled_cli serve --in jobs.txt --out results.txt
+//   pooled_cli serve --listen 127.0.0.1:7733 --progress
+//   pooled_cli serve --listen unix:/tmp/pooled.sock
 //   pooled_cli sweep --n 1000 --theta 0.3 --trials 20
 //   pooled_cli decoders
 //   pooled_cli thresholds --n 10000 --theta 0.3
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <thread>
 
 #include "core/instance.hpp"
 #include "core/metrics.hpp"
@@ -33,6 +40,8 @@
 #include "engine/protocol.hpp"
 #include "engine/registry.hpp"
 #include "engine/result_cache.hpp"
+#include "engine/serve_server.hpp"
+#include "engine/socket_transport.hpp"
 #include "io/csv.hpp"
 #include "io/table.hpp"
 #include "parallel/thread_pool.hpp"
@@ -123,14 +132,15 @@ int cmd_decode(int argc, const char* const* argv) {
   cli.add_i64("rounds", "round cap for adaptive decoders (0 = default)", 0);
   cli.add_i64("budget", "query budget for adaptive decoders (0 = all)", 0);
   cli.add_i64("deadline-ms", "wall-clock budget in ms (0 = none)", 0);
+  cli.add_i64("seed", "RNG seed for stochastic decoders (0 = default)", 0);
   cli.parse(argc, argv);
   if (cli.help_requested()) {
     std::fputs(cli.help_text().c_str(), stdout);
     return 0;
   }
   POOLED_REQUIRE(cli.i64("rounds") >= 0 && cli.i64("budget") >= 0 &&
-                     cli.i64("deadline-ms") >= 0,
-                 "--rounds/--budget/--deadline-ms must be >= 0");
+                     cli.i64("deadline-ms") >= 0 && cli.i64("seed") >= 0,
+                 "--rounds/--budget/--deadline-ms/--seed must be >= 0");
   POOLED_REQUIRE(cli.i64("k") >= 0 && cli.i64("k") <= 0xFFFFFFFFll &&
                      cli.i64("rounds") <= 0xFFFFFFFFll,
                  "--k/--rounds must fit in 32 bits");
@@ -145,6 +155,7 @@ int cmd_decode(int argc, const char* const* argv) {
   job.noise = NoiseModel::parse(cli.string("noise"));
   job.rounds = static_cast<std::uint32_t>(cli.i64("rounds"));
   job.budget = static_cast<std::uint64_t>(cli.i64("budget"));
+  job.rng_seed = static_cast<std::uint64_t>(cli.i64("seed"));
   if (cli.i64("deadline-ms") > 0) {
     job.deadline_seconds = static_cast<double>(cli.i64("deadline-ms")) / 1000.0;
   }
@@ -197,13 +208,35 @@ int cmd_decoders(int argc, const char* const* argv) {
   return 0;
 }
 
+/// Set by SIGINT/SIGTERM so the socket server winds down cleanly.
+std::atomic<bool> g_serve_interrupted{false};
+
+void handle_serve_signal(int) { g_serve_interrupted.store(true); }
+
+void print_cache_counters(const ResultCache* cache) {
+  if (cache == nullptr) return;
+  const CacheStats stats = cache->stats();
+  std::fprintf(stderr,
+               "cache: capacity=%zu size=%zu hits=%llu misses=%llu "
+               "evictions=%llu hit-rate=%.1f%%\n",
+               stats.capacity, stats.size,
+               static_cast<unsigned long long>(stats.hits),
+               static_cast<unsigned long long>(stats.misses),
+               static_cast<unsigned long long>(stats.evictions),
+               100.0 * stats.hit_rate());
+}
+
 int cmd_serve(int argc, const char* const* argv) {
   CliParser cli("pooled_cli serve");
   cli.add_string("in", "request file, '-' = stdin (see engine/protocol.hpp)", "-");
   cli.add_string("out", "result file, '-' = stdout", "-");
+  cli.add_string("listen",
+                 "serve connections on <host>:<port> or unix:/path instead of "
+                 "--in/--out streams (port 0 picks a free port)", "");
   cli.add_i64("batch", "jobs per scheduling window (0 = 4x threads)", 0);
   cli.add_i64("threads", "worker threads (0 = hardware concurrency)", 0);
   cli.add_i64("cache", "result-cache capacity in reports (0 = no cache)", 1024);
+  cli.add_flag("progress", "stream per-round decode progress to stderr");
   cli.parse(argc, argv);
   if (cli.help_requested()) {
     std::fputs(cli.help_text().c_str(), stdout);
@@ -221,6 +254,41 @@ int cmd_serve(int argc, const char* const* argv) {
   options.max_in_flight = static_cast<std::size_t>(cli.i64("batch"));
   options.cache = cache.get();
   const BatchEngine engine(pool, options);
+  std::unique_ptr<ProgressStream> progress;
+  if (cli.flag("progress")) progress = std::make_unique<ProgressStream>(std::cerr);
+
+  if (!cli.string("listen").empty()) {
+    // Socket mode: concurrent connections, until SIGINT/SIGTERM.
+    ServeServerOptions server_options;
+    server_options.chunk = options.max_in_flight;
+    server_options.progress = progress.get();
+    ServeServer server(
+        ListenSocket::bind_and_listen(SocketAddress::parse(cli.string("listen"))),
+        engine, server_options);
+    server.start();
+    // The "listening on" line is the readiness signal scripts wait for
+    // (and carries the real port when --listen asked for port 0).
+    std::fprintf(stderr, "listening on %s (%u threads)\n",
+                 server.address().to_string().c_str(), pool.size());
+    g_serve_interrupted.store(false);
+    std::signal(SIGINT, handle_serve_signal);
+    std::signal(SIGTERM, handle_serve_signal);
+    while (!g_serve_interrupted.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    server.stop();
+    const ServeServerStats stats = server.stats();
+    std::fprintf(stderr,
+                 "served %llu jobs over %llu connections "
+                 "(%llu cancelled, %llu failed, %llu reaped)\n",
+                 static_cast<unsigned long long>(stats.jobs_served),
+                 static_cast<unsigned long long>(stats.connections_accepted),
+                 static_cast<unsigned long long>(stats.jobs_cancelled),
+                 static_cast<unsigned long long>(stats.jobs_failed),
+                 static_cast<unsigned long long>(stats.connections_reaped));
+    print_cache_counters(cache.get());
+    return 0;
+  }
 
   std::ifstream file_in;
   std::istream* in = &std::cin;
@@ -239,19 +307,10 @@ int cmd_serve(int argc, const char* const* argv) {
     out = &file_out;
   }
 
-  const std::size_t served = serve_stream(*in, *out, engine, options.max_in_flight);
+  const std::size_t served = serve_stream(*in, *out, engine,
+                                          options.max_in_flight, progress.get());
   std::fprintf(stderr, "served %zu jobs over %u threads\n", served, pool.size());
-  if (cache != nullptr) {
-    const CacheStats stats = cache->stats();
-    std::fprintf(stderr,
-                 "cache: capacity=%zu size=%zu hits=%llu misses=%llu "
-                 "evictions=%llu hit-rate=%.1f%%\n",
-                 stats.capacity, stats.size,
-                 static_cast<unsigned long long>(stats.hits),
-                 static_cast<unsigned long long>(stats.misses),
-                 static_cast<unsigned long long>(stats.evictions),
-                 100.0 * stats.hit_rate());
-  }
+  print_cache_counters(cache.get());
   return 0;
 }
 

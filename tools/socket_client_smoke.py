@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Minimal socket client for the pooled serve protocol (CI smoke).
+
+Connects to a `pooled_cli serve --listen` server, streams one or more
+request files, half-closes the write side, and prints every byte the
+server sends back (result frames; the server's blank-line liveness
+probes are harmless noise between frames). Exits nonzero if the server
+hangs up without sending anything.
+
+Usage: socket_client_smoke.py <host> <port> <jobs-file> [<jobs-file>...]
+"""
+import socket
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 4:
+        print(__doc__, file=sys.stderr)
+        return 2
+    host, port = sys.argv[1], int(sys.argv[2])
+    with socket.create_connection((host, port), timeout=60) as conn:
+        for path in sys.argv[3:]:
+            with open(path, "rb") as jobs:
+                conn.sendall(jobs.read())
+        conn.shutdown(socket.SHUT_WR)  # "no more requests"
+        received = b""
+        while True:
+            chunk = conn.recv(1 << 16)
+            if not chunk:
+                break
+            received += chunk
+    sys.stdout.write(received.decode())
+    return 0 if b"pooled-result" in received else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
