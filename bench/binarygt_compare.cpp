@@ -36,7 +36,7 @@ double dd_success_rate(std::uint32_t n, std::uint32_t k, std::uint32_t m,
                                                         optimal_gt_gamma(n, k));
     const Signal truth = Signal::random(n, k, seeds.signal_seed);
     const auto instance = make_binary_instance(design, m, truth, pool);
-    successes += exact_recovery(decode_dd(*instance).estimate, truth);
+    successes += exact_recovery(decode_dd(*instance, &pool).estimate, truth);
   }
   return static_cast<double>(successes) / trials;
 }

@@ -1,12 +1,18 @@
 #include "binarygt/binary_decoders.hpp"
 
+#include <cstring>
 #include <vector>
 
+#include "kernels/decode_arena.hpp"
+#include "kernels/kernel_set.hpp"
 #include "support/assert.hpp"
 
 namespace pooled {
 
 namespace {
+
+// ---------------------------------------------------------------------------
+// Member-scan fallback (used only when the bit-pack is over budget)
 
 /// Marks every entry that appears in a negative test (definite zeros).
 std::vector<std::uint8_t> definite_zero_mask(const BinaryGtInstance& instance) {
@@ -26,20 +32,17 @@ std::uint32_t count_set(const std::vector<std::uint8_t>& mask) {
   return count;
 }
 
-}  // namespace
-
-BinaryDecodeResult decode_comp(const BinaryGtInstance& instance) {
+BinaryDecodeResult decode_comp_scan(const BinaryGtInstance& instance) {
   const auto zero = definite_zero_mask(instance);
   std::vector<std::uint32_t> support;
   for (std::uint32_t i = 0; i < instance.n(); ++i) {
     if (!zero[i]) support.push_back(i);
   }
-  BinaryDecodeResult result{Signal(instance.n(), support), count_set(zero),
+  return BinaryDecodeResult{Signal(instance.n(), support), count_set(zero),
                             static_cast<std::uint32_t>(support.size())};
-  return result;
 }
 
-BinaryDecodeResult decode_dd(const BinaryGtInstance& instance) {
+BinaryDecodeResult decode_dd_scan(const BinaryGtInstance& instance) {
   const auto zero = definite_zero_mask(instance);
   // A candidate (non-disqualified entry) is definitely defective if it is
   // the only candidate of some positive test.
@@ -70,9 +73,117 @@ BinaryDecodeResult decode_dd(const BinaryGtInstance& instance) {
   for (std::uint32_t i = 0; i < instance.n(); ++i) {
     if (definite[i]) support.push_back(i);
   }
-  BinaryDecodeResult result{Signal(instance.n(), support), count_set(zero),
+  return BinaryDecodeResult{Signal(instance.n(), support), count_set(zero),
                             static_cast<std::uint32_t>(support.size())};
-  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Bit-packed paths: whole 64-entry blocks per instruction
+
+/// OR of all negative pools into the arena's word buffer.
+std::uint64_t* packed_zero_mask(const BinaryGtInstance& instance,
+                                const PackedPools& packed,
+                                const KernelSet& kernels) {
+  std::uint64_t* zero = DecodeArena::local().words_a(packed.words);
+  std::memset(zero, 0, packed.words * sizeof(std::uint64_t));
+  for (std::uint32_t q = 0; q < instance.m(); ++q) {
+    if (instance.outcomes()[q] != 0) continue;
+    kernels.or_words(zero, packed.row(q), packed.words);
+  }
+  return zero;
+}
+
+/// Ascending indices of the *cleared* bits below n.
+std::vector<std::uint32_t> cleared_indices(const std::uint64_t* mask,
+                                           std::uint32_t n, std::size_t words) {
+  std::vector<std::uint32_t> out;
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint64_t cleared = ~mask[w];
+    if (w == words - 1 && (n & 63) != 0) {
+      cleared &= (std::uint64_t{1} << (n & 63)) - 1;  // drop padding bits
+    }
+    while (cleared != 0) {
+      const unsigned bit = static_cast<unsigned>(__builtin_ctzll(cleared));
+      out.push_back(static_cast<std::uint32_t>(w * 64 + bit));
+      cleared &= cleared - 1;
+    }
+  }
+  return out;
+}
+
+/// Ascending indices of the *set* bits (padding is never set).
+std::vector<std::uint32_t> set_indices(const std::uint64_t* mask,
+                                       std::size_t words) {
+  std::vector<std::uint32_t> out;
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint64_t set = mask[w];
+    while (set != 0) {
+      const unsigned bit = static_cast<unsigned>(__builtin_ctzll(set));
+      out.push_back(static_cast<std::uint32_t>(w * 64 + bit));
+      set &= set - 1;
+    }
+  }
+  return out;
+}
+
+BinaryDecodeResult decode_comp_packed(const BinaryGtInstance& instance,
+                                      const PackedPools& packed) {
+  const KernelSet& kernels = active_kernels();
+  const std::uint64_t* zero = packed_zero_mask(instance, packed, kernels);
+  const auto zeros =
+      static_cast<std::uint32_t>(kernels.popcount_words(zero, packed.words));
+  std::vector<std::uint32_t> support =
+      cleared_indices(zero, instance.n(), packed.words);
+  const auto ones = static_cast<std::uint32_t>(support.size());
+  return BinaryDecodeResult{Signal(instance.n(), std::move(support)), zeros,
+                            ones};
+}
+
+BinaryDecodeResult decode_dd_packed(const BinaryGtInstance& instance,
+                                    const PackedPools& packed) {
+  const KernelSet& kernels = active_kernels();
+  DecodeArena& arena = DecodeArena::local();
+  const std::uint64_t* zero = packed_zero_mask(instance, packed, kernels);
+  const auto zeros =
+      static_cast<std::uint32_t>(kernels.popcount_words(zero, packed.words));
+  std::uint64_t* definite = arena.words_b(packed.words);
+  std::memset(definite, 0, packed.words * sizeof(std::uint64_t));
+  for (std::uint32_t q = 0; q < instance.m(); ++q) {
+    if (instance.outcomes()[q] == 0) continue;
+    const std::uint64_t* row = packed.row(q);
+    // Distinct candidates of the pool = popcount(row & ~zero); a positive
+    // test with exactly one candidate proves it defective.
+    if (kernels.andnot_popcount(row, zero, packed.words) == 1) {
+      for (std::size_t w = 0; w < packed.words; ++w) {
+        const std::uint64_t candidate = row[w] & ~zero[w];
+        if (candidate != 0) {
+          definite[w] |= candidate;
+          break;
+        }
+      }
+    }
+  }
+  std::vector<std::uint32_t> support = set_indices(definite, packed.words);
+  const auto ones = static_cast<std::uint32_t>(support.size());
+  return BinaryDecodeResult{Signal(instance.n(), std::move(support)), zeros,
+                            ones};
+}
+
+}  // namespace
+
+BinaryDecodeResult decode_comp(const BinaryGtInstance& instance,
+                               ThreadPool* pool) {
+  if (const PackedPools* packed = instance.packed(pool)) {
+    return decode_comp_packed(instance, *packed);
+  }
+  return decode_comp_scan(instance);
+}
+
+BinaryDecodeResult decode_dd(const BinaryGtInstance& instance, ThreadPool* pool) {
+  if (const PackedPools* packed = instance.packed(pool)) {
+    return decode_dd_packed(instance, *packed);
+  }
+  return decode_dd_scan(instance);
 }
 
 }  // namespace pooled

@@ -28,10 +28,14 @@ struct BinaryDecodeResult {
   std::uint32_t declared_ones = 0;
 };
 
-/// COMP decoding.
-BinaryDecodeResult decode_comp(const BinaryGtInstance& instance);
+/// COMP decoding. Runs on the instance's bit-packed pools (built lazily;
+/// `pool` parallelizes that one-time build) and falls back to the
+/// member-scan path only when packing is over budget.
+BinaryDecodeResult decode_comp(const BinaryGtInstance& instance,
+                               ThreadPool* pool = nullptr);
 
-/// DD decoding.
-BinaryDecodeResult decode_dd(const BinaryGtInstance& instance);
+/// DD decoding (same bit-packed/fallback split as decode_comp).
+BinaryDecodeResult decode_dd(const BinaryGtInstance& instance,
+                             ThreadPool* pool = nullptr);
 
 }  // namespace pooled

@@ -31,6 +31,11 @@ void BinaryGtInstance::query_members(std::uint32_t query,
   design_->query_members(query, out);
 }
 
+const PackedPools* BinaryGtInstance::packed(ThreadPool* pool) const {
+  std::call_once(packed_once_, [&] { packed_ = pack_pools(*design_, m_, pool); });
+  return packed_.get();
+}
+
 std::unique_ptr<BinaryGtInstance> make_binary_instance(
     std::shared_ptr<const PoolingDesign> design, std::uint32_t m,
     const Signal& truth, ThreadPool& pool) {

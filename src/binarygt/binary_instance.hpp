@@ -15,10 +15,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/signal.hpp"
 #include "design/design.hpp"
+#include "graph/packed_pools.hpp"
 
 namespace pooled {
 
@@ -43,10 +45,18 @@ class BinaryGtInstance {
   }
   void query_members(std::uint32_t query, std::vector<std::uint32_t>& out) const;
 
+  /// Bit-packed distinct-membership masks, built once (thread-safely, by
+  /// regenerating every pool) on first use; the popcount decode kernels
+  /// consume 64 entries per instruction. Returns nullptr when the pack
+  /// exceeds POOLED_PACK_BUDGET_MB -- callers then member-scan instead.
+  [[nodiscard]] const PackedPools* packed(ThreadPool* pool) const;
+
  private:
   std::shared_ptr<const PoolingDesign> design_;
   std::uint32_t m_;
   std::vector<std::uint8_t> outcomes_;
+  mutable std::once_flag packed_once_;
+  mutable std::unique_ptr<PackedPools> packed_;
 };
 
 /// Teacher step: runs m parallel OR-queries of `design` against `truth`.

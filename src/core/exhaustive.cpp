@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 
+#include "kernels/decode_arena.hpp"
 #include "support/assert.hpp"
 
 namespace pooled {
@@ -22,17 +23,31 @@ class Enumerator {
       : n_(instance.n()), m_(instance.m()), k_(k), cap_(cap),
         targets_(instance.results()) {
     POOLED_REQUIRE(k_ <= n_, "weight exceeds signal length");
-    per_entry_.resize(n_);
-    std::vector<std::uint32_t> members;
+    // The per-entry adjacency is CSR-flattened (one edge array + offsets)
+    // so the branch-and-bound apply() walks contiguous memory instead of
+    // n separate vectors. Queries are regenerated into the decode arena;
+    // a counting sort by entry keeps each entry's queries ascending.
+    std::vector<std::uint32_t>& members = DecodeArena::local().members();
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> triples;  // entry -> (q, mult)
+    std::vector<std::uint32_t> triple_entry;
     for (std::uint32_t q = 0; q < m_; ++q) {
       instance.query_members(q, members);
       std::sort(members.begin(), members.end());
       for (std::size_t i = 0; i < members.size();) {
         std::size_t j = i;
         while (j < members.size() && members[j] == members[i]) ++j;
-        per_entry_[members[i]].push_back({q, static_cast<std::uint32_t>(j - i)});
+        triples.push_back({q, static_cast<std::uint32_t>(j - i)});
+        triple_entry.push_back(members[i]);
         i = j;
       }
+    }
+    offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
+    for (std::uint32_t entry : triple_entry) ++offsets_[entry + 1];
+    for (std::uint32_t i = 0; i < n_; ++i) offsets_[i + 1] += offsets_[i];
+    edges_.resize(triples.size());
+    std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    for (std::size_t t = 0; t < triples.size(); ++t) {
+      edges_[cursor[triple_entry[t]]++] = triples[t];
     }
     acc_.assign(m_, 0);
     mismatched_ = 0;
@@ -62,7 +77,10 @@ class Enumerator {
 
  private:
   void apply(std::uint32_t entry, int sign) {
-    for (const auto& [q, mult] : per_entry_[entry]) {
+    const std::size_t begin = offsets_[entry];
+    const std::size_t end = offsets_[entry + 1];
+    for (std::size_t e = begin; e < end; ++e) {
+      const auto& [q, mult] = edges_[e];
       const bool was_match = acc_[q] == targets_[q];
       const bool was_over = acc_[q] > targets_[q];
       acc_[q] = sign > 0 ? acc_[q] + mult : acc_[q] - mult;
@@ -100,7 +118,8 @@ class Enumerator {
   std::uint32_t n_, m_, k_;
   std::uint64_t cap_;
   const std::vector<std::uint32_t>& targets_;
-  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> per_entry_;
+  std::vector<std::size_t> offsets_;  // CSR: entry -> [offsets_[e], offsets_[e+1])
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges_;  // (query, mult)
   std::vector<std::uint32_t> acc_;
   std::size_t mismatched_ = 0;
   std::size_t overshoot_ = 0;

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "core/instance.hpp"
+#include "kernels/decode_arena.hpp"
+#include "kernels/kernel_set.hpp"
 #include "support/assert.hpp"
 
 namespace pooled {
@@ -27,37 +29,41 @@ std::uint32_t IncrementalMn::add_query() {
   std::uint32_t result = 0;
   for (std::uint32_t entry : scratch_) result += truth_.value(entry);
   // Epoch marking (mark_[e] = last query that touched e) detects first
-  // occurrences without sorting the Γ draws.
-  for (std::uint32_t entry : scratch_) {
-    if (mark_[entry] != query) {
-      mark_[entry] = query;
-      psi_[entry] += result;
-      delta_star_[entry] += 1;
-    }
-    psi_multi_[entry] += result;
-    delta_[entry] += 1;
-  }
+  // occurrences without sorting the Γ draws. Queries are numbered from
+  // zero and mark_ starts at 0xFFFFFFFF, so the raw index is a valid
+  // epoch here.
+  active_kernels().accumulate_query(scratch_.data(), scratch_.size(), query,
+                                    result, mark_.data(), psi_.data(),
+                                    psi_multi_.data(), delta_.data(),
+                                    delta_star_.data());
   y_.push_back(result);
   return result;
 }
 
-double IncrementalMn::score_of(std::uint32_t entry) const {
+const double* IncrementalMn::scores_into_arena() const {
+  // One hoisted dispatch per re-rank instead of a switch per entry; the
+  // Fig. 2 loop calls this after every appended query.
+  const std::uint32_t n = truth_.n();
   const double half_k = static_cast<double>(truth_.k()) / 2.0;
+  double* scores = DecodeArena::local().scores(n);
+  const KernelSet& kernels = active_kernels();
   switch (score_) {
     case MnScore::CentralizedPsi:
-      return static_cast<double>(psi_[entry]) -
-             static_cast<double>(delta_star_[entry]) * half_k;
+      kernels.score_centered(psi_.data(), delta_star_.data(), 0, n, half_k,
+                             scores);
+      break;
     case MnScore::RawPsi:
-      return static_cast<double>(psi_[entry]);
+      kernels.score_raw(psi_.data(), 0, n, scores);
+      break;
     case MnScore::NormalizedPsi:
-      return delta_star_[entry] == 0 ? 0.0
-                                     : static_cast<double>(psi_[entry]) /
-                                           static_cast<double>(delta_star_[entry]);
+      kernels.score_normalized(psi_.data(), delta_star_.data(), 0, n, scores);
+      break;
     case MnScore::MultiEdgePsi:
-      return static_cast<double>(psi_multi_[entry]) -
-             static_cast<double>(delta_[entry]) * half_k;
+      kernels.score_multiedge(psi_multi_.data(), delta_.data(), 0, n, half_k,
+                              scores);
+      break;
   }
-  return 0.0;
+  return scores;
 }
 
 bool IncrementalMn::matches_truth() const {
@@ -65,11 +71,12 @@ bool IncrementalMn::matches_truth() const {
   // best-ranked zero-entry under the (score desc, index asc) total order.
   const std::uint32_t n = truth_.n();
   if (truth_.k() == 0) return true;
+  const double* scores = scores_into_arena();
   bool have_one = false, have_zero = false;
   double worst_one = 0.0, best_zero = 0.0;
   std::uint32_t worst_one_idx = 0, best_zero_idx = 0;
   for (std::uint32_t i = 0; i < n; ++i) {
-    const double s = score_of(i);
+    const double s = scores[i];
     if (truth_.is_one(i)) {
       if (!have_one || s < worst_one || (s == worst_one && i > worst_one_idx)) {
         worst_one = s;
@@ -98,19 +105,14 @@ double IncrementalMn::overlap_fraction() const {
 
 Signal IncrementalMn::decode() const {
   const std::uint32_t n = truth_.n();
-  std::vector<double> scores(n);
-  for (std::uint32_t i = 0; i < n; ++i) scores[i] = score_of(i);
-  std::vector<std::uint32_t> order(n);
-  for (std::uint32_t i = 0; i < n; ++i) order[i] = i;
   const std::uint32_t k = truth_.k();
-  std::nth_element(order.begin(), order.begin() + k, order.end(),
-                   [&](std::uint32_t a, std::uint32_t b) {
-                     if (scores[a] != scores[b]) return scores[a] > scores[b];
-                     return a < b;
-                   });
-  order.resize(k);
-  std::sort(order.begin(), order.end());
-  return Signal(n, std::move(order));
+  const double* scores = scores_into_arena();
+  // Arena-backed partial ranking: the Fig. 2 loop re-ranks after every
+  // appended query, so this path must not allocate per call.
+  std::vector<std::uint32_t> support(k);
+  select_top_k_into(active_kernels(), scores, n, k,
+                    DecodeArena::local().topk_values(n), support.data());
+  return Signal(n, std::move(support));
 }
 
 std::unique_ptr<StreamedInstance> IncrementalMn::to_instance() const {

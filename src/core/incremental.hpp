@@ -45,7 +45,9 @@ class IncrementalMn {
   [[nodiscard]] const Signal& truth() const { return truth_; }
 
  private:
-  [[nodiscard]] double score_of(std::uint32_t entry) const;
+  /// All n scores via the hoisted kernel dispatch, into the calling
+  /// thread's arena (valid until the next arena score use).
+  [[nodiscard]] const double* scores_into_arena() const;
 
   std::shared_ptr<const PoolingDesign> design_;
   Signal truth_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 
+#include "kernels/decode_arena.hpp"
+#include "kernels/kernel_set.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
 #include "support/assert.hpp"
@@ -20,16 +22,73 @@ std::uint32_t pooled_sum(const Signal& candidate,
   return sum;
 }
 
+// Per-channel pooled observations, shared by results_for/is_consistent
+// (the channel switch is hoisted to their per-decode level). Each loop
+// stops as soon as the outcome is decided: the quantitative scan once
+// the partial sum exceeds `cap` (sums only grow -- callers pass the
+// observed target, or no cap to get the exact sum), the OR channel at
+// the first one-entry, the threshold channel once the count reaches T.
+
+std::uint32_t observe_quantitative(const Signal& candidate,
+                                   const std::vector<std::uint32_t>& members,
+                                   std::uint32_t cap = 0xFFFFFFFFu) {
+  std::uint32_t sum = 0;
+  for (std::uint32_t entry : members) {
+    sum += candidate.value(entry);
+    if (sum > cap) break;
+  }
+  return sum;
+}
+
+std::uint32_t observe_binary(const Signal& candidate,
+                             const std::vector<std::uint32_t>& members) {
+  for (std::uint32_t entry : members) {
+    if (candidate.is_one(entry)) return 1;
+  }
+  return 0;
+}
+
+std::uint32_t observe_threshold(const Signal& candidate,
+                                const std::vector<std::uint32_t>& members,
+                                std::uint32_t threshold) {
+  std::uint32_t sum = 0;
+  for (std::uint32_t entry : members) {
+    sum += candidate.value(entry);
+    if (sum >= threshold) return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 std::vector<std::uint32_t> Instance::results_for(const Signal& candidate) const {
   POOLED_REQUIRE(candidate.n() == n(), "candidate length mismatch");
   std::vector<std::uint32_t> y(m());
-  std::vector<std::uint32_t> members;
-  for (std::uint32_t q = 0; q < m(); ++q) {
-    query_members(q, members);
-    y[q] = apply_channel(pooled_sum(candidate, members), channel(),
-                         channel_threshold());
+  DecodeArena& arena = DecodeArena::local();
+  std::vector<std::uint32_t>& members = arena.members();
+  // Channel dispatch hoisted out of the per-query loop; the one-bit
+  // channels stop scanning a pool as soon as the outcome is decided.
+  switch (channel()) {
+    case ChannelKind::Quantitative:
+      for (std::uint32_t q = 0; q < m(); ++q) {
+        query_members(q, members);
+        y[q] = observe_quantitative(candidate, members);
+      }
+      break;
+    case ChannelKind::Binary:
+      for (std::uint32_t q = 0; q < m(); ++q) {
+        query_members(q, members);
+        y[q] = observe_binary(candidate, members);
+      }
+      break;
+    case ChannelKind::Threshold: {
+      const std::uint32_t t = channel_threshold();
+      for (std::uint32_t q = 0; q < m(); ++q) {
+        query_members(q, members);
+        y[q] = observe_threshold(candidate, members, t);
+      }
+      break;
+    }
   }
   return y;
 }
@@ -37,12 +96,30 @@ std::vector<std::uint32_t> Instance::results_for(const Signal& candidate) const 
 bool Instance::is_consistent(const Signal& candidate) const {
   POOLED_REQUIRE(candidate.n() == n(), "candidate length mismatch");
   const auto& y = results();
-  std::vector<std::uint32_t> members;
-  for (std::uint32_t q = 0; q < m(); ++q) {
-    query_members(q, members);
-    const std::uint32_t observed =
-        apply_channel(pooled_sum(candidate, members), channel(), channel_threshold());
-    if (observed != y[q]) return false;
+  DecodeArena& arena = DecodeArena::local();
+  std::vector<std::uint32_t>& members = arena.members();
+  switch (channel()) {
+    case ChannelKind::Quantitative:
+      for (std::uint32_t q = 0; q < m(); ++q) {
+        query_members(q, members);
+        // Capping at the target makes overshooting pools exit early.
+        if (observe_quantitative(candidate, members, y[q]) != y[q]) return false;
+      }
+      return true;
+    case ChannelKind::Binary:
+      for (std::uint32_t q = 0; q < m(); ++q) {
+        query_members(q, members);
+        if (observe_binary(candidate, members) != y[q]) return false;
+      }
+      return true;
+    case ChannelKind::Threshold: {
+      const std::uint32_t t = channel_threshold();
+      for (std::uint32_t q = 0; q < m(); ++q) {
+        query_members(q, members);
+        if (observe_threshold(candidate, members, t) != y[q]) return false;
+      }
+      return true;
+    }
   }
   return true;
 }
@@ -70,27 +147,25 @@ void StoredInstance::query_members(std::uint32_t query,
   }
 }
 
-EntryStats StoredInstance::entry_stats(ThreadPool& pool) const {
+void StoredInstance::entry_stats_into(ThreadPool& pool, EntryStats& stats) const {
   const std::uint32_t num = n();
-  EntryStats stats;
-  stats.psi.resize(num);
-  stats.psi_multi.resize(num);
-  stats.delta.resize(num);
-  stats.delta_star.resize(num);
-  parallel_for(pool, 0, num, [&](std::size_t i) {
-    std::uint64_t psi = 0, psi_multi = 0, delta = 0;
-    const auto row = graph_.entry_row(static_cast<std::uint32_t>(i));
-    for (const MultiEdge& e : row) {
-      psi += y_[e.node];
-      psi_multi += static_cast<std::uint64_t>(e.multiplicity) * y_[e.node];
-      delta += e.multiplicity;
-    }
-    stats.psi[i] = psi;
-    stats.psi_multi[i] = psi_multi;
-    stats.delta[i] = delta;
-    stats.delta_star[i] = static_cast<std::uint32_t>(row.size());
-  });
-  return stats;
+  stats.resize(num);
+  parallel_for(
+      pool, 0, num,
+      [&](std::size_t i) {
+        std::uint64_t psi = 0, psi_multi = 0, delta = 0;
+        const auto row = graph_.entry_row(static_cast<std::uint32_t>(i));
+        for (const MultiEdge& e : row) {
+          psi += y_[e.node];
+          psi_multi += static_cast<std::uint64_t>(e.multiplicity) * y_[e.node];
+          delta += e.multiplicity;
+        }
+        stats.psi[i] = psi;
+        stats.psi_multi[i] = psi_multi;
+        stats.delta[i] = delta;
+        stats.delta_star[i] = static_cast<std::uint32_t>(row.size());
+      },
+      /*grain=*/256);  // each element walks an adjacency row
 }
 
 // ---------------------------------------------------------------------------
@@ -120,26 +195,31 @@ void StreamedInstance::query_members(std::uint32_t query,
   design_->query_members(query, out);
 }
 
-EntryStats StreamedInstance::entry_stats(ThreadPool& pool) const {
-  const std::uint32_t num = n();
-  // Shared atomic accumulators: query loads are balanced and n is large,
-  // so contention is negligible next to the regeneration cost.
+namespace {
+
+/// Fallback accumulation over shared atomics: only taken when the
+/// per-lane partial blocks would blow the POOLED_ARENA_BUDGET_MB budget
+/// (very wide pools x very large n). Bit-identical to the arena path --
+/// the statistics are integer sums, associative in any order.
+void entry_stats_atomic_fallback(const PoolingDesign& design, std::uint32_t m,
+                                 const std::vector<std::uint32_t>& y,
+                                 std::uint32_t num, ThreadPool& pool,
+                                 EntryStats& stats) {
   std::vector<std::atomic<std::uint64_t>> psi(num);
   std::vector<std::atomic<std::uint64_t>> psi_multi(num);
   std::vector<std::atomic<std::uint64_t>> delta(num);
   std::vector<std::atomic<std::uint32_t>> delta_star(num);
   constexpr std::uint32_t kUnmarked = 0xFFFFFFFFu;
-  parallel_for_chunked(pool, 0, m_, 1, [&](std::size_t lo, std::size_t hi) {
+  parallel_for_chunked(pool, 0, m, 1, [&](std::size_t lo, std::size_t hi) {
     std::vector<std::uint32_t> members;
     // Epoch marking replaces a per-query sort: mark[e] records the last
-    // query (within this chunk) that touched entry e, so first occurrences
-    // are detected in O(1). Queries are processed once each, so distinct
-    // counting stays exact.
+    // query (within this chunk) that touched entry e, so first
+    // occurrences are detected in O(1).
     std::vector<std::uint32_t> mark(num, kUnmarked);
     for (std::size_t q = lo; q < hi; ++q) {
       const auto query = static_cast<std::uint32_t>(q);
-      design_->query_members(query, members);
-      const std::uint64_t yq = y_[q];
+      design.query_members(query, members);
+      const std::uint64_t yq = y[q];
       for (std::uint32_t entry : members) {
         if (mark[entry] != query) {
           mark[entry] = query;
@@ -151,18 +231,70 @@ EntryStats StreamedInstance::entry_stats(ThreadPool& pool) const {
       }
     }
   });
-  EntryStats stats;
-  stats.psi.resize(num);
-  stats.psi_multi.resize(num);
-  stats.delta.resize(num);
-  stats.delta_star.resize(num);
   for (std::uint32_t i = 0; i < num; ++i) {
     stats.psi[i] = psi[i].load(std::memory_order_relaxed);
     stats.psi_multi[i] = psi_multi[i].load(std::memory_order_relaxed);
     stats.delta[i] = delta[i].load(std::memory_order_relaxed);
     stats.delta_star[i] = delta_star[i].load(std::memory_order_relaxed);
   }
-  return stats;
+}
+
+}  // namespace
+
+void StreamedInstance::entry_stats_into(ThreadPool& pool, EntryStats& stats) const {
+  const std::uint32_t num = n();
+  stats.resize(num);
+  const unsigned lanes = pool.size();
+  if (!DecodeArena::lane_budget_ok(lanes, num)) {
+    entry_stats_atomic_fallback(*design_, m_, y_, num, pool, stats);
+    return;
+  }
+  // Per-lane private partials (no atomics, no per-chunk allocation): each
+  // executing thread folds its queries into its lane's block via the
+  // fused accumulate kernel; the blocks are summed afterwards. Integer
+  // accumulation makes the result independent of lane count and chunking.
+  LanePartials& partials = DecodeArena::local().lane_partials(lanes, num);
+  const KernelSet& kernels = active_kernels();
+  parallel_for_chunked(pool, 0, m_, 1, [&](std::size_t lo, std::size_t hi) {
+    const LaneStats lane = partials.acquire(ThreadPool::current_lane());
+    std::vector<std::uint32_t>& members = DecodeArena::local().members();
+    for (std::size_t q = lo; q < hi; ++q) {
+      design_->query_members(static_cast<std::uint32_t>(q), members);
+      // Epochs are query+1: nonzero, and unique within this pass's
+      // zeroed mark array, so first occurrences are detected in O(1).
+      kernels.accumulate_query(members.data(), members.size(),
+                               static_cast<std::uint32_t>(q) + 1, y_[q],
+                               lane.mark, lane.psi, lane.psi_multi, lane.delta,
+                               lane.delta_star);
+    }
+  });
+  bool first = true;
+  for (unsigned slot = 0; slot < partials.slots(); ++slot) {
+    const LaneStats lane = partials.claimed(slot);
+    if (lane.psi == nullptr) continue;
+    if (first) {
+      std::copy_n(lane.psi, num, stats.psi.data());
+      std::copy_n(lane.psi_multi, num, stats.psi_multi.data());
+      std::copy_n(lane.delta, num, stats.delta.data());
+      std::copy_n(lane.delta_star, num, stats.delta_star.data());
+      first = false;
+    } else {
+      for (std::uint32_t i = 0; i < num; ++i) stats.psi[i] += lane.psi[i];
+      for (std::uint32_t i = 0; i < num; ++i) {
+        stats.psi_multi[i] += lane.psi_multi[i];
+      }
+      for (std::uint32_t i = 0; i < num; ++i) stats.delta[i] += lane.delta[i];
+      for (std::uint32_t i = 0; i < num; ++i) {
+        stats.delta_star[i] += lane.delta_star[i];
+      }
+    }
+  }
+  if (first) {  // m == 0: no lane ever claimed
+    std::fill(stats.psi.begin(), stats.psi.end(), 0);
+    std::fill(stats.psi_multi.begin(), stats.psi_multi.end(), 0);
+    std::fill(stats.delta.begin(), stats.delta.end(), 0);
+    std::fill(stats.delta_star.begin(), stats.delta_star.end(), 0);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -174,7 +306,7 @@ std::vector<std::uint32_t> simulate_queries(const PoolingDesign& design,
   POOLED_REQUIRE(design.num_entries() == truth.n(), "design/signal length mismatch");
   std::vector<std::uint32_t> y(m);
   parallel_for_chunked(pool, 0, m, 1, [&](std::size_t lo, std::size_t hi) {
-    std::vector<std::uint32_t> members;
+    std::vector<std::uint32_t>& members = DecodeArena::local().members();
     for (std::size_t q = lo; q < hi; ++q) {
       design.query_members(static_cast<std::uint32_t>(q), members);
       y[q] = pooled_sum(truth, members);

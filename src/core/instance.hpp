@@ -59,6 +59,13 @@ struct EntryStats {
   std::vector<std::uint64_t> psi_multi;
   std::vector<std::uint64_t> delta;
   std::vector<std::uint32_t> delta_star;
+
+  void resize(std::size_t n) {
+    psi.resize(n);
+    psi_multi.resize(n);
+    delta.resize(n);
+    delta_star.resize(n);
+  }
 };
 
 class Instance {
@@ -75,8 +82,17 @@ class Instance {
   virtual void query_members(std::uint32_t query,
                              std::vector<std::uint32_t>& out) const = 0;
 
-  /// Computes the per-entry aggregates (parallel over queries/entries).
-  [[nodiscard]] virtual EntryStats entry_stats(ThreadPool& pool) const = 0;
+  /// Computes the per-entry aggregates (parallel over queries/entries)
+  /// into `out` (resized). Decoders pass arena-owned stats so the steady
+  /// state allocates nothing.
+  virtual void entry_stats_into(ThreadPool& pool, EntryStats& out) const = 0;
+
+  /// Convenience wrapper returning fresh vectors.
+  [[nodiscard]] EntryStats entry_stats(ThreadPool& pool) const {
+    EntryStats stats;
+    entry_stats_into(pool, stats);
+    return stats;
+  }
 
   /// Output channel the observed results() went through.
   [[nodiscard]] virtual ChannelKind channel() const {
@@ -111,7 +127,7 @@ class StoredInstance final : public Instance {
   }
   void query_members(std::uint32_t query,
                      std::vector<std::uint32_t>& out) const override;
-  [[nodiscard]] EntryStats entry_stats(ThreadPool& pool) const override;
+  void entry_stats_into(ThreadPool& pool, EntryStats& out) const override;
 
   [[nodiscard]] const BipartiteMultigraph& graph() const { return graph_; }
 
@@ -138,7 +154,7 @@ class StreamedInstance final : public Instance {
   }
   void query_members(std::uint32_t query,
                      std::vector<std::uint32_t>& out) const override;
-  [[nodiscard]] EntryStats entry_stats(ThreadPool& pool) const override;
+  void entry_stats_into(ThreadPool& pool, EntryStats& out) const override;
   [[nodiscard]] ChannelKind channel() const override { return channel_; }
   [[nodiscard]] std::uint32_t channel_threshold() const override {
     return threshold_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "kernels/decode_arena.hpp"
+#include "kernels/kernel_set.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/parallel_sort.hpp"
 #include "parallel/thread_pool.hpp"
@@ -10,62 +12,94 @@
 
 namespace pooled {
 
+namespace {
+
+/// SIMD score kernels do a few cycles per element; anything below this
+/// grain is dominated by chunk dispatch.
+constexpr std::size_t kScoreGrain = 8192;
+
+/// Score dispatch hoisted out of the per-entry loops: one switch per
+/// decode, then the chunked kernel runs branch-free over its range.
+void scores_into(MnScore score, const EntryStats& stats, std::uint32_t k,
+                 ThreadPool& pool, double* out) {
+  const std::size_t n = stats.psi.size();
+  const double half_k = static_cast<double>(k) / 2.0;
+  const KernelSet& kernels = active_kernels();
+  switch (score) {
+    case MnScore::CentralizedPsi:
+      parallel_for_chunked(pool, 0, n, kScoreGrain,
+                           [&](std::size_t lo, std::size_t hi) {
+                             kernels.score_centered(stats.psi.data(),
+                                                    stats.delta_star.data(), lo,
+                                                    hi, half_k, out);
+                           });
+      break;
+    case MnScore::RawPsi:
+      parallel_for_chunked(pool, 0, n, kScoreGrain,
+                           [&](std::size_t lo, std::size_t hi) {
+                             kernels.score_raw(stats.psi.data(), lo, hi, out);
+                           });
+      break;
+    case MnScore::NormalizedPsi:
+      parallel_for_chunked(pool, 0, n, kScoreGrain,
+                           [&](std::size_t lo, std::size_t hi) {
+                             kernels.score_normalized(stats.psi.data(),
+                                                      stats.delta_star.data(),
+                                                      lo, hi, out);
+                           });
+      break;
+    case MnScore::MultiEdgePsi:
+      parallel_for_chunked(pool, 0, n, kScoreGrain,
+                           [&](std::size_t lo, std::size_t hi) {
+                             kernels.score_multiedge(stats.psi_multi.data(),
+                                                     stats.delta.data(), lo, hi,
+                                                     half_k, out);
+                           });
+      break;
+  }
+}
+
+/// Shared top-k body over a raw score array. The partial-ranking path
+/// runs through select_top_k_into (arena scratch, zero-alloc); the
+/// full-sort path is Algorithm 1 as written, ranking all n coordinates.
+std::vector<std::uint32_t> top_k_support(const double* scores, std::size_t n,
+                                         std::uint32_t k, bool full_sort,
+                                         ThreadPool& pool) {
+  POOLED_REQUIRE(k <= n, "cannot select more entries than exist");
+  std::vector<std::uint32_t> support(k);
+  DecodeArena& arena = DecodeArena::local();
+  if (full_sort) {
+    std::uint32_t* order = arena.order(n);
+    std::iota(order, order + n, 0u);
+    const auto better = [&](std::uint32_t a, std::uint32_t b) {
+      if (scores[a] != scores[b]) return scores[a] > scores[b];
+      return a < b;  // deterministic tie-break
+    };
+    parallel_sort(pool, order, order + n, better);
+    std::copy_n(order, k, support.begin());
+    std::sort(support.begin(), support.end());
+  } else {
+    select_top_k_into(active_kernels(), scores, n, k, arena.topk_values(n),
+                      support.data());
+  }
+  return support;
+}
+
+}  // namespace
+
 MnDecoder::MnDecoder(MnOptions options) : options_(options) {}
 
 std::vector<double> MnDecoder::scores_from_stats(const EntryStats& stats,
                                                  std::uint32_t k,
                                                  ThreadPool& pool) const {
-  const std::size_t n = stats.psi.size();
-  std::vector<double> scores(n);
-  const double half_k = static_cast<double>(k) / 2.0;
-  switch (options_.score) {
-    case MnScore::CentralizedPsi:
-      parallel_for(pool, 0, n, [&](std::size_t i) {
-        scores[i] = static_cast<double>(stats.psi[i]) -
-                    static_cast<double>(stats.delta_star[i]) * half_k;
-      });
-      break;
-    case MnScore::RawPsi:
-      parallel_for(pool, 0, n, [&](std::size_t i) {
-        scores[i] = static_cast<double>(stats.psi[i]);
-      });
-      break;
-    case MnScore::NormalizedPsi:
-      parallel_for(pool, 0, n, [&](std::size_t i) {
-        scores[i] = stats.delta_star[i] == 0
-                        ? 0.0
-                        : static_cast<double>(stats.psi[i]) /
-                              static_cast<double>(stats.delta_star[i]);
-      });
-      break;
-    case MnScore::MultiEdgePsi:
-      parallel_for(pool, 0, n, [&](std::size_t i) {
-        scores[i] = static_cast<double>(stats.psi_multi[i]) -
-                    static_cast<double>(stats.delta[i]) * half_k;
-      });
-      break;
-  }
+  std::vector<double> scores(stats.psi.size());
+  scores_into(options_.score, stats, k, pool, scores.data());
   return scores;
 }
 
 std::vector<std::uint32_t> select_top_k(std::vector<double>& scores, std::uint32_t k,
                                         bool full_sort, ThreadPool& pool) {
-  POOLED_REQUIRE(k <= scores.size(), "cannot select more entries than exist");
-  std::vector<std::uint32_t> order(scores.size());
-  std::iota(order.begin(), order.end(), 0u);
-  const auto better = [&](std::uint32_t a, std::uint32_t b) {
-    if (scores[a] != scores[b]) return scores[a] > scores[b];
-    return a < b;  // deterministic tie-break
-  };
-  if (full_sort) {
-    // Algorithm 1 as written: sort all n coordinates by score.
-    parallel_sort(pool, order.begin(), order.end(), better);
-  } else {
-    std::nth_element(order.begin(), order.begin() + k, order.end(), better);
-  }
-  order.resize(k);
-  std::sort(order.begin(), order.end());
-  return order;
+  return top_k_support(scores.data(), scores.size(), k, full_sort, pool);
 }
 
 MnResult MnDecoder::decode_scored(const Instance& instance, std::uint32_t k,
@@ -73,9 +107,9 @@ MnResult MnDecoder::decode_scored(const Instance& instance, std::uint32_t k,
   POOLED_REQUIRE(k <= instance.n(), "weight k exceeds signal length");
   const EntryStats stats = instance.entry_stats(pool);
   std::vector<double> scores = scores_from_stats(stats, k, pool);
-  std::vector<double> kept = scores;  // select_top_k permutes through `order` only
-  auto support = select_top_k(scores, k, options_.full_sort, pool);
-  return MnResult{Signal(instance.n(), std::move(support)), std::move(kept)};
+  auto support = top_k_support(scores.data(), scores.size(), k,
+                               options_.full_sort, pool);
+  return MnResult{Signal(instance.n(), std::move(support)), std::move(scores)};
 }
 
 DecodeOutcome MnDecoder::decode(const Instance& instance,
@@ -83,9 +117,15 @@ DecodeOutcome MnDecoder::decode(const Instance& instance,
   const std::uint32_t k = context.k;
   ThreadPool& pool = context.thread_pool();
   POOLED_REQUIRE(k <= instance.n(), "weight k exceeds signal length");
-  const EntryStats stats = instance.entry_stats(pool);
-  std::vector<double> scores = scores_from_stats(stats, k, pool);
-  auto support = select_top_k(scores, k, options_.full_sort, pool);
+  // Zero-alloc steady state: statistics and scores live in the decoding
+  // thread's arena; only the returned support allocates.
+  DecodeArena& arena = DecodeArena::local();
+  EntryStats& stats = arena.stats();
+  instance.entry_stats_into(pool, stats);
+  const std::size_t n = stats.psi.size();
+  double* scores = arena.scores(n);
+  scores_into(options_.score, stats, k, pool, scores);
+  auto support = top_k_support(scores, n, k, options_.full_sort, pool);
   // One score per entry: the matrix-vector pass of the "Parallelized
   // Reconstruction" remark.
   return one_shot_outcome(Signal(instance.n(), std::move(support)), instance,

@@ -26,6 +26,13 @@ class RandomRegularDesign final : public PoolingDesign {
   std::uint32_t n_;
   std::uint64_t seed_;
   std::uint64_t gamma_;
+  // Precomputed pieces of the keyed Philox draw, so query_members can
+  // hand the whole pool generation to the dispatched sample_u32 kernel:
+  // the splitmix64-mixed seed key and the Lemire rejection threshold
+  // (2^32 - n) % n.
+  std::uint32_t key0_;
+  std::uint32_t key1_;
+  std::uint32_t lemire_threshold_;
 };
 
 }  // namespace pooled

@@ -37,7 +37,8 @@ std::vector<std::uint8_t> one_bit_outcomes(const Instance& instance,
 
 DecodeOutcome BinaryGtAdapter::decode(const Instance& instance,
                                       const DecodeContext& context) const {
-  (void)context;  // COMP/DD determine the support size from the tests
+  // COMP/DD determine the support size from the tests; the context only
+  // supplies the pool that parallelizes the one-time pool bit-pack.
   // COMP/DD reason "negative test => every member is a zero", which is
   // only sound when a positive outcome means >= 1 defective. A
   // threshold-T instance's negative pools may still contain up to T-1
@@ -50,8 +51,9 @@ DecodeOutcome BinaryGtAdapter::decode(const Instance& instance,
   const StreamedInstance& streamed = as_streamed(instance);
   const BinaryGtInstance gt(streamed.design_ptr(), streamed.m(),
                             one_bit_outcomes(instance, 1));
+  ThreadPool& pool = context.thread_pool();
   BinaryDecodeResult result =
-      rule_ == Rule::Dd ? decode_dd(gt) : decode_comp(gt);
+      rule_ == Rule::Dd ? decode_dd(gt, &pool) : decode_comp(gt, &pool);
   return one_shot_outcome(std::move(result.estimate), instance, instance.n());
 }
 

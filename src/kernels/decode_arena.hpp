@@ -1,0 +1,138 @@
+// Per-thread decode scratch: aligned buffers that grow once and are
+// reused for every subsequent decode, replacing the per-call / per-chunk
+// std::vector allocations in the hot paths (entry statistics, scoring,
+// top-k selection, consistency scans).
+//
+// Thread-affinity contract
+// ------------------------
+// `DecodeArena::local()` returns the calling OS thread's arena. ThreadPool
+// workers are long-lived, so after the first decode at a given problem
+// size every buffer is warm and the steady state allocates nothing. Two
+// rules keep this safe:
+//
+//  1. A slot is scratch for ONE live use at a time: acquire it, use it,
+//     and stop referencing it before anything on the same thread can
+//     acquire the same slot again (in particular, never hold a slot
+//     across a nested parallel_for that might use it inline).
+//  2. Lane-partial blocks (entry statistics) are allocated by the
+//     *calling* thread but written by pool workers, indexed by
+//     `ThreadPool::current_lane()`. The caller's run_tasks barrier is
+//     what makes that hand-off safe; the slot map tolerates foreign lane
+//     ids (a worker of a wider pool driving a narrower one inline).
+//
+// Memory is bounded by the largest decode a thread has run:
+// ~32 bytes/entry/lane for the statistics block plus the score/top-k
+// vectors. POOLED_ARENA_BUDGET_MB (default 1024) caps the lane-partial
+// block; callers fall back to their shared-atomics path beyond it.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/instance.hpp"
+
+namespace pooled {
+
+/// One lane's view of the entry-statistics partial accumulators.
+struct LaneStats {
+  std::uint64_t* psi = nullptr;
+  std::uint64_t* psi_multi = nullptr;
+  std::uint64_t* delta = nullptr;
+  std::uint32_t* delta_star = nullptr;
+  std::uint32_t* mark = nullptr;  ///< zeroed at acquire; epochs must be nonzero
+};
+
+/// Lane-indexed partial accumulators for one entry-statistics pass.
+/// Slots are claimed lock-free on first acquire and zeroed exactly once
+/// per pass, so a pass that only ever runs on one lane (the batch-engine
+/// case: nested parallelism executes inline) pays for one lane's memset,
+/// not pool.size() of them.
+class LanePartials {
+ public:
+  /// The lane's block, zeroed on this pass's first acquire. `lane_id` is
+  /// ThreadPool::current_lane() of the executing thread; ids need not be
+  /// dense or bounded by the slot count -- only the number of *distinct*
+  /// concurrent ids is (<= pool.size(), guaranteed by run_tasks).
+  [[nodiscard]] LaneStats acquire(unsigned lane_id);
+
+  [[nodiscard]] unsigned slots() const { return slot_count_; }
+  [[nodiscard]] std::size_t entries() const { return entries_; }
+
+  /// Slot `slot`'s block if it was claimed during this pass, else a view
+  /// of nulls. Merge loops iterate slots, not lane ids.
+  [[nodiscard]] LaneStats claimed(unsigned slot) const;
+
+ private:
+  friend class DecodeArena;
+  void reset(unsigned slots, std::size_t entries);
+  [[nodiscard]] LaneStats slot_view(unsigned slot) const;
+
+  std::unique_ptr<std::byte[]> block_;
+  std::size_t block_bytes_ = 0;
+  std::size_t entries_ = 0;
+  std::size_t lane_stride_ = 0;  // bytes per lane, 64-byte multiple
+  unsigned slot_count_ = 0;
+  unsigned owner_capacity_ = 0;
+  // slot -> lane id + 1 (0 = free); atomics because pool workers race to
+  // claim slots within one pass.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> owners_;
+};
+
+class DecodeArena {
+ public:
+  /// The calling thread's arena.
+  static DecodeArena& local();
+
+  /// True when a lane-partial block of `lanes` x `entries` fits the
+  /// POOLED_ARENA_BUDGET_MB budget (default 1024).
+  static bool lane_budget_ok(unsigned lanes, std::size_t entries);
+
+  // -- named scratch slots (see the affinity contract above) -------------
+  double* scores(std::size_t n) { return scores_.ensure(n); }
+  double* topk_values(std::size_t n) { return topk_values_.ensure(n); }
+  std::uint32_t* order(std::size_t n) { return order_.ensure(n); }
+  std::uint64_t* words_a(std::size_t n) { return words_a_.ensure(n); }
+  std::uint64_t* words_b(std::size_t n) { return words_b_.ensure(n); }
+  std::vector<std::uint32_t>& members() { return members_; }
+  EntryStats& stats() { return stats_; }
+
+  /// Lane-partial block for one entry-statistics pass (resets the slot
+  /// map; the returned reference is valid until the next call on this
+  /// thread).
+  LanePartials& lane_partials(unsigned lanes, std::size_t entries);
+
+ private:
+  template <typename T>
+  class Buffer {
+   public:
+    T* ensure(std::size_t count) {
+      if (count > capacity_) {
+        data_ = std::make_unique<std::byte[]>(count * sizeof(T) + 63);
+        capacity_ = count;
+        void* raw = data_.get();
+        aligned_ = reinterpret_cast<T*>(
+            (reinterpret_cast<std::uintptr_t>(raw) + 63) & ~std::uintptr_t{63});
+      }
+      return aligned_;
+    }
+
+   private:
+    std::unique_ptr<std::byte[]> data_;
+    T* aligned_ = nullptr;
+    std::size_t capacity_ = 0;
+  };
+
+  Buffer<double> scores_;
+  Buffer<double> topk_values_;
+  Buffer<std::uint32_t> order_;
+  Buffer<std::uint64_t> words_a_;
+  Buffer<std::uint64_t> words_b_;
+  std::vector<std::uint32_t> members_;
+  EntryStats stats_;
+  LanePartials partials_;
+};
+
+}  // namespace pooled

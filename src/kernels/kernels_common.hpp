@@ -1,0 +1,192 @@
+// Scalar reference bodies shared by every KernelSet variant.
+//
+// INTERNAL to src/kernels/: the scalar set wires these directly; the SIMD
+// sets use them for loop tails and for the lanes SIMD cannot help
+// (scatter-heavy accumulation). Keeping one definition per loop is what
+// makes "bit-identical across variants" checkable instead of aspirational.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "rng/philox.hpp"
+
+namespace pooled::kernels {
+
+// ---------------------------------------------------------------------------
+// Scores
+
+inline void scalar_score_centered(const std::uint64_t* psi,
+                                  const std::uint32_t* delta_star, std::size_t lo,
+                                  std::size_t hi, double center, double* out) {
+  for (std::size_t i = lo; i < hi; ++i) {
+    out[i] = static_cast<double>(psi[i]) -
+             static_cast<double>(delta_star[i]) * center;
+  }
+}
+
+inline void scalar_score_raw(const std::uint64_t* psi, std::size_t lo,
+                             std::size_t hi, double* out) {
+  for (std::size_t i = lo; i < hi; ++i) out[i] = static_cast<double>(psi[i]);
+}
+
+inline void scalar_score_normalized(const std::uint64_t* psi,
+                                    const std::uint32_t* delta_star, std::size_t lo,
+                                    std::size_t hi, double* out) {
+  for (std::size_t i = lo; i < hi; ++i) {
+    out[i] = delta_star[i] == 0 ? 0.0
+                                : static_cast<double>(psi[i]) /
+                                      static_cast<double>(delta_star[i]);
+  }
+}
+
+inline void scalar_score_multiedge(const std::uint64_t* psi_multi,
+                                   const std::uint64_t* delta, std::size_t lo,
+                                   std::size_t hi, double center, double* out) {
+  for (std::size_t i = lo; i < hi; ++i) {
+    out[i] = static_cast<double>(psi_multi[i]) -
+             static_cast<double>(delta[i]) * center;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fused accumulation (inherently scatter-bound; all variants share it)
+
+inline void scalar_accumulate_query(const std::uint32_t* members, std::size_t count,
+                                    std::uint32_t epoch, std::uint64_t yq,
+                                    std::uint32_t* mark, std::uint64_t* psi,
+                                    std::uint64_t* psi_multi, std::uint64_t* delta,
+                                    std::uint32_t* delta_star) {
+  for (std::size_t j = 0; j < count; ++j) {
+    const std::uint32_t entry = members[j];
+    if (mark[entry] != epoch) {
+      mark[entry] = epoch;
+      psi[entry] += yq;
+      delta_star[entry] += 1;
+    }
+    psi_multi[entry] += yq;
+    delta[entry] += 1;
+  }
+}
+
+inline void scalar_accumulate_query_distinct(const std::uint32_t* members,
+                                             std::size_t count, std::uint32_t epoch,
+                                             std::uint64_t yq, std::uint32_t* mark,
+                                             std::uint64_t* psi,
+                                             std::uint32_t* delta_star) {
+  for (std::size_t j = 0; j < count; ++j) {
+    const std::uint32_t entry = members[j];
+    if (mark[entry] != epoch) {
+      mark[entry] = epoch;
+      psi[entry] += yq;
+      delta_star[entry] += 1;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Philox sampling
+
+/// Sequential 32-bit Philox consumption: block b yields out[0..3] in
+/// order (PhiloxStream packs out[1]:out[0] then out[3]:out[2] into u64s
+/// and sample_with_replacement reads low half first -- the flattened
+/// 32-bit order is exactly out[0], out[1], out[2], out[3]).
+struct ScalarPhiloxCursor {
+  std::array<std::uint32_t, 2> key;
+  std::uint64_t stream;
+  std::uint64_t block = 0;
+  std::array<std::uint32_t, 4> buffer{};
+  unsigned pos = 4;  // consumed entries of buffer
+
+  std::uint32_t next() {
+    if (pos == 4) {
+      const std::array<std::uint32_t, 4> counter = {
+          static_cast<std::uint32_t>(block), static_cast<std::uint32_t>(block >> 32),
+          static_cast<std::uint32_t>(stream),
+          static_cast<std::uint32_t>(stream >> 32)};
+      buffer = philox4x32(counter, key);
+      pos = 0;
+      ++block;
+    }
+    return buffer[pos++];
+  }
+};
+
+inline void scalar_sample_u32(std::uint32_t key0, std::uint32_t key1,
+                              std::uint64_t stream, std::uint32_t n,
+                              std::uint32_t threshold, std::size_t count,
+                              std::uint32_t* out) {
+  ScalarPhiloxCursor cursor{{key0, key1}, stream};
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t m = static_cast<std::uint64_t>(cursor.next()) * n;
+    while (static_cast<std::uint32_t>(m) < threshold) {
+      m = static_cast<std::uint64_t>(cursor.next()) * n;
+    }
+    out[i] = static_cast<std::uint32_t>(m >> 32);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bit-packed pool words
+
+inline void scalar_or_words(std::uint64_t* dst, const std::uint64_t* src,
+                            std::size_t words) {
+  for (std::size_t w = 0; w < words; ++w) dst[w] |= src[w];
+}
+
+inline std::uint64_t scalar_popcount_words(const std::uint64_t* a,
+                                           std::size_t words) {
+  std::uint64_t total = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    total += static_cast<std::uint64_t>(__builtin_popcountll(a[w]));
+  }
+  return total;
+}
+
+inline std::uint64_t scalar_andnot_popcount(const std::uint64_t* a,
+                                            const std::uint64_t* mask,
+                                            std::size_t words) {
+  std::uint64_t total = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    total += static_cast<std::uint64_t>(__builtin_popcountll(a[w] & ~mask[w]));
+  }
+  return total;
+}
+
+inline std::uint64_t scalar_and_popcount(const std::uint64_t* a,
+                                         const std::uint64_t* b,
+                                         std::size_t words) {
+  std::uint64_t total = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    total += static_cast<std::uint64_t>(__builtin_popcountll(a[w] & b[w]));
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Top-k scans
+
+inline std::size_t scalar_count_greater(const double* scores, std::size_t n,
+                                        double pivot) {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) count += scores[i] > pivot ? 1 : 0;
+  return count;
+}
+
+inline void scalar_topk_fill(const double* scores, std::size_t n, double pivot,
+                             std::size_t ties, std::uint32_t* out, std::size_t k) {
+  std::size_t taken = 0;
+  std::size_t ties_taken = 0;
+  for (std::size_t i = 0; i < n && taken < k; ++i) {
+    const double s = scores[i];
+    if (s > pivot) {
+      out[taken++] = static_cast<std::uint32_t>(i);
+    } else if (s == pivot && ties_taken < ties) {
+      out[taken++] = static_cast<std::uint32_t>(i);
+      ++ties_taken;
+    }
+  }
+}
+
+}  // namespace pooled::kernels

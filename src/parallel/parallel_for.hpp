@@ -35,9 +35,22 @@ void parallel_for_chunked(ThreadPool& pool, std::size_t begin, std::size_t end,
 }
 
 /// Element-wise parallel loop: body(i) for i in [begin, end).
+///
+/// `grain` is the minimum chunk size handed to one task. The 1024
+/// default suits loops doing ~100ns of work per element; kernel-heavy
+/// call sites pass their own (e.g. the SIMD score kernels use 4096+ --
+/// at a few cycles per element, chunk dispatch overhead dominates
+/// anything smaller).
+///
+/// Scratch note: chunk bodies run on pool workers and/or the caller.
+/// Per-thread scratch (kernels/decode_arena.hpp) must be acquired
+/// *inside* the body by the executing thread, never captured from the
+/// caller -- see the thread-affinity contract in decode_arena.hpp and
+/// ThreadPool::current_lane().
 template <typename Body>
-void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end, Body&& body) {
-  parallel_for_chunked(pool, begin, end, 1024,
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end, Body&& body,
+                  std::size_t grain = 1024) {
+  parallel_for_chunked(pool, begin, end, grain,
                        [&](std::size_t lo, std::size_t hi) {
                          for (std::size_t i = lo; i < hi; ++i) body(i);
                        });

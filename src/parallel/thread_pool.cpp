@@ -6,6 +6,7 @@
 namespace pooled {
 
 thread_local bool ThreadPool::inside_task_ = false;
+thread_local unsigned ThreadPool::lane_ = 0;
 
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) {
@@ -16,7 +17,7 @@ ThreadPool::ThreadPool(unsigned threads) {
   if (threads > 1) {
     workers_.reserve(threads - 1);
     for (unsigned i = 0; i + 1 < threads; ++i) {
-      workers_.emplace_back([this] { worker_loop(); });
+      workers_.emplace_back([this, i] { worker_loop(i + 1); });
     }
   }
 }
@@ -43,8 +44,9 @@ void ThreadPool::participate(Batch& batch) {
   }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(unsigned lane) {
   inside_task_ = true;  // nested run_tasks from a worker executes inline
+  lane_ = lane;
   std::shared_ptr<Batch> seen;
   for (;;) {
     std::shared_ptr<Batch> batch;

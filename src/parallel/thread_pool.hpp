@@ -45,6 +45,17 @@ class ThreadPool {
   /// tasks load-balance automatically.
   void run_tasks(std::size_t count, const std::function<void(std::size_t)>& fn);
 
+  /// Execution-lane id of the calling thread: workers are 1..workers(),
+  /// every non-worker thread is 0. Within one run_tasks batch the set of
+  /// executing threads is (some workers + the one caller), so lane ids
+  /// are unique per concurrently-executing thread -- which is what lets
+  /// per-lane scratch (kernels/decode_arena.hpp LanePartials) replace
+  /// shared atomic accumulators. A worker of pool A driving pool B runs
+  /// B's batch inline and keeps A's lane id; consumers must therefore
+  /// treat lane ids as opaque keys, not dense indices (LanePartials maps
+  /// ids to slots for exactly this reason).
+  [[nodiscard]] static unsigned current_lane() { return lane_; }
+
   /// Shared process-wide pool (width = hardware_concurrency, overridable
   /// via POOLED_THREADS before first use).
   static ThreadPool& global();
@@ -57,7 +68,7 @@ class ThreadPool {
     std::atomic<std::size_t> remaining{0};
   };
 
-  void worker_loop();
+  void worker_loop(unsigned lane);
   void participate(Batch& batch);
 
   std::mutex batch_mutex_;  // serializes run_tasks callers
@@ -68,6 +79,7 @@ class ThreadPool {
   bool stop_ = false;
   std::vector<std::thread> workers_;
   static thread_local bool inside_task_;
+  static thread_local unsigned lane_;
 };
 
 }  // namespace pooled

@@ -37,6 +37,11 @@ void ThresholdGtInstance::query_members(std::uint32_t query,
   design_->query_members(query, out);
 }
 
+const PackedPools* ThresholdGtInstance::packed(ThreadPool* pool) const {
+  std::call_once(packed_once_, [&] { packed_ = pack_pools(*design_, m_, pool); });
+  return packed_.get();
+}
+
 std::unique_ptr<ThresholdGtInstance> make_threshold_instance(
     std::shared_ptr<const PoolingDesign> design, std::uint32_t m,
     std::uint32_t threshold, const Signal& truth, ThreadPool& pool) {

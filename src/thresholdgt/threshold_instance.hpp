@@ -15,10 +15,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/signal.hpp"
 #include "design/design.hpp"
+#include "graph/packed_pools.hpp"
 
 namespace pooled {
 
@@ -44,11 +46,17 @@ class ThresholdGtInstance {
   }
   void query_members(std::uint32_t query, std::vector<std::uint32_t>& out) const;
 
+  /// Bit-packed distinct-membership masks (see BinaryGtInstance::packed);
+  /// nullptr when over the POOLED_PACK_BUDGET_MB budget.
+  [[nodiscard]] const PackedPools* packed(ThreadPool* pool) const;
+
  private:
   std::shared_ptr<const PoolingDesign> design_;
   std::uint32_t m_;
   std::uint32_t threshold_;
   std::vector<std::uint8_t> outcomes_;
+  mutable std::once_flag packed_once_;
+  mutable std::unique_ptr<PackedPools> packed_;
 };
 
 /// Teacher step: runs m parallel threshold-T queries against `truth`.

@@ -14,6 +14,7 @@
 #include "core/serialize.hpp"
 #include "engine/batch_engine.hpp"
 #include "engine/result_cache.hpp"
+#include "kernels/kernel_set.hpp"
 #include "parallel/thread_pool.hpp"
 #include "thresholdgt/threshold_instance.hpp"
 
@@ -133,6 +134,35 @@ TEST(BatchEngineStress, AllPoolsWindowsAndCacheModesMatchSequential) {
         }
       }
     }
+  }
+}
+
+TEST(BatchEngineStress, ScalarKernelsMatchDispatchedReports) {
+  // The same mixed batch decoded under POOLED_KERNELS=scalar semantics
+  // (forced in-process) must produce byte-identical reports to the
+  // dispatched SIMD kernels -- the engine-level half of the differential
+  // guarantee in tests/test_kernels.cpp. CI additionally runs this whole
+  // binary under POOLED_KERNELS=scalar, exercising the env override.
+  ThreadPool build_pool(2);
+  const std::vector<DecodeJob> jobs = stress_jobs(build_pool);
+  ThreadPool pool(4);
+  const BatchEngine engine(pool);
+
+  const KernelSet& dispatched = active_kernels();
+  const auto run_with = [&](const KernelSet& kernels) {
+    const KernelSet& previous = set_active_kernels(kernels);
+    auto reports = engine.run(jobs);
+    set_active_kernels(previous);
+    return reports;
+  };
+  const auto scalar_reports = run_with(*kernels_for(KernelIsa::Scalar));
+  const auto dispatched_reports = run_with(dispatched);
+  ASSERT_EQ(scalar_reports.size(), dispatched_reports.size());
+  for (std::size_t j = 0; j < scalar_reports.size(); ++j) {
+    expect_same_report(dispatched_reports[j], scalar_reports[j],
+                       std::string("kernels=") +
+                           kernel_isa_name(dispatched.isa) +
+                           " job=" + std::to_string(j));
   }
 }
 
