@@ -19,15 +19,25 @@
 // dispatched-vs-baseline speedup of each named section must reach its
 // floor or the process exits 1.
 //
+// A fourth phase, saturation, drives an in-process ServeServer with
+// closed-loop socket clients (repeated specs, so the result cache
+// engages) and reports what the observability layer sees under load:
+// client-observed RTT percentiles, throughput, cache hit rate, queue
+// depth and arena high-water marks, plus the jobs_served count scraped
+// by a `stats` protocol frame sent mid-load. These land in the JSON
+// under "saturation"; tools/perf_diff.py soft-gates them in CI.
+//
 // Knobs: POOLED_MAX_N (default 10000) scales the micro/binary sections,
-// POOLED_TRIALS (default 24) the engine job count.
+// POOLED_TRIALS (default 24) the engine and per-client job counts.
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <numeric>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -39,8 +49,14 @@
 #include "core/thresholds.hpp"
 #include "design/random_regular.hpp"
 #include "engine/batch_engine.hpp"
+#include "engine/protocol.hpp"
+#include "engine/result_cache.hpp"
+#include "engine/serve_server.hpp"
+#include "engine/socket_transport.hpp"
 #include "io/table.hpp"
+#include "kernels/decode_arena.hpp"
 #include "kernels/kernel_set.hpp"
+#include "obs/metrics.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
 #include "rng/philox.hpp"
@@ -207,6 +223,135 @@ double timed_with_kernels(KernelIsa isa, Fn&& fn) {
   const double sec = best_seconds(fn);
   set_active_kernels(previous);
   return sec;
+}
+
+/// What the saturation phase measures: server-side metrics reconciled
+/// with client-side observations.
+struct SaturationResult {
+  std::size_t clients = 0;
+  std::size_t jobs = 0;  ///< total across clients
+  double wall_sec = 0.0;
+  double throughput_jobs_per_sec = 0.0;
+  HistogramSnapshot rtt;  ///< client-observed request round trip
+  double cache_hit_rate = 0.0;
+  std::uint64_t jobs_served = 0;          ///< server counter after the run
+  std::uint64_t midload_jobs_served = 0;  ///< from the mid-load stats frame
+  std::int64_t queue_depth_peak = 0;
+  std::int64_t arena_peak_bytes = 0;
+};
+
+/// Closed-loop load: `clients` socket connections, each sending
+/// `jobs_per_client` spec-backed jobs drawn from a small pool of
+/// distinct specs (so the result cache engages) and waiting for each
+/// result before sending the next. One client interleaves a
+/// `pooled-stats` frame halfway through its run, exercising the
+/// out-of-band path under concurrent decode traffic.
+SaturationResult run_saturation(ThreadPool& pool, std::size_t clients,
+                                std::size_t jobs_per_client) {
+  const std::uint32_t n = 400;
+  const std::uint32_t k = thresholds::k_of(n, 0.3);
+  const auto m = static_cast<std::uint32_t>(
+      1.2 * thresholds::m_mn_finite(n, std::max<std::uint32_t>(k, 2)));
+  constexpr std::size_t kDistinctSpecs = 6;
+  std::vector<DecodeJob> specs;
+  specs.reserve(kDistinctSpecs);
+  for (std::size_t s = 0; s < kDistinctSpecs; ++s) {
+    const TrialSeeds seeds =
+        trial_seeds(/*seed_base=*/0x5A70, static_cast<std::uint32_t>(s));
+    DesignParams params;
+    params.n = n;
+    params.seed = seeds.design_seed;
+    const RandomRegularDesign design(n, params.seed);
+    const Signal truth = Signal::random(n, k, seeds.signal_seed);
+    const auto y = simulate_queries(design, m, truth, pool);
+    DecodeJob job;
+    job.spec = make_spec(DesignKind::RandomRegular, params, y);
+    job.decoder = "mn";
+    job.k = k;
+    job.check_consistency = false;
+    specs.push_back(std::move(job));
+  }
+
+  MetricsRegistry registry;
+  ResultCache cache(256);
+  EngineOptions engine_options;
+  engine_options.cache = &cache;
+  engine_options.metrics = &registry;
+  const BatchEngine engine(pool, engine_options);
+  ServeServerOptions server_options;
+  server_options.metrics = &registry;
+  ServeServer server(
+      ListenSocket::bind_and_listen(SocketAddress::parse("127.0.0.1:0")),
+      engine, server_options);
+  server.start();
+
+  LatencyHistogram rtt;
+  std::atomic<std::uint64_t> midload_jobs_served{0};
+  std::atomic<bool> failed{false};
+  const Timer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        SocketStream stream(Socket::dial(server.address()));
+        for (std::size_t j = 0; j < jobs_per_client; ++j) {
+          if (c == 0 && j == jobs_per_client / 2) {
+            save_stats_request(stream.out());
+            stream.out().flush();
+            const auto snapshot = load_stats_snapshot(stream.in());
+            if (!snapshot) throw std::runtime_error("stats frame unanswered");
+            midload_jobs_served.store(
+                snapshot->counter_value("serve.jobs_served"));
+          }
+          const DecodeJob& job =
+              specs[(c * jobs_per_client + j) % kDistinctSpecs];
+          const Timer round_trip;
+          save_job(stream.out(), job);
+          stream.out().flush();
+          const auto report = load_report(stream.in());
+          if (!report || !report->ok()) {
+            throw std::runtime_error("job failed under load");
+          }
+          rtt.record(round_trip.seconds());
+        }
+        stream.socket().shutdown_write();
+        while (load_report(stream.in())) {  // drain any stragglers
+        }
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "   saturation client %zu: %s\n", c, error.what());
+        failed.store(true);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double wall_sec = wall.seconds();
+  const MetricsSnapshot snapshot = server.build_snapshot();
+  server.stop();
+  if (failed.load()) std::abort();
+
+  SaturationResult result;
+  result.clients = clients;
+  result.jobs = clients * jobs_per_client;
+  result.wall_sec = wall_sec;
+  result.throughput_jobs_per_sec =
+      wall_sec > 0.0 ? static_cast<double>(result.jobs) / wall_sec : 0.0;
+  result.rtt = rtt.snapshot();
+  const CacheStats cache_stats = cache.stats();
+  const std::uint64_t lookups = cache_stats.hits + cache_stats.misses;
+  result.cache_hit_rate =
+      lookups > 0 ? static_cast<double>(cache_stats.hits) /
+                        static_cast<double>(lookups)
+                  : 0.0;
+  result.jobs_served = snapshot.counter_value("serve.jobs_served");
+  result.midload_jobs_served = midload_jobs_served.load();
+  if (const MetricValue* queue = snapshot.find("serve.queue_depth")) {
+    result.queue_depth_peak = queue->peak;
+  }
+  if (const MetricValue* arena = snapshot.find("arena.live_bytes")) {
+    result.arena_peak_bytes = arena->peak;
+  }
+  return result;
 }
 
 int check_floors(const std::vector<Section>& sections, const std::string& spec) {
@@ -413,6 +558,35 @@ int main(int argc, char** argv) {
               "Philox + member scans);\n   scalar = current library on scalar "
               "kernels; dispatched adds SIMD.\n");
 
+  // -- saturation: closed-loop clients against an in-process server -------
+  const SaturationResult saturation = run_saturation(
+      pool, /*clients=*/4,
+      /*jobs_per_client=*/
+      std::max<std::size_t>(8, static_cast<std::size_t>(cfg.trials)));
+  std::printf(
+      "\n   saturation: %zu clients x %zu jobs -> %s jobs/s "
+      "(rtt p50 %s ms, p95 %s ms, p99 %s ms)\n",
+      saturation.clients, saturation.jobs / saturation.clients,
+      format_compact(saturation.throughput_jobs_per_sec, 3).c_str(),
+      format_compact(saturation.rtt.p50 * 1e3, 3).c_str(),
+      format_compact(saturation.rtt.p95 * 1e3, 3).c_str(),
+      format_compact(saturation.rtt.p99 * 1e3, 3).c_str());
+  std::printf(
+      "   saturation: cache hit-rate %s%%, queue-depth peak %lld, arena peak "
+      "%s MiB, mid-load stats frame saw %llu jobs served\n",
+      format_compact(saturation.cache_hit_rate * 100.0, 3).c_str(),
+      static_cast<long long>(saturation.queue_depth_peak),
+      format_compact(static_cast<double>(saturation.arena_peak_bytes) /
+                         (1024.0 * 1024.0),
+                     3).c_str(),
+      static_cast<unsigned long long>(saturation.midload_jobs_served));
+  if (saturation.jobs_served != saturation.jobs) {
+    std::fprintf(stderr, "   FAILED: server served %llu of %zu jobs\n",
+                 static_cast<unsigned long long>(saturation.jobs_served),
+                 saturation.jobs);
+    return 1;
+  }
+
   if (!json_path.empty()) {
     std::ofstream json(json_path);
     if (!json) {
@@ -440,7 +614,20 @@ int main(int argc, char** argv) {
            << ", \"speedup_vs_scalar\": " << section.speedup_vs_scalar() << '}'
            << (s + 1 < sections.size() ? "," : "") << '\n';
     }
-    json << "  ]\n}\n";
+    json << "  ],\n  \"saturation\": {\"clients\": " << saturation.clients
+         << ", \"jobs\": " << saturation.jobs
+         << ", \"wall_sec\": " << saturation.wall_sec
+         << ", \"throughput_jobs_per_sec\": "
+         << saturation.throughput_jobs_per_sec
+         << ",\n    \"rtt_p50_ms\": " << saturation.rtt.p50 * 1e3
+         << ", \"rtt_p95_ms\": " << saturation.rtt.p95 * 1e3
+         << ", \"rtt_p99_ms\": " << saturation.rtt.p99 * 1e3
+         << ",\n    \"cache_hit_rate\": " << saturation.cache_hit_rate
+         << ", \"jobs_served\": " << saturation.jobs_served
+         << ", \"midload_jobs_served\": " << saturation.midload_jobs_served
+         << ",\n    \"queue_depth_peak\": " << saturation.queue_depth_peak
+         << ", \"arena_peak_bytes\": " << saturation.arena_peak_bytes
+         << "}\n}\n";
     if (!json.flush()) {
       std::fprintf(stderr, "   FAILED to write %s\n", json_path.c_str());
       return 1;

@@ -8,6 +8,8 @@
 #include "core/noise.hpp"
 #include "engine/registry.hpp"
 #include "engine/result_cache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "support/assert.hpp"
 #include "support/timer.hpp"
@@ -17,7 +19,8 @@ namespace pooled {
 namespace {
 
 DecodeReport execute(const DecodeJob& job, std::size_t index, ThreadPool& pool,
-                     ResultCache* cache) {
+                     ResultCache* cache,
+                     const BatchEngine::MetricHandles& metrics) {
   const Timer timer;
 
   // Cache consult happens before the instance is even rebuilt: the key is
@@ -25,13 +28,24 @@ DecodeReport execute(const DecodeJob& job, std::size_t index, ThreadPool& pool,
   // decode both.
   std::optional<std::string> cache_key;
   if (cache != nullptr) {
+    const Timer lookup_timer;
     cache_key = ResultCache::job_key(job);
-    if (cache_key) {
-      if (std::optional<DecodeReport> cached = cache->lookup(*cache_key)) {
-        cached->index = index;
-        cached->seconds = timer.seconds();
-        return *cached;
+    std::optional<DecodeReport> cached;
+    if (cache_key) cached = cache->lookup(*cache_key);
+    if (job.trace != nullptr) {
+      job.trace->stage(TraceStage::CacheLookup, lookup_timer.seconds());
+      job.trace->set_cache_hit(cached.has_value());
+    }
+    if (cached) {
+      cached->index = index;
+      cached->seconds = timer.seconds();
+      if (metrics.jobs_completed != nullptr) metrics.jobs_completed->add();
+      if (job.trace != nullptr) {
+        job.trace->set_outcome(cached->decoder_name, true,
+                               stop_reason_name(cached->stop), cached->rounds,
+                               cached->queries);
       }
+      return *cached;
     }
   }
 
@@ -39,6 +53,7 @@ DecodeReport execute(const DecodeJob& job, std::size_t index, ThreadPool& pool,
   report.index = index;
   report.k = job.k;
 
+  const Timer build_timer;
   InstanceBundle bundle;
   if (job.instance) {
     bundle.instance = job.instance;
@@ -61,6 +76,9 @@ DecodeReport execute(const DecodeJob& job, std::size_t index, ThreadPool& pool,
   // Noise is a decode option: the archived observables stay clean and a
   // perturbed copy is decoded (and consistency-checked) instead.
   bundle.instance = with_noise(std::move(bundle.instance), job.noise);
+  const double build_seconds = build_timer.seconds();
+  if (metrics.build_seconds != nullptr) metrics.build_seconds->record(build_seconds);
+  if (job.trace != nullptr) job.trace->stage(TraceStage::Build, build_seconds);
 
   DecodeContext context(job.k, pool);
   context.noise = job.noise;
@@ -74,7 +92,11 @@ DecodeReport execute(const DecodeJob& job, std::size_t index, ThreadPool& pool,
   const Instance& instance = *bundle.instance;
   report.decoder_name = decoder->name();
   report.n = instance.n();
+  const Timer decode_timer;
   DecodeOutcome outcome = decoder->decode(instance, context);
+  const double decode_seconds = decode_timer.seconds();
+  if (metrics.decode_seconds != nullptr) metrics.decode_seconds->record(decode_seconds);
+  if (job.trace != nullptr) job.trace->stage(TraceStage::Decode, decode_seconds);
   const Signal& estimate = outcome.estimate;
   report.support.assign(estimate.support().begin(), estimate.support().end());
   report.consistent = job.check_consistency && instance.is_consistent(estimate);
@@ -88,6 +110,12 @@ DecodeReport execute(const DecodeJob& job, std::size_t index, ThreadPool& pool,
     report.overlap = overlap_fraction(estimate, truth);
   }
   report.seconds = timer.seconds();
+  if (metrics.jobs_completed != nullptr) metrics.jobs_completed->add();
+  if (job.trace != nullptr) {
+    job.trace->set_outcome(report.decoder_name, true,
+                           stop_reason_name(report.stop), report.rounds,
+                           report.queries);
+  }
   // A cancelled (or clock-bound) stop is not the job's canonical result;
   // caching it would replay the truncated decode forever.
   const bool partial = report.stop == StopReason::Cancelled ||
@@ -97,7 +125,8 @@ DecodeReport execute(const DecodeJob& job, std::size_t index, ThreadPool& pool,
 }
 
 DecodeReport failure_report(const DecodeJob& job, std::size_t index,
-                            std::exception_ptr error) {
+                            std::exception_ptr error,
+                            const BatchEngine::MetricHandles& metrics) {
   DecodeReport report;
   report.index = index;
   report.k = job.k;
@@ -109,13 +138,24 @@ DecodeReport failure_report(const DecodeJob& job, std::size_t index,
     report.error = "unknown error";
   }
   if (report.error.empty()) report.error = "unknown error";
+  if (metrics.jobs_failed != nullptr) metrics.jobs_failed->add();
+  if (job.trace != nullptr) {
+    job.trace->set_outcome(job.decoder, false, "error", 0, 0);
+  }
   return report;
 }
 
 }  // namespace
 
 BatchEngine::BatchEngine(ThreadPool& pool, EngineOptions options)
-    : pool_(pool), options_(options) {}
+    : pool_(pool), options_(options) {
+  if (options_.metrics != nullptr) {
+    metrics_.jobs_completed = &options_.metrics->counter("engine.jobs_completed");
+    metrics_.jobs_failed = &options_.metrics->counter("engine.jobs_failed");
+    metrics_.build_seconds = &options_.metrics->histogram("engine.build_seconds");
+    metrics_.decode_seconds = &options_.metrics->histogram("engine.decode_seconds");
+  }
+}
 
 std::size_t BatchEngine::window() const {
   return options_.max_in_flight > 0 ? options_.max_in_flight
@@ -123,11 +163,13 @@ std::size_t BatchEngine::window() const {
 }
 
 DecodeReport BatchEngine::run_one(const DecodeJob& job, std::size_t index) const {
-  if (!options_.capture_errors) return execute(job, index, pool_, options_.cache);
+  if (!options_.capture_errors) {
+    return execute(job, index, pool_, options_.cache, metrics_);
+  }
   try {
-    return execute(job, index, pool_, options_.cache);
+    return execute(job, index, pool_, options_.cache, metrics_);
   } catch (...) {
-    return failure_report(job, index, std::current_exception());
+    return failure_report(job, index, std::current_exception(), metrics_);
   }
 }
 
@@ -148,11 +190,12 @@ std::vector<DecodeReport> BatchEngine::run(const std::vector<DecodeJob>& jobs) c
     pool_.run_tasks(count, [&](std::size_t slot) {
       const std::size_t index = offset + slot;
       try {
-        reports[index] = execute(jobs[index], index, pool_, options_.cache);
+        reports[index] =
+            execute(jobs[index], index, pool_, options_.cache, metrics_);
       } catch (...) {
         if (options_.capture_errors) {
-          reports[index] =
-              failure_report(jobs[index], index, std::current_exception());
+          reports[index] = failure_report(jobs[index], index,
+                                          std::current_exception(), metrics_);
         } else {
           failures[slot] = std::current_exception();
         }

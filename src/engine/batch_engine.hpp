@@ -21,8 +21,12 @@
 
 namespace pooled {
 
+class Counter;
+class LatencyHistogram;
+class MetricsRegistry;
 class ResultCache;
 class ThreadPool;
+class TraceSpan;
 
 /// Instance plus (optionally) the hidden truth it was generated from.
 struct InstanceBundle {
@@ -77,6 +81,10 @@ struct DecodeJob {
   /// Per-round progress observer forwarded to DecodeContext::stats (may
   /// be null; see ProgressStream in engine/protocol.hpp).
   DecodeStatsSink* stats = nullptr;
+  /// Per-job trace span (may be null; see obs/trace.hpp). The engine
+  /// times the cache-lookup / build / decode stages into it and records
+  /// the outcome; the serving layer owns the span and emits it.
+  TraceSpan* trace = nullptr;
 };
 
 /// Outcome of one job; `index` is the job's submission position.
@@ -116,6 +124,11 @@ struct EngineOptions {
   /// live report byte-for-byte except `index` and `seconds` (see
   /// engine/result_cache.hpp). Shared across engines; must outlive them.
   ResultCache* cache = nullptr;
+  /// Optional (non-owning) metrics registry. The engine resolves its
+  /// handles once at construction (engine.jobs_completed/jobs_failed
+  /// counters, engine.build_seconds/decode_seconds histograms) and
+  /// updates them lock-free per job. Must outlive the engine.
+  MetricsRegistry* metrics = nullptr;
 };
 
 class BatchEngine {
@@ -135,9 +148,24 @@ class BatchEngine {
   /// width (used by serve_stream to cap request buffering).
   [[nodiscard]] std::size_t window() const;
 
+  /// The cache this engine consults (EngineOptions::cache; may be null).
+  /// Lets the serving layer surface cache counters without threading the
+  /// cache pointer through separately.
+  [[nodiscard]] ResultCache* result_cache() const { return options_.cache; }
+
+  /// Registry handles resolved once at construction; all null when
+  /// EngineOptions::metrics is unset.
+  struct MetricHandles {
+    Counter* jobs_completed = nullptr;
+    Counter* jobs_failed = nullptr;
+    LatencyHistogram* build_seconds = nullptr;
+    LatencyHistogram* decode_seconds = nullptr;
+  };
+
  private:
   ThreadPool& pool_;
   EngineOptions options_;
+  MetricHandles metrics_;
 };
 
 }  // namespace pooled

@@ -3,10 +3,16 @@
 #include <algorithm>
 #include <cctype>
 #include <istream>
+#include <memory>
 #include <ostream>
 #include <sstream>
 
+#include "engine/result_cache.hpp"
+#include "kernels/decode_arena.hpp"
+#include "kernels/kernel_set.hpp"
+#include "obs/trace.hpp"
 #include "support/assert.hpp"
+#include "support/timer.hpp"
 
 namespace pooled {
 
@@ -14,6 +20,8 @@ namespace {
 
 constexpr const char* kJobMagic = "pooled-job";
 constexpr const char* kResultMagic = "pooled-result";
+constexpr const char* kStatsMagic = "pooled-stats";
+constexpr const char* kStatsResultMagic = "pooled-stats-result";
 constexpr const char* kVersionV2 = "v2";  // what writers emit
 constexpr const char* kEnd = "end";
 
@@ -36,25 +44,46 @@ std::string one_line(std::string text) {
   return text;
 }
 
-/// Reads lines until the magic header of `kind` appears; nullopt at EOF.
-/// Returns the frame version (1 or 2); v1 frames are the PR-2 format and
-/// keep loading unchanged.
-std::optional<int> read_header(std::istream& is, const char* kind) {
+struct FrameHeader {
+  std::string line;   ///< the raw header line (error messages)
+  std::string magic;
+  std::string version;  ///< raw token; parse_version validates
+};
+
+/// Reads lines until a frame header appears; nullopt at EOF. Nothing is
+/// validated here -- callers check the magic (which frames they accept)
+/// and then parse_version.
+std::optional<FrameHeader> read_any_header(std::istream& is) {
   std::string line;
   while (std::getline(is, line)) {
     if (!is_blank(line)) break;
   }
   if (!is) return std::nullopt;
+  FrameHeader parsed;
+  parsed.line = line;
   std::istringstream header(line);
-  std::string magic, version;
-  header >> magic >> version;
-  POOLED_REQUIRE(magic == kind,
-                 std::string("expected a ") + kind + " frame, got '" + line + "'");
-  if (version == "v1") return 1;
-  if (version == kVersionV2) return 2;
-  POOLED_REQUIRE(false,
-                 std::string("unsupported ") + kind + " version " + version);
-  return std::nullopt;
+  header >> parsed.magic >> parsed.version;
+  return parsed;
+}
+
+/// The frame version (1 or 2); v1 frames are the PR-2 format and keep
+/// loading unchanged.
+int parse_version(const FrameHeader& header) {
+  if (header.version == "v1") return 1;
+  if (header.version == kVersionV2) return 2;
+  POOLED_REQUIRE(false, "unsupported " + header.magic + " version " +
+                            header.version);
+  return 0;
+}
+
+/// read_any_header, asserting the frame is of `kind`.
+std::optional<int> read_header(std::istream& is, const char* kind) {
+  std::optional<FrameHeader> header = read_any_header(is);
+  if (!header) return std::nullopt;
+  POOLED_REQUIRE(header->magic == kind,
+                 std::string("expected a ") + kind + " frame, got '" +
+                     header->line + "'");
+  return parse_version(*header);
 }
 
 /// v2-only fields must not appear inside a v1 frame: an archived stream
@@ -106,9 +135,11 @@ void save_job(std::ostream& os, const DecodeJob& job,
   POOLED_REQUIRE(static_cast<bool>(os), "job serialization failed");
 }
 
-std::optional<DecodeJob> load_job(std::istream& is) {
-  const std::optional<int> version = read_header(is, kJobMagic);
-  if (!version) return std::nullopt;
+namespace {
+
+/// The body of a job frame, after the header line has been consumed.
+DecodeJob load_job_body(std::istream& is, int version_value) {
+  const int* version = &version_value;
   DecodeJob job;
   bool saw_k = false;
   bool saw_instance = false;
@@ -180,6 +211,119 @@ std::optional<DecodeJob> load_job(std::istream& is) {
   POOLED_REQUIRE(saw_instance, "job missing instance block");
   POOLED_REQUIRE(saw_k, "job missing k");
   return job;
+}
+
+/// The body of a stats request (nothing but the `end` line).
+void load_stats_request_body(std::istream& is) {
+  std::string line;
+  while (std::getline(is, line)) {
+    if (is_blank(line)) continue;
+    POOLED_REQUIRE(trimmed(line) == kEnd,
+                   "unexpected stats-request field '" + trimmed(line) + "'");
+    return;
+  }
+  POOLED_REQUIRE(false, "stats frame missing 'end'");
+}
+
+}  // namespace
+
+std::optional<DecodeJob> load_job(std::istream& is) {
+  const std::optional<int> version = read_header(is, kJobMagic);
+  if (!version) return std::nullopt;
+  return load_job_body(is, *version);
+}
+
+std::optional<ServeRequest> load_request(std::istream& is) {
+  std::optional<FrameHeader> header = read_any_header(is);
+  if (!header) return std::nullopt;
+  if (header->magic == kJobMagic) {
+    return ServeRequest(load_job_body(is, parse_version(*header)));
+  }
+  POOLED_REQUIRE(header->magic == kStatsMagic,
+                 "expected a " + std::string(kJobMagic) + " or " + kStatsMagic +
+                     " frame, got '" + header->line + "'");
+  POOLED_REQUIRE(parse_version(*header) >= 2,
+                 "pooled-stats frames need protocol v2");
+  load_stats_request_body(is);
+  return ServeRequest(StatsRequest{});
+}
+
+void save_stats_request(std::ostream& os) {
+  os << kStatsMagic << ' ' << kVersionV2 << '\n' << kEnd << '\n';
+  POOLED_REQUIRE(static_cast<bool>(os), "stats request serialization failed");
+}
+
+void save_stats_snapshot(std::ostream& os, const MetricsSnapshot& snapshot) {
+  os << kStatsResultMagic << ' ' << kVersionV2 << '\n';
+  os << "status ok\n";
+  for (const MetricValue& value : snapshot.values) {
+    os << format_metric_line(value) << '\n';
+  }
+  os << kEnd << '\n';
+  POOLED_REQUIRE(static_cast<bool>(os), "stats snapshot serialization failed");
+}
+
+std::optional<MetricsSnapshot> load_stats_snapshot(std::istream& is) {
+  const std::optional<int> version = read_header(is, kStatsResultMagic);
+  if (!version) return std::nullopt;
+  POOLED_REQUIRE(*version >= 2, "pooled-stats-result frames need protocol v2");
+  MetricsSnapshot snapshot;
+  bool terminated = false;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (is_blank(line)) continue;
+    const std::string body = trimmed(line);
+    if (body == kEnd) {
+      terminated = true;
+      break;
+    }
+    if (body.rfind("status", 0) == 0) {
+      POOLED_REQUIRE(body == "status ok",
+                     "unexpected stats status line '" + body + "'");
+      continue;
+    }
+    snapshot.values.push_back(parse_metric_line(body));
+  }
+  POOLED_REQUIRE(terminated, "stats result frame missing 'end'");
+  return snapshot;
+}
+
+void append_stats_snapshot(MetricsSnapshot& snapshot, const CacheStats* cache,
+                           const MetricsRegistry* registry) {
+  const auto push = [&snapshot](MetricValue value) {
+    if (snapshot.find(value.name) == nullptr) {
+      snapshot.values.push_back(std::move(value));
+    }
+  };
+  if (cache != nullptr) {
+    push(MetricValue::of_counter("cache.hits", cache->hits));
+    push(MetricValue::of_counter("cache.misses", cache->misses));
+    push(MetricValue::of_counter("cache.insertions", cache->insertions));
+    push(MetricValue::of_counter("cache.evictions", cache->evictions));
+    push(MetricValue::of_gauge("cache.size",
+                               static_cast<std::int64_t>(cache->size),
+                               static_cast<std::int64_t>(cache->size)));
+    push(MetricValue::of_gauge("cache.capacity",
+                               static_cast<std::int64_t>(cache->capacity),
+                               static_cast<std::int64_t>(cache->capacity)));
+  }
+  const ArenaStats arena = arena_stats();
+  push(MetricValue::of_gauge("arena.live_bytes",
+                             static_cast<std::int64_t>(arena.live_bytes),
+                             static_cast<std::int64_t>(arena.peak_bytes)));
+  push(MetricValue::of_label("build.kernels",
+                             kernel_isa_name(active_kernels().isa)));
+  if (registry != nullptr) {
+    MetricsSnapshot registered = registry->snapshot();
+    for (MetricValue& value : registered.values) push(std::move(value));
+  }
+}
+
+MetricsSnapshot build_stats_snapshot(const CacheStats* cache,
+                                     const MetricsRegistry* registry) {
+  MetricsSnapshot snapshot;
+  append_stats_snapshot(snapshot, cache, registry);
+  return snapshot;
 }
 
 void save_report(std::ostream& os, const DecodeReport& report) {
@@ -300,16 +444,51 @@ void ProgressStream::emit(std::uint64_t connection, std::size_t job_index,
 std::size_t serve_stream(std::istream& is, std::ostream& os,
                          const BatchEngine& engine, std::size_t chunk,
                          ProgressStream* progress,
-                         const std::atomic<bool>* cancel) {
+                         const std::atomic<bool>* cancel,
+                         const MetricsRegistry* metrics,
+                         TraceRecorder* trace) {
   if (chunk == 0) chunk = engine.window();
   std::size_t served = 0;
-  while (cancel == nullptr || !cancel->load(std::memory_order_relaxed)) {
+  bool more_requests = true;
+  while (more_requests &&
+         (cancel == nullptr || !cancel->load(std::memory_order_relaxed))) {
     std::vector<DecodeJob> jobs;
+    std::vector<std::unique_ptr<TraceSpan>> spans;  // parallel to jobs
     jobs.reserve(chunk);
+    spans.reserve(chunk);
     while (jobs.size() < chunk) {
-      auto job = load_job(is);
-      if (!job) break;
-      jobs.push_back(std::move(*job));
+      const Timer parse_timer;
+      std::optional<ServeRequest> request = load_request(is);
+      if (!request) {
+        more_requests = false;
+        break;
+      }
+      if (std::holds_alternative<StatsRequest>(*request)) {
+        // Answered inline, out of band of the job pipeline: no job index
+        // is consumed and pending jobs of this window are unaffected.
+        MetricsSnapshot snapshot;
+        snapshot.values.push_back(
+            MetricValue::of_counter("serve.jobs_served", served));
+        if (const ResultCache* cache = engine.result_cache()) {
+          const CacheStats cache_stats = cache->stats();
+          append_stats_snapshot(snapshot, &cache_stats, metrics);
+        } else {
+          append_stats_snapshot(snapshot, nullptr, metrics);
+        }
+        save_stats_snapshot(os, snapshot);
+        os.flush();
+        POOLED_REQUIRE(static_cast<bool>(os), "stats frame write failed");
+        continue;
+      }
+      jobs.push_back(std::get<DecodeJob>(std::move(*request)));
+      std::unique_ptr<TraceSpan> span;
+      if (trace != nullptr) {
+        span = std::make_unique<TraceSpan>(*trace, /*connection=*/0,
+                                           served + jobs.size() - 1);
+        span->stage(TraceStage::Parse, parse_timer.seconds());
+        jobs.back().trace = span.get();
+      }
+      spans.push_back(std::move(span));
     }
     if (jobs.empty()) break;
     // Progress sinks are tagged with the stream-global index the result
@@ -318,19 +497,34 @@ std::size_t serve_stream(std::istream& is, std::ostream& os,
     sinks.reserve(jobs.size());
     for (std::size_t j = 0; j < jobs.size(); ++j) {
       jobs[j].cancel = cancel;
+      DecodeStatsSink* sink = nullptr;
       if (progress != nullptr) {
         sinks.push_back(progress->sink(served + j));
-        jobs[j].stats = &sinks.back();
+        sink = &sinks.back();
+      }
+      if (spans[j] != nullptr) {
+        // The span observes the decoder's rounds and forwards them to
+        // the progress sink, so tracing never silences --progress.
+        spans[j]->set_chain(sink);
+        jobs[j].stats = spans[j].get();
+      } else {
+        jobs[j].stats = sink;
       }
     }
     std::vector<DecodeReport> reports = engine.run(jobs);
-    for (DecodeReport& report : reports) {
+    for (std::size_t j = 0; j < reports.size(); ++j) {
+      DecodeReport& report = reports[j];
       report.index += served;  // global index across the stream
+      const Timer serialize_timer;
       save_report(os, report);
+      if (spans[j] != nullptr) {
+        spans[j]->stage(TraceStage::Serialize, serialize_timer.seconds());
+      }
     }
     os.flush();
     POOLED_REQUIRE(static_cast<bool>(os), "result stream write failed");
     served += jobs.size();
+    spans.clear();  // emits the JSONL lines
   }
   return served;
 }

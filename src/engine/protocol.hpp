@@ -30,6 +30,22 @@
 //
 // A failed job reports `status error <message>` and omits the result
 // fields.
+//
+// v2 also defines an out-of-band `stats` exchange (observability):
+//
+//   Request:            Response:
+//     pooled-stats v2     pooled-stats-result v2
+//     end                 status ok
+//                         counter serve.jobs_served 128
+//                         gauge serve.queue_depth 3 peak 17
+//                         label build.kernels avx2
+//                         hist serve.job_seconds count 128 sum ... p99 ...
+//                         end
+//
+// The body is one metric per line in the obs/metrics.hpp wire format,
+// and the snapshot round-trips byte-for-byte (doubles at precision 17).
+// Servers answer a stats frame immediately, out of band of the job
+// pipeline: it never consumes a job index.
 #pragma once
 
 #include <atomic>
@@ -37,10 +53,15 @@
 #include <iosfwd>
 #include <mutex>
 #include <optional>
+#include <variant>
 
 #include "engine/batch_engine.hpp"
+#include "obs/metrics.hpp"
 
 namespace pooled {
+
+struct CacheStats;
+class TraceRecorder;
 
 /// Thread-safe per-round progress reporting for serve mode: one stream
 /// shared by every in-flight job, each job writing lines tagged with its
@@ -107,6 +128,41 @@ void save_report(std::ostream& os, const DecodeReport& report);
 /// Reads the next response; std::nullopt at (clean) end of stream.
 std::optional<DecodeReport> load_report(std::istream& is);
 
+/// A `pooled-stats` request frame: "send me a metrics snapshot". No
+/// payload; the frame is just the header plus `end`.
+struct StatsRequest {};
+
+/// Anything a client may send on a serve connection.
+using ServeRequest = std::variant<DecodeJob, StatsRequest>;
+
+/// Reads the next request of either kind; std::nullopt at (clean) end of
+/// stream. Throws ContractError on malformed input. `load_job` remains
+/// the job-only reader (it rejects stats frames).
+std::optional<ServeRequest> load_request(std::istream& is);
+
+/// Writes a `pooled-stats` request frame.
+void save_stats_request(std::ostream& os);
+
+/// Writes a `pooled-stats-result` frame carrying `snapshot`, one metric
+/// per line (see obs/metrics.hpp for the line grammar).
+void save_stats_snapshot(std::ostream& os, const MetricsSnapshot& snapshot);
+
+/// Reads the next `pooled-stats-result` frame; std::nullopt at (clean)
+/// end of stream. Throws ContractError on malformed input.
+std::optional<MetricsSnapshot> load_stats_snapshot(std::istream& is);
+
+/// Appends the shared snapshot tail every exporter agrees on: cache
+/// counters (when `cache` is non-null), arena high-water marks, the
+/// active kernel tier, and finally every metric in `registry` (when
+/// non-null). Names already present in `snapshot` are skipped, so a
+/// caller's authoritative values win over registry duplicates.
+void append_stats_snapshot(MetricsSnapshot& snapshot, const CacheStats* cache,
+                           const MetricsRegistry* registry);
+
+/// Convenience: an empty snapshot plus append_stats_snapshot.
+[[nodiscard]] MetricsSnapshot build_stats_snapshot(
+    const CacheStats* cache, const MetricsRegistry* registry);
+
 /// The serve loop: reads requests from `is` in windows of `chunk` jobs
 /// (0 = the engine's window), runs each window through `engine`, and
 /// writes responses to `os` as each window completes -- results stream
@@ -115,9 +171,16 @@ std::optional<DecodeReport> load_report(std::istream& is);
 /// tagged with those global indices; a non-null `cancel` is forwarded to
 /// every job (and stops the loop between windows once set). Returns the
 /// number of jobs served.
+///
+/// Observability: a `pooled-stats` request is answered inline with a
+/// snapshot frame (jobs served so far, the engine's cache counters, and
+/// `metrics` when non-null) without consuming a job index. A non-null
+/// `trace` gets one JSONL span per job (connection 0).
 std::size_t serve_stream(std::istream& is, std::ostream& os,
                          const BatchEngine& engine, std::size_t chunk = 0,
                          ProgressStream* progress = nullptr,
-                         const std::atomic<bool>* cancel = nullptr);
+                         const std::atomic<bool>* cancel = nullptr,
+                         const MetricsRegistry* metrics = nullptr,
+                         TraceRecorder* trace = nullptr);
 
 }  // namespace pooled

@@ -4,11 +4,15 @@
 #include <condition_variable>
 #include <deque>
 #include <exception>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "engine/result_cache.hpp"
+#include "obs/trace.hpp"
 #include "support/assert.hpp"
+#include "support/timer.hpp"
 
 namespace pooled {
 
@@ -33,12 +37,15 @@ struct ServeServer::Connection {
   std::atomic<bool> done{false};
 
   // Reader -> handler pipeline. Bounded at two windows so a fast client
-  // cannot buffer an unbounded backlog server-side.
+  // cannot buffer an unbounded backlog server-side. `spans` stays
+  // parallel to `queue` (null entries when tracing is off).
   std::mutex queue_mutex;
   std::condition_variable queue_cv;
   std::deque<DecodeJob> queue;
+  std::deque<std::unique_ptr<TraceSpan>> spans;
   bool reader_done = false;
   std::string parse_error;
+  std::uint64_t jobs_parsed = 0;  ///< reader-only span index
 
   std::thread handler;
 };
@@ -49,6 +56,11 @@ ServeServer::ServeServer(ListenSocket listener, const BatchEngine& engine,
   POOLED_REQUIRE(listener_.valid(), "serve server needs a bound listener");
   POOLED_REQUIRE(options_.probe_seconds > 0.0,
                  "reaper probe period must be positive");
+  if (options_.metrics != nullptr) {
+    active_gauge_ = &options_.metrics->gauge("serve.connections_active");
+    queue_gauge_ = &options_.metrics->gauge("serve.queue_depth");
+    job_seconds_ = &options_.metrics->histogram("serve.job_seconds");
+  }
 }
 
 ServeServer::~ServeServer() { stop(); }
@@ -65,6 +77,7 @@ void ServeServer::start() {
 
 void ServeServer::stop() {
   stop_.store(true);
+  reaper_cv_.notify_all();
   listener_.close();
   if (accept_thread_.joinable()) accept_thread_.join();
   if (reaper_thread_.joinable()) reaper_thread_.join();
@@ -90,11 +103,45 @@ ServeServerStats ServeServer::stats() const {
   stats.jobs_served = jobs_served_.load();
   stats.jobs_cancelled = jobs_cancelled_.load();
   stats.jobs_failed = jobs_failed_.load();
+  stats.write_failures = write_failures_.load();
   const std::lock_guard<std::mutex> lock(connections_mutex_);
   for (const auto& connection : connections_) {
     if (!connection->done.load()) ++stats.active_connections;
   }
   return stats;
+}
+
+MetricsSnapshot ServeServer::build_snapshot() const {
+  const ServeServerStats counters = stats();
+  MetricsSnapshot snapshot;
+  auto& values = snapshot.values;
+  values.push_back(MetricValue::of_counter("serve.connections_accepted",
+                                           counters.connections_accepted));
+  values.push_back(MetricValue::of_gauge(
+      "serve.connections_active",
+      static_cast<std::int64_t>(counters.active_connections),
+      active_gauge_->peak()));
+  values.push_back(MetricValue::of_counter("serve.connections_reaped",
+                                           counters.connections_reaped));
+  values.push_back(
+      MetricValue::of_counter("serve.jobs_served", counters.jobs_served));
+  values.push_back(
+      MetricValue::of_counter("serve.jobs_cancelled", counters.jobs_cancelled));
+  values.push_back(
+      MetricValue::of_counter("serve.jobs_failed", counters.jobs_failed));
+  values.push_back(
+      MetricValue::of_counter("serve.write_failures", counters.write_failures));
+  values.push_back(MetricValue::of_gauge(
+      "serve.queue_depth", queue_gauge_->value(), queue_gauge_->peak()));
+  values.push_back(MetricValue::of_histogram("serve.job_seconds",
+                                             job_seconds_->snapshot()));
+  if (const ResultCache* cache = engine_.result_cache()) {
+    const CacheStats cache_stats = cache->stats();
+    append_stats_snapshot(snapshot, &cache_stats, options_.metrics);
+  } else {
+    append_stats_snapshot(snapshot, nullptr, options_.metrics);
+  }
+  return snapshot;
 }
 
 void ServeServer::accept_loop() {
@@ -125,14 +172,22 @@ void ServeServer::accept_loop() {
       const std::lock_guard<std::mutex> lock(connections_mutex_);
       connections_.push_back(std::move(connection));
     }
+    active_gauge_->add(1);
     ref.handler = std::thread([this, &ref] { handle_connection(ref); });
   }
 }
 
 void ServeServer::reaper_loop() {
   while (!stop_.load()) {
-    std::this_thread::sleep_for(
-        std::chrono::duration<double>(options_.probe_seconds));
+    {
+      // Interruptible inter-probe wait: stop() must not block for up to
+      // a full probe period behind a plain sleep.
+      std::unique_lock<std::mutex> lock(reaper_mutex_);
+      reaper_cv_.wait_for(lock,
+                          std::chrono::duration<double>(options_.probe_seconds),
+                          [this] { return stop_.load(); });
+    }
+    if (stop_.load()) break;
     const std::lock_guard<std::mutex> lock(connections_mutex_);
     for (const auto& connection : connections_) {
       if (connection->done.load() || connection->cancel.load()) continue;
@@ -163,15 +218,46 @@ void ServeServer::read_requests(Connection& connection) {
   const std::size_t queue_cap = 2 * connection.chunk;
   try {
     while (!connection.cancel.load()) {
-      std::optional<DecodeJob> job = load_job(in);
-      if (!job) break;  // clean end of requests (client half-closed)
+      const Timer parse_timer;
+      std::optional<ServeRequest> request = load_request(in);
+      if (!request) break;  // clean end of requests (client half-closed)
+      if (std::holds_alternative<StatsRequest>(*request)) {
+        // Answered immediately on the reader thread, out of band of the
+        // job pipeline: a stats probe must not wait behind a window of
+        // decodes (that latency is exactly what it is trying to observe).
+        try {
+          const MetricsSnapshot snapshot = build_snapshot();
+          const std::lock_guard<std::mutex> lock(connection.write_mutex);
+          save_stats_snapshot(connection.stream.out(), snapshot);
+          connection.stream.out().flush();
+          POOLED_REQUIRE(static_cast<bool>(connection.stream.out()),
+                         "stats frame write failed");
+        } catch (const std::exception&) {
+          write_failures_.fetch_add(1);
+          connection.cancel.store(true);
+        }
+        if (connection.cancel.load()) break;
+        continue;
+      }
+      DecodeJob job = std::get<DecodeJob>(std::move(*request));
+      std::unique_ptr<TraceSpan> span;
+      if (options_.trace != nullptr) {
+        span = std::make_unique<TraceSpan>(*options_.trace, connection.serial,
+                                           connection.jobs_parsed);
+        span->stage(TraceStage::Parse, parse_timer.seconds());
+        job.trace = span.get();
+      }
+      ++connection.jobs_parsed;
       std::unique_lock<std::mutex> lock(connection.queue_mutex);
       connection.queue_cv.wait(lock, [&] {
         return connection.queue.size() < queue_cap || connection.cancel.load();
       });
       if (connection.cancel.load()) break;
-      connection.queue.push_back(std::move(*job));
+      if (span != nullptr) span->mark_enqueued();
+      connection.queue.push_back(std::move(job));
+      connection.spans.push_back(std::move(span));
       lock.unlock();
+      queue_gauge_->add(1);
       connection.queue_cv.notify_all();
     }
   } catch (const std::exception& e) {
@@ -195,6 +281,7 @@ void ServeServer::handle_connection(Connection& connection) {
   bool peer_writable = true;
   while (true) {
     std::vector<DecodeJob> jobs;
+    std::vector<std::unique_ptr<TraceSpan>> spans;  // parallel to jobs
     bool drained = false;
     {
       std::unique_lock<std::mutex> lock(connection.queue_mutex);
@@ -206,11 +293,14 @@ void ServeServer::handle_connection(Connection& connection) {
       while (!connection.queue.empty() && jobs.size() < connection.chunk) {
         jobs.push_back(std::move(connection.queue.front()));
         connection.queue.pop_front();
+        spans.push_back(std::move(connection.spans.front()));
+        connection.spans.pop_front();
       }
       drained = connection.queue.empty() && connection.reader_done;
     }
     connection.queue_cv.notify_all();  // the reader may be waiting on space
     if (!jobs.empty()) {
+      queue_gauge_->add(-static_cast<std::int64_t>(jobs.size()));
       // The window decodes while the reader keeps parsing ahead. Every
       // job shares the connection's cancel token; progress sinks carry
       // the connection-global index the result frame will use.
@@ -218,35 +308,62 @@ void ServeServer::handle_connection(Connection& connection) {
       sinks.reserve(jobs.size());
       for (std::size_t j = 0; j < jobs.size(); ++j) {
         jobs[j].cancel = &connection.cancel;
+        DecodeStatsSink* sink = nullptr;
         if (options_.progress != nullptr) {
           // conn-tagged: every connection numbers its jobs from zero, so
           // the bare index would be ambiguous across clients.
           sinks.push_back(options_.progress->connection_sink(connection.serial,
                                                              served + j));
-          jobs[j].stats = &sinks.back();
+          sink = &sinks.back();
+        }
+        if (spans[j] != nullptr) {
+          spans[j]->mark_dequeued();
+          // The span observes the decoder's rounds and forwards them, so
+          // tracing never silences --progress.
+          spans[j]->set_chain(sink);
+          jobs[j].stats = spans[j].get();
+        } else {
+          jobs[j].stats = sink;
         }
       }
       std::vector<DecodeReport> reports = engine_.run(jobs);
+      // Account the window before touching the socket: cancelled/failed
+      // counts and latencies describe the decode, not the delivery.
+      for (DecodeReport& report : reports) {
+        report.index += served;  // global index across the connection
+        if (report.stop == StopReason::Cancelled) {
+          jobs_cancelled_.fetch_add(1);
+        }
+        if (!report.ok()) jobs_failed_.fetch_add(1);
+        job_seconds_->record(report.seconds);
+      }
+      // Delivery is all-or-nothing per window: a write exception leaves
+      // the frame boundary unknown, so nothing after it can be salvaged.
+      std::size_t delivered = 0;
       try {
         const std::lock_guard<std::mutex> lock(connection.write_mutex);
-        for (DecodeReport& report : reports) {
-          report.index += served;  // global index across the connection
-          if (report.stop == StopReason::Cancelled) {
-            jobs_cancelled_.fetch_add(1);
+        for (std::size_t j = 0; j < reports.size(); ++j) {
+          const Timer serialize_timer;
+          save_report(out, reports[j]);
+          if (spans[j] != nullptr) {
+            spans[j]->stage(TraceStage::Serialize, serialize_timer.seconds());
           }
-          if (!report.ok()) jobs_failed_.fetch_add(1);
-          save_report(out, report);
         }
         out.flush();
         POOLED_REQUIRE(static_cast<bool>(out), "result frame write failed");
+        delivered = reports.size();
       } catch (const std::exception&) {
         // The peer stopped reading mid-stream: nothing left to deliver.
         peer_writable = false;
         connection.cancel.store(true);
-        break;
+      }
+      jobs_served_.fetch_add(delivered);
+      if (delivered < reports.size()) {
+        write_failures_.fetch_add(reports.size() - delivered);
       }
       served += jobs.size();
-      jobs_served_.fetch_add(jobs.size());
+      spans.clear();  // emits the JSONL trace lines
+      if (!peer_writable) break;
     }
     if (drained) break;
   }
@@ -266,12 +383,24 @@ void ServeServer::handle_connection(Connection& connection) {
       const std::lock_guard<std::mutex> lock(connection.write_mutex);
       save_report(out, failure);
       out.flush();
+      POOLED_REQUIRE(static_cast<bool>(out), "error frame write failed");
     } catch (const std::exception&) {
-      // The peer is gone too; the counter above still records it.
+      // The peer is gone too; jobs_failed_ above still records the job,
+      // and the lost frame shows up as a write failure.
+      write_failures_.fetch_add(1);
     }
   }
   connection.stream.socket().shutdown_both();  // unblocks a waiting reader
   reader.join();
+  {
+    // Jobs still queued at teardown (cancel path) never decode; settle
+    // the depth gauge and emit their spans as-is.
+    const std::lock_guard<std::mutex> lock(connection.queue_mutex);
+    queue_gauge_->add(-static_cast<std::int64_t>(connection.queue.size()));
+    connection.queue.clear();
+    connection.spans.clear();
+  }
+  active_gauge_->add(-1);
   connection.done.store(true);
 }
 

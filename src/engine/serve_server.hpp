@@ -34,6 +34,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -42,8 +43,11 @@
 
 #include "engine/protocol.hpp"
 #include "engine/socket_transport.hpp"
+#include "obs/metrics.hpp"
 
 namespace pooled {
+
+class TraceRecorder;
 
 struct ServeServerOptions {
   /// Jobs per scheduling window (0 = the engine's window). The parsed-
@@ -60,6 +64,15 @@ struct ServeServerOptions {
   /// Per-round progress lines tagged with connection-global job indices
   /// (`serve --progress`); may be null. Must outlive the server.
   ProgressStream* progress = nullptr;
+  /// Optional metrics registry. When set, the server's queue-depth and
+  /// connection gauges and the per-job latency histogram live there (and
+  /// so appear on any exporter sharing the registry); the `stats` frame
+  /// works either way. Must outlive the server.
+  MetricsRegistry* metrics = nullptr;
+  /// Optional per-job trace recorder (`serve --trace`); one JSONL span
+  /// per job, tagged with the connection serial. Must outlive the
+  /// server's stop().
+  TraceRecorder* trace = nullptr;
 };
 
 /// Counter snapshot (monotonic except active_connections).
@@ -67,9 +80,10 @@ struct ServeServerStats {
   std::uint64_t connections_accepted = 0;
   std::uint64_t connections_reaped = 0;  ///< dropped by the liveness probe
   std::uint64_t active_connections = 0;
-  std::uint64_t jobs_served = 0;     ///< result frames written (or attempted)
+  std::uint64_t jobs_served = 0;     ///< result frames delivered to the peer
   std::uint64_t jobs_cancelled = 0;  ///< served jobs that stopped on cancel
   std::uint64_t jobs_failed = 0;     ///< `status error` frames, parse errors included
+  std::uint64_t write_failures = 0;  ///< frames lost to a dead/stalled peer
 };
 
 class ServeServer {
@@ -95,6 +109,12 @@ class ServeServer {
 
   [[nodiscard]] ServeServerStats stats() const;
 
+  /// The machine-readable snapshot behind the `stats` protocol frame and
+  /// the `--metrics` endpoint: server counters first (authoritative),
+  /// then cache / arena / kernel-tier / registry metrics via
+  /// append_stats_snapshot. Callable from any thread.
+  [[nodiscard]] MetricsSnapshot build_snapshot() const;
+
  private:
   struct Connection;
 
@@ -110,6 +130,10 @@ class ServeServer {
   std::atomic<bool> stop_{false};
   std::thread accept_thread_;
   std::thread reaper_thread_;
+  // Wakes the reaper out of its inter-probe wait so stop() is prompt
+  // even when probe_seconds is long.
+  std::mutex reaper_mutex_;
+  std::condition_variable reaper_cv_;
 
   mutable std::mutex connections_mutex_;
   std::list<std::unique_ptr<Connection>> connections_;
@@ -119,6 +143,17 @@ class ServeServer {
   std::atomic<std::uint64_t> jobs_served_{0};
   std::atomic<std::uint64_t> jobs_cancelled_{0};
   std::atomic<std::uint64_t> jobs_failed_{0};
+  std::atomic<std::uint64_t> write_failures_{0};
+
+  // Saturation metrics: held here when no registry is wired, resolved
+  // into ServeServerOptions::metrics otherwise (so one registry serves
+  // every exporter). The pointers are set once in the constructor.
+  Gauge own_active_;
+  Gauge own_queue_;
+  LatencyHistogram own_job_seconds_;
+  Gauge* active_gauge_ = &own_active_;
+  Gauge* queue_gauge_ = &own_queue_;
+  LatencyHistogram* job_seconds_ = &own_job_seconds_;
 };
 
 }  // namespace pooled

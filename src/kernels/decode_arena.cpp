@@ -21,13 +21,40 @@ constexpr std::size_t lane_stride_bytes(std::size_t entries) {
          round_up(entries * sizeof(std::uint32_t)) * 2;    // delta_star, mark
 }
 
+std::atomic<std::uint64_t> g_arena_live{0};
+std::atomic<std::uint64_t> g_arena_peak{0};
+
 }  // namespace
+
+void arena_account_alloc(std::size_t bytes) {
+  const std::uint64_t live =
+      g_arena_live.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  std::uint64_t peak = g_arena_peak.load(std::memory_order_relaxed);
+  while (live > peak && !g_arena_peak.compare_exchange_weak(
+                            peak, live, std::memory_order_relaxed)) {
+  }
+}
+
+void arena_account_free(std::size_t bytes) {
+  if (bytes > 0) g_arena_live.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+ArenaStats arena_stats() {
+  ArenaStats stats;
+  stats.live_bytes = g_arena_live.load(std::memory_order_relaxed);
+  stats.peak_bytes = g_arena_peak.load(std::memory_order_relaxed);
+  return stats;
+}
+
+LanePartials::~LanePartials() { arena_account_free(block_bytes_); }
 
 void LanePartials::reset(unsigned slots, std::size_t entries) {
   const std::size_t stride = lane_stride_bytes(entries);
   const std::size_t need = stride * slots + kAlign;
   if (need > block_bytes_) {
     block_ = std::make_unique<std::byte[]>(need);
+    arena_account_free(block_bytes_);
+    arena_account_alloc(need);
     block_bytes_ = need;
   }
   if (slots > owner_capacity_) {

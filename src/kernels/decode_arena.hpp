@@ -36,6 +36,22 @@
 
 namespace pooled {
 
+/// Process-wide arena accounting: bytes currently held by decode-arena
+/// buffers across every thread, plus the high-water mark. The arenas are
+/// thread-local and effectively grow-only, so `live_bytes` is the steady
+/// working-set cost of the pool and `peak_bytes` answers "how big did
+/// the largest decode get" for the observability snapshot.
+struct ArenaStats {
+  std::uint64_t live_bytes = 0;
+  std::uint64_t peak_bytes = 0;
+};
+[[nodiscard]] ArenaStats arena_stats();
+
+/// Accounting hooks used by the arena's buffers (relaxed atomics; a
+/// free of 0 bytes is a no-op).
+void arena_account_alloc(std::size_t bytes);
+void arena_account_free(std::size_t bytes);
+
 /// One lane's view of the entry-statistics partial accumulators.
 struct LaneStats {
   std::uint64_t* psi = nullptr;
@@ -52,6 +68,8 @@ struct LaneStats {
 /// not pool.size() of them.
 class LanePartials {
  public:
+  ~LanePartials();
+
   /// The lane's block, zeroed on this pass's first acquire. `lane_id` is
   /// ThreadPool::current_lane() of the executing thread; ids need not be
   /// dense or bounded by the slot count -- only the number of *distinct*
@@ -108,9 +126,15 @@ class DecodeArena {
   template <typename T>
   class Buffer {
    public:
+    ~Buffer() { arena_account_free(bytes_); }
+
     T* ensure(std::size_t count) {
       if (count > capacity_) {
-        data_ = std::make_unique<std::byte[]>(count * sizeof(T) + 63);
+        const std::size_t need = count * sizeof(T) + 63;
+        data_ = std::make_unique<std::byte[]>(need);
+        arena_account_free(bytes_);
+        arena_account_alloc(need);
+        bytes_ = need;
         capacity_ = count;
         void* raw = data_.get();
         aligned_ = reinterpret_cast<T*>(
@@ -123,6 +147,7 @@ class DecodeArena {
     std::unique_ptr<std::byte[]> data_;
     T* aligned_ = nullptr;
     std::size_t capacity_ = 0;
+    std::size_t bytes_ = 0;
   };
 
   Buffer<double> scores_;

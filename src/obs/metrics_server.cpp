@@ -1,0 +1,39 @@
+#include "obs/metrics_server.hpp"
+
+#include <utility>
+
+namespace pooled {
+
+MetricsServer::MetricsServer(ListenSocket listener,
+                             std::function<std::string()> body)
+    : listener_(std::move(listener)), body_(std::move(body)) {}
+
+MetricsServer::~MetricsServer() { stop(); }
+
+void MetricsServer::start() {
+  if (started_) return;
+  started_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void MetricsServer::stop() {
+  if (!started_) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  listener_.close();  // wakes the poll in accept()
+  if (accept_thread_.joinable()) accept_thread_.join();
+  started_ = false;
+}
+
+void MetricsServer::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    std::optional<Socket> accepted = listener_.accept(/*timeout_ms=*/200);
+    if (!accepted.has_value()) continue;
+    SocketStream stream(std::move(*accepted));
+    const std::string body = body_();
+    stream.out().write(body.data(),
+                       static_cast<std::streamsize>(body.size()));
+    stream.out().flush();  // peer hangups surface as badbit; just drop them
+  }
+}
+
+}  // namespace pooled

@@ -1,0 +1,48 @@
+// Plain-text metrics endpoint over SocketTransport.
+//
+// `pooled_cli serve --metrics <addr>` binds a second listen socket next
+// to the job listener. The protocol is deliberately dumber than the job
+// protocol: connect, receive one metrics snapshot as text (the
+// write_snapshot_text format), connection closes. `nc host port` or a
+// scraper loop is the whole client. Requests are served sequentially by
+// one accept thread -- a metrics scrape is rare and tiny, so there is
+// nothing to parallelize.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "engine/socket_transport.hpp"
+
+namespace pooled {
+
+class MetricsServer {
+ public:
+  /// `body` renders the snapshot at scrape time; it runs on the accept
+  /// thread and must be thread-safe against the serve pipeline.
+  MetricsServer(ListenSocket listener, std::function<std::string()> body);
+  ~MetricsServer();
+
+  MetricsServer(const MetricsServer&) = delete;
+  MetricsServer& operator=(const MetricsServer&) = delete;
+
+  void start();
+  void stop();
+
+  [[nodiscard]] const SocketAddress& local_address() const {
+    return listener_.local_address();
+  }
+
+ private:
+  void accept_loop();
+
+  ListenSocket listener_;
+  std::function<std::string()> body_;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+};
+
+}  // namespace pooled

@@ -223,5 +223,56 @@ TEST(ProtocolCompat, GoldenV2ResponsesReserializeByteIdentically) {
   EXPECT_EQ(reserialized.str(), golden);
 }
 
+// ---- v2 stats exchange: the observability frame is pinned too ---------
+//
+// tests/data/golden_v2_stats.txt carries one snapshot with every metric
+// kind (counters, gauges with peaks, a label, histograms) using dyadic
+// doubles, so load -> save must reproduce the file byte for byte.
+
+TEST(ProtocolCompat, GoldenV2StatsReserializeByteIdentically) {
+  const std::string golden = read_fixture("golden_v2_stats.txt");
+  std::istringstream stream(golden);
+  const auto snapshot = load_stats_snapshot(stream);
+  ASSERT_TRUE(snapshot.has_value());
+  EXPECT_EQ(snapshot->counter_value("serve.jobs_served"), 128u);
+  EXPECT_EQ(snapshot->counter_value("serve.write_failures"), 1u);
+  EXPECT_EQ(snapshot->gauge_value("serve.connections_active"), 2);
+  const MetricValue* queue = snapshot->find("serve.queue_depth");
+  ASSERT_NE(queue, nullptr);
+  EXPECT_EQ(queue->peak, 17);
+  const MetricValue* job_seconds = snapshot->find("serve.job_seconds");
+  ASSERT_NE(job_seconds, nullptr);
+  EXPECT_EQ(job_seconds->hist.count, 128u);
+  EXPECT_DOUBLE_EQ(job_seconds->hist.p99, 0.25);
+  EXPECT_EQ(snapshot->find("build.kernels")->label, "avx2");
+
+  std::ostringstream reserialized;
+  save_stats_snapshot(reserialized, *snapshot);
+  EXPECT_EQ(reserialized.str(), golden);
+  EXPECT_FALSE(load_stats_snapshot(stream).has_value());  // clean EOF
+}
+
+TEST(ProtocolCompat, StatsRequestFrameRoundTripsThroughLoadRequest) {
+  std::ostringstream request;
+  save_stats_request(request);
+  EXPECT_EQ(request.str(), "pooled-stats v2\nend\n");
+
+  std::istringstream stream(request.str());
+  const auto parsed = load_request(stream);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(std::holds_alternative<StatsRequest>(*parsed));
+  EXPECT_FALSE(load_request(stream).has_value());  // clean EOF
+
+  // load_job stays the job-only reader: a stats frame is a hard error
+  // there, not a silently-skipped message.
+  std::istringstream job_only(request.str());
+  EXPECT_THROW((void)load_job(job_only), ContractError);
+}
+
+TEST(ProtocolCompat, StatsFramesRequireProtocolV2) {
+  std::istringstream v1("pooled-stats v1\nend\n");
+  EXPECT_THROW((void)load_request(v1), ContractError);
+}
+
 }  // namespace
 }  // namespace pooled

@@ -15,8 +15,10 @@
 #include "core/serialize.hpp"
 #include "engine/batch_engine.hpp"
 #include "engine/protocol.hpp"
+#include "engine/result_cache.hpp"
 #include "engine/serve_server.hpp"
 #include "engine/socket_transport.hpp"
+#include "obs/metrics.hpp"
 #include "parallel/thread_pool.hpp"
 #include "support/assert.hpp"
 
@@ -321,7 +323,125 @@ TEST(ServeServer, ClientDisconnectMidDecodeCancelsInFlightJobs) {
   ASSERT_EQ(reports.size(), 1u);
   EXPECT_TRUE(reports[0].ok()) << reports[0].error;
 
+  // The observability snapshot agrees with the raw counters: the reaped
+  // connection and the cancelled (still-delivered-or-dropped) job are
+  // visible to a stats consumer, and nothing counted as a clean failure.
+  const MetricsSnapshot snapshot = server.build_snapshot();
+  EXPECT_GE(snapshot.counter_value("serve.connections_reaped"), 1u);
+  EXPECT_GE(snapshot.counter_value("serve.jobs_cancelled"), 1u);
+  EXPECT_EQ(snapshot.counter_value("serve.jobs_failed"), 0u);
+  // `next` may or may not have finished winding down by now, so only the
+  // gauge's bounds are deterministic, not its instantaneous value.
+  const MetricValue* active = snapshot.find("serve.connections_active");
+  ASSERT_NE(active, nullptr);
+  EXPECT_GE(active->value, 0);
+  EXPECT_LE(active->value, 1);
+  EXPECT_GE(active->peak, 1);
+
   server.stop();  // must not hang on the torn-down connection
+}
+
+TEST(ServeServer, StatsFrameAnswersUnderConcurrentLoad) {
+  ThreadPool pool(4);
+  MetricsRegistry registry;
+  ResultCache cache(64);
+  EngineOptions engine_options;
+  engine_options.cache = &cache;
+  engine_options.metrics = &registry;
+  const BatchEngine engine(pool, engine_options);
+  ServeServerOptions options;
+  options.metrics = &registry;
+  ServeServer server(loopback_listener(), engine, options);
+  server.start();
+
+  // Three closed-loop clients, each sending the same spec repeatedly
+  // (so the cache engages) while the main thread fires stats frames.
+  constexpr int kClients = 3;
+  constexpr int kJobsPerClient = 8;
+  std::atomic<int> jobs_done{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      SocketStream stream(Socket::dial(server.address()));
+      for (int j = 0; j < kJobsPerClient; ++j) {
+        save_job(stream.out(), sample_job(70 + c % 2, nullptr));
+        stream.out().flush();
+        const auto report = load_report(stream.in());
+        ASSERT_TRUE(report.has_value());
+        EXPECT_TRUE(report->ok()) << report->error;
+        jobs_done.fetch_add(1);
+      }
+      stream.socket().shutdown_write();
+      (void)drain_reports(stream.in());
+    });
+  }
+
+  // A separate connection interrogates the server mid-load. The answer
+  // must parse, reconcile with completed work (monotonic counters can
+  // only trail jobs_done, never exceed what clients observed + inflight)
+  // and never consume a job index on the probing connection.
+  wait_until([&] { return jobs_done.load() >= kClients; },
+             "the first window of jobs");
+  SocketStream probe(Socket::dial(server.address()));
+  save_stats_request(probe.out());
+  probe.out().flush();
+  const auto midload = load_stats_snapshot(probe.in());
+  ASSERT_TRUE(midload.has_value());
+  EXPECT_GE(midload->counter_value("serve.jobs_served"), 1u);
+  EXPECT_GE(midload->gauge_value("serve.connections_active"), 1);
+  EXPECT_NE(midload->find("serve.job_seconds"), nullptr);
+  EXPECT_NE(midload->find("build.kernels"), nullptr);
+
+  for (std::thread& client : clients) client.join();
+
+  // A second frame on the same probing connection: the final snapshot
+  // reconciles exactly with the work the clients drove.
+  save_stats_request(probe.out());
+  probe.out().flush();
+  const auto final_snapshot = load_stats_snapshot(probe.in());
+  ASSERT_TRUE(final_snapshot.has_value());
+  EXPECT_EQ(final_snapshot->counter_value("serve.jobs_served"),
+            static_cast<std::uint64_t>(kClients) * kJobsPerClient);
+  EXPECT_EQ(final_snapshot->counter_value("serve.jobs_failed"), 0u);
+  EXPECT_EQ(final_snapshot->counter_value("serve.write_failures"), 0u);
+  const CacheStats cache_stats = cache.stats();
+  EXPECT_EQ(final_snapshot->counter_value("cache.hits"), cache_stats.hits);
+  EXPECT_GE(cache_stats.hits, 1u);  // repeated specs really did hit
+  EXPECT_EQ(final_snapshot->counter_value("engine.jobs_completed"),
+            static_cast<std::uint64_t>(kClients) * kJobsPerClient);
+  probe.socket().shutdown_write();
+  server.stop();
+  EXPECT_EQ(server.stats().jobs_served,
+            static_cast<std::uint64_t>(kClients) * kJobsPerClient);
+}
+
+TEST(ServeServer, LostPeerCountsWriteFailuresNotServedJobs) {
+  const std::string path =
+      "/tmp/pooled_serve_wf_" + std::to_string(::getpid()) + ".sock";
+  ThreadPool pool(2);
+  const BatchEngine engine(pool);
+  ServeServerOptions options;
+  // Keep the reaper out of the race: the peer vanishes *after* sending a
+  // complete job, and we want the result write (not a probe) to trip on
+  // the dead socket so the write_failures path is what gets exercised.
+  options.probe_seconds = 10.0;
+  ServeServer server(
+      ListenSocket::bind_and_listen(SocketAddress::parse("unix:" + path)),
+      engine, options);
+  server.start();
+
+  {
+    SocketStream client(Socket::dial(SocketAddress::parse("unix:" + path)));
+    save_job(client.out(), sample_job(81, nullptr));
+    client.out().flush();
+  }  // full close: the result frame has nowhere to go
+
+  wait_until([&] { return server.stats().write_failures >= 1; },
+             "the result write to fail");
+  const ServeServerStats stats = server.stats();
+  EXPECT_EQ(stats.jobs_served, 0u);  // a dropped frame is not "served"
+  server.stop();
 }
 
 TEST(ServeServer, DeadlineExpiredJobReportsStopDeadline) {

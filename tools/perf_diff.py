@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Diff a fresh BENCH_perf.json against the committed trajectory.
+
+Compares the perf suite's section speedups and saturation metrics
+against a baseline file (normally bench/BENCH_perf.json, the committed
+trajectory) and prints the deltas. The gate is deliberately *soft*:
+shared CI runners are noisy, so only catastrophic regressions fail --
+
+  - a section's dispatched-vs-baseline speedup below half the committed
+    speedup (the hard --check floors in the perf suite itself catch
+    absolute regressions),
+  - saturation throughput below 0.4x the committed run,
+  - structural observability failures: the server served fewer jobs
+    than the clients sent, the mid-load stats frame saw nothing, or the
+    result cache never hit (repeated specs make hits a certainty).
+
+Everything else -- slower RTT percentiles, deeper queues, bigger arenas
+-- is reported but does not fail the job: those are trajectory signals,
+not gates.
+
+Usage: perf_diff.py <baseline.json> <current.json>
+"""
+import json
+import sys
+
+SECTION_SPEEDUP_RATIO_FLOOR = 0.5
+THROUGHPUT_RATIO_FLOOR = 0.4
+
+
+def fmt(value: float) -> str:
+    return f"{value:.3g}"
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        baseline = json.load(f)
+    with open(sys.argv[2]) as f:
+        current = json.load(f)
+
+    failures = []
+
+    base_sections = {s["name"]: s for s in baseline.get("sections", [])}
+    for section in current.get("sections", []):
+        name = section["name"]
+        speedup = section["speedup_vs_baseline"]
+        base = base_sections.get(name)
+        if base is None:
+            print(f"  {name}: {fmt(speedup)}x (no committed baseline)")
+            continue
+        base_speedup = base["speedup_vs_baseline"]
+        ratio = speedup / base_speedup if base_speedup > 0 else 1.0
+        print(f"  {name}: {fmt(speedup)}x vs committed {fmt(base_speedup)}x "
+              f"({fmt(ratio)}x of trajectory)")
+        if ratio < SECTION_SPEEDUP_RATIO_FLOOR:
+            failures.append(
+                f"{name} speedup {fmt(speedup)}x fell below "
+                f"{SECTION_SPEEDUP_RATIO_FLOOR}x of committed "
+                f"{fmt(base_speedup)}x")
+
+    sat = current.get("saturation")
+    if sat is None:
+        failures.append("current run has no saturation section")
+    else:
+        base_sat = baseline.get("saturation")
+        throughput = sat["throughput_jobs_per_sec"]
+        if base_sat is not None:
+            base_throughput = base_sat["throughput_jobs_per_sec"]
+            ratio = throughput / base_throughput if base_throughput > 0 else 1.0
+            print(f"  saturation throughput: {fmt(throughput)} jobs/s vs "
+                  f"committed {fmt(base_throughput)} ({fmt(ratio)}x)")
+            if ratio < THROUGHPUT_RATIO_FLOOR:
+                failures.append(
+                    f"saturation throughput {fmt(throughput)} jobs/s fell "
+                    f"below {THROUGHPUT_RATIO_FLOOR}x of committed "
+                    f"{fmt(base_throughput)}")
+            for key in ("rtt_p50_ms", "rtt_p95_ms", "rtt_p99_ms"):
+                print(f"  saturation {key}: {fmt(sat[key])} vs committed "
+                      f"{fmt(base_sat[key])}  (informational)")
+        else:
+            print(f"  saturation throughput: {fmt(throughput)} jobs/s "
+                  "(no committed baseline)")
+        # Structural checks hold regardless of the baseline's vintage.
+        if sat["jobs_served"] != sat["jobs"]:
+            failures.append(
+                f"server served {sat['jobs_served']} of {sat['jobs']} jobs")
+        if sat["midload_jobs_served"] <= 0:
+            failures.append("mid-load stats frame reported zero jobs served")
+        if sat["cache_hit_rate"] <= 0.0:
+            failures.append("result cache never hit under repeated specs")
+        print(f"  saturation cache hit-rate {fmt(sat['cache_hit_rate'] * 100)}%"
+              f", queue-depth peak {sat['queue_depth_peak']}, arena peak "
+              f"{sat['arena_peak_bytes']} bytes")
+
+    if failures:
+        for failure in failures:
+            print(f"  PERF DIFF FAILED: {failure}", file=sys.stderr)
+        return 1
+    print("  perf diff ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

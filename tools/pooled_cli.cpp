@@ -30,6 +30,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <thread>
 
 #include "core/instance.hpp"
@@ -44,6 +45,9 @@
 #include "engine/socket_transport.hpp"
 #include "io/csv.hpp"
 #include "io/table.hpp"
+#include "obs/metrics.hpp"
+#include "obs/metrics_server.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "sim/montecarlo.hpp"
 #include "sim/sweep.hpp"
@@ -237,6 +241,10 @@ int cmd_serve(int argc, const char* const* argv) {
   cli.add_i64("threads", "worker threads (0 = hardware concurrency)", 0);
   cli.add_i64("cache", "result-cache capacity in reports (0 = no cache)", 1024);
   cli.add_flag("progress", "stream per-round decode progress to stderr");
+  cli.add_string("metrics",
+                 "plain-text metrics endpoint on <host>:<port> or unix:/path; "
+                 "'-' = periodic snapshot dump to stderr", "");
+  cli.add_string("trace", "per-job JSONL span log file (see obs/trace.hpp)", "");
   cli.parse(argc, argv);
   if (cli.help_requested()) {
     std::fputs(cli.help_text().c_str(), stdout);
@@ -250,21 +258,48 @@ int cmd_serve(int argc, const char* const* argv) {
   if (cli.i64("cache") > 0) {
     cache = std::make_unique<ResultCache>(static_cast<std::size_t>(cli.i64("cache")));
   }
+  MetricsRegistry registry;
   EngineOptions options;
   options.max_in_flight = static_cast<std::size_t>(cli.i64("batch"));
   options.cache = cache.get();
+  options.metrics = &registry;
   const BatchEngine engine(pool, options);
   std::unique_ptr<ProgressStream> progress;
   if (cli.flag("progress")) progress = std::make_unique<ProgressStream>(std::cerr);
+  std::ofstream trace_file;
+  std::unique_ptr<TraceRecorder> trace;
+  if (!cli.string("trace").empty()) {
+    trace_file.open(cli.string("trace"));
+    POOLED_REQUIRE(static_cast<bool>(trace_file),
+                   "cannot open '" + cli.string("trace") + "' for writing");
+    trace = std::make_unique<TraceRecorder>(trace_file);
+  }
+  const std::string metrics_arg = cli.string("metrics");
+  const bool metrics_dump = metrics_arg == "-";
 
   if (!cli.string("listen").empty()) {
     // Socket mode: concurrent connections, until SIGINT/SIGTERM.
     ServeServerOptions server_options;
     server_options.chunk = options.max_in_flight;
     server_options.progress = progress.get();
+    server_options.metrics = &registry;
+    server_options.trace = trace.get();
     ServeServer server(
         ListenSocket::bind_and_listen(SocketAddress::parse(cli.string("listen"))),
         engine, server_options);
+    std::unique_ptr<MetricsServer> metrics_server;
+    if (!metrics_arg.empty() && !metrics_dump) {
+      metrics_server = std::make_unique<MetricsServer>(
+          ListenSocket::bind_and_listen(SocketAddress::parse(metrics_arg)),
+          [&server] {
+            std::ostringstream body;
+            write_snapshot_text(body, server.build_snapshot());
+            return body.str();
+          });
+      metrics_server->start();
+      std::fprintf(stderr, "metrics on %s\n",
+                   metrics_server->local_address().to_string().c_str());
+    }
     server.start();
     // The "listening on" line is the readiness signal scripts wait for
     // (and carries the real port when --listen asked for port 0).
@@ -273,22 +308,34 @@ int cmd_serve(int argc, const char* const* argv) {
     g_serve_interrupted.store(false);
     std::signal(SIGINT, handle_serve_signal);
     std::signal(SIGTERM, handle_serve_signal);
+    int ticks = 0;
     while (!g_serve_interrupted.load()) {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      if (metrics_dump && ++ticks % 100 == 0) {  // ~every 5 seconds
+        std::ostringstream body;
+        write_snapshot_text(body, server.build_snapshot());
+        std::fputs(body.str().c_str(), stderr);
+      }
     }
+    if (metrics_server) metrics_server->stop();
     server.stop();
     const ServeServerStats stats = server.stats();
     std::fprintf(stderr,
                  "served %llu jobs over %llu connections "
-                 "(%llu cancelled, %llu failed, %llu reaped)\n",
+                 "(%llu cancelled, %llu failed, %llu write-failures, "
+                 "%llu reaped)\n",
                  static_cast<unsigned long long>(stats.jobs_served),
                  static_cast<unsigned long long>(stats.connections_accepted),
                  static_cast<unsigned long long>(stats.jobs_cancelled),
                  static_cast<unsigned long long>(stats.jobs_failed),
+                 static_cast<unsigned long long>(stats.write_failures),
                  static_cast<unsigned long long>(stats.connections_reaped));
     print_cache_counters(cache.get());
     return 0;
   }
+  POOLED_REQUIRE(metrics_arg.empty() || metrics_dump,
+                 "--metrics <addr> needs --listen; use --metrics - for a "
+                 "final snapshot on stream serve");
 
   std::ifstream file_in;
   std::istream* in = &std::cin;
@@ -307,10 +354,24 @@ int cmd_serve(int argc, const char* const* argv) {
     out = &file_out;
   }
 
-  const std::size_t served = serve_stream(*in, *out, engine,
-                                          options.max_in_flight, progress.get());
+  const std::size_t served =
+      serve_stream(*in, *out, engine, options.max_in_flight, progress.get(),
+                   /*cancel=*/nullptr, &registry, trace.get());
   std::fprintf(stderr, "served %zu jobs over %u threads\n", served, pool.size());
   print_cache_counters(cache.get());
+  if (metrics_dump) {
+    std::ostringstream body;
+    MetricsSnapshot snapshot;
+    snapshot.values.push_back(MetricValue::of_counter("serve.jobs_served", served));
+    if (cache) {
+      const CacheStats cache_stats = cache->stats();
+      append_stats_snapshot(snapshot, &cache_stats, &registry);
+    } else {
+      append_stats_snapshot(snapshot, nullptr, &registry);
+    }
+    write_snapshot_text(body, snapshot);
+    std::fputs(body.str().c_str(), stderr);
+  }
   return 0;
 }
 

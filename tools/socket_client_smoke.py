@@ -8,12 +8,75 @@ probes are harmless noise between frames). Exits nonzero if the server
 hangs up without sending anything.
 
 Usage: socket_client_smoke.py <host> <port> <jobs-file> [<jobs-file>...]
+       socket_client_smoke.py --stats-probe <host> <port> <jobs-file>
+
+--stats-probe exercises the v2 `pooled-stats` observability frame under
+load: connection A sends the jobs file and reads its results *without*
+half-closing (so it stays live), then connection B sends a stats frame
+and asserts the snapshot reconciles with the work -- jobs_served covers
+every job A sent and connections_active counts both connections. The
+stats frame body prints to stdout for the CI log.
 """
 import socket
 import sys
 
 
+def read_frames(conn: socket.socket, frame_count: int) -> bytes:
+    """Reads until `frame_count` end-framed messages have arrived."""
+    received = b""
+    while received.count(b"\nend\n") < frame_count:
+        chunk = conn.recv(1 << 16)
+        if not chunk:
+            raise SystemExit("server hung up mid-stream")
+        received += chunk
+    return received
+
+
+def snapshot_value(body: str, kind: str, name: str) -> float:
+    for line in body.splitlines():
+        parts = line.split()
+        if len(parts) >= 3 and parts[0] == kind and parts[1] == name:
+            return float(parts[2])
+    raise SystemExit(f"stats frame is missing '{kind} {name}'")
+
+
+def stats_probe(host: str, port: int, jobs_path: str) -> int:
+    with open(jobs_path, "rb") as jobs_file:
+        jobs = jobs_file.read()
+    job_count = jobs.count(b"pooled-job")
+    with socket.create_connection((host, port), timeout=60) as conn_a:
+        conn_a.sendall(jobs)  # no half-close: connection A stays live
+        results = read_frames(conn_a, job_count)
+        if results.count(b"status ok") != job_count:
+            print(results.decode(), file=sys.stderr)
+            raise SystemExit("not every job succeeded")
+        with socket.create_connection((host, port), timeout=60) as conn_b:
+            conn_b.sendall(b"pooled-stats v2\nend\n")
+            body = read_frames(conn_b, 1).decode()
+            sys.stdout.write(body)
+            if "pooled-stats-result v2" not in body:
+                raise SystemExit("expected a pooled-stats-result frame")
+            served = snapshot_value(body, "counter", "serve.jobs_served")
+            if served < job_count:
+                raise SystemExit(
+                    f"jobs_served {served:.0f} < {job_count} jobs sent")
+            active = snapshot_value(body, "gauge", "serve.connections_active")
+            if active != 2:
+                raise SystemExit(f"connections_active {active:.0f} != 2")
+            conn_b.shutdown(socket.SHUT_WR)
+        conn_a.shutdown(socket.SHUT_WR)
+        while conn_a.recv(1 << 16):
+            pass
+    print(f"stats probe ok: {job_count} jobs reconciled", file=sys.stderr)
+    return 0
+
+
 def main() -> int:
+    if len(sys.argv) >= 2 and sys.argv[1] == "--stats-probe":
+        if len(sys.argv) != 5:
+            print(__doc__, file=sys.stderr)
+            return 2
+        return stats_probe(sys.argv[2], int(sys.argv[3]), sys.argv[4])
     if len(sys.argv) < 4:
         print(__doc__, file=sys.stderr)
         return 2
