@@ -263,10 +263,10 @@ void save_stats_snapshot(std::ostream& os, const MetricsSnapshot& snapshot) {
   POOLED_REQUIRE(static_cast<bool>(os), "stats snapshot serialization failed");
 }
 
-std::optional<MetricsSnapshot> load_stats_snapshot(std::istream& is) {
-  const std::optional<int> version = read_header(is, kStatsResultMagic);
-  if (!version) return std::nullopt;
-  POOLED_REQUIRE(*version >= 2, "pooled-stats-result frames need protocol v2");
+namespace {
+
+/// The body of a stats-result frame, after the header line.
+MetricsSnapshot load_stats_snapshot_body(std::istream& is) {
   MetricsSnapshot snapshot;
   bool terminated = false;
   std::string line;
@@ -286,6 +286,15 @@ std::optional<MetricsSnapshot> load_stats_snapshot(std::istream& is) {
   }
   POOLED_REQUIRE(terminated, "stats result frame missing 'end'");
   return snapshot;
+}
+
+}  // namespace
+
+std::optional<MetricsSnapshot> load_stats_snapshot(std::istream& is) {
+  const std::optional<int> version = read_header(is, kStatsResultMagic);
+  if (!version) return std::nullopt;
+  POOLED_REQUIRE(*version >= 2, "pooled-stats-result frames need protocol v2");
+  return load_stats_snapshot_body(is);
 }
 
 void append_stats_snapshot(MetricsSnapshot& snapshot, const CacheStats* cache,
@@ -357,9 +366,11 @@ void save_report(std::ostream& os, const DecodeReport& report) {
   POOLED_REQUIRE(static_cast<bool>(os), "report serialization failed");
 }
 
-std::optional<DecodeReport> load_report(std::istream& is) {
-  const std::optional<int> version = read_header(is, kResultMagic);
-  if (!version) return std::nullopt;
+namespace {
+
+/// The body of a result frame, after the header line.
+DecodeReport load_report_body(std::istream& is, int version_value) {
+  const int* version = &version_value;
   DecodeReport report;
   bool terminated = false;
   std::string line;
@@ -429,6 +440,28 @@ std::optional<DecodeReport> load_report(std::istream& is) {
   }
   POOLED_REQUIRE(terminated, "result frame missing 'end'");
   return report;
+}
+
+}  // namespace
+
+std::optional<DecodeReport> load_report(std::istream& is) {
+  const std::optional<int> version = read_header(is, kResultMagic);
+  if (!version) return std::nullopt;
+  return load_report_body(is, *version);
+}
+
+std::optional<ServeResponse> load_response(std::istream& is) {
+  std::optional<FrameHeader> header = read_any_header(is);
+  if (!header) return std::nullopt;
+  if (header->magic == kResultMagic) {
+    return ServeResponse(load_report_body(is, parse_version(*header)));
+  }
+  POOLED_REQUIRE(header->magic == kStatsResultMagic,
+                 "expected a " + std::string(kResultMagic) + " or " +
+                     kStatsResultMagic + " frame, got '" + header->line + "'");
+  POOLED_REQUIRE(parse_version(*header) >= 2,
+                 "pooled-stats-result frames need protocol v2");
+  return ServeResponse(load_stats_snapshot_body(is));
 }
 
 void ProgressStream::emit(std::uint64_t connection, std::size_t job_index,

@@ -135,6 +135,16 @@ struct StatsRequest {};
 /// Anything a client may send on a serve connection.
 using ServeRequest = std::variant<DecodeJob, StatsRequest>;
 
+/// Anything a server may send back on a serve connection: result frames
+/// in job order, stats-result frames out of band between them.
+using ServeResponse = std::variant<DecodeReport, MetricsSnapshot>;
+
+/// Reads the next response of either kind; std::nullopt at (clean) end
+/// of stream. Throws ContractError on malformed input. The shard
+/// router's per-shard readers need this: a stats probe's answer may
+/// arrive interleaved anywhere between result frames.
+std::optional<ServeResponse> load_response(std::istream& is);
+
 /// Reads the next request of either kind; std::nullopt at (clean) end of
 /// stream. Throws ContractError on malformed input. `load_job` remains
 /// the job-only reader (it rejects stats frames).

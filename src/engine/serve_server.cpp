@@ -100,6 +100,7 @@ ServeServerStats ServeServer::stats() const {
   ServeServerStats stats;
   stats.connections_accepted = connections_accepted_.load();
   stats.connections_reaped = connections_reaped_.load();
+  stats.connections_errored = connections_errored_.load();
   stats.jobs_served = jobs_served_.load();
   stats.jobs_cancelled = jobs_cancelled_.load();
   stats.jobs_failed = jobs_failed_.load();
@@ -123,6 +124,8 @@ MetricsSnapshot ServeServer::build_snapshot() const {
       active_gauge_->peak()));
   values.push_back(MetricValue::of_counter("serve.connections_reaped",
                                            counters.connections_reaped));
+  values.push_back(MetricValue::of_counter("serve.connections_errored",
+                                           counters.connections_errored));
   values.push_back(
       MetricValue::of_counter("serve.jobs_served", counters.jobs_served));
   values.push_back(
@@ -220,7 +223,17 @@ void ServeServer::read_requests(Connection& connection) {
     while (!connection.cancel.load()) {
       const Timer parse_timer;
       std::optional<ServeRequest> request = load_request(in);
-      if (!request) break;  // clean end of requests (client half-closed)
+      if (!request) {
+        // A clean half-close (EOF at a frame boundary) means "no more
+        // requests": the handler finishes the queue and answers. A
+        // transport error means the peer is gone -- decoding its queued
+        // jobs would spend engine time on frames nobody can read.
+        if (connection.stream.read_errno() != 0 && !connection.cancel.load()) {
+          connections_errored_.fetch_add(1);
+          connection.cancel.store(true);
+        }
+        break;
+      }
       if (std::holds_alternative<StatsRequest>(*request)) {
         // Answered immediately on the reader thread, out of band of the
         // job pipeline: a stats probe must not wait behind a window of
@@ -263,9 +276,18 @@ void ServeServer::read_requests(Connection& connection) {
   } catch (const std::exception& e) {
     // Framing is lost after a parse error; the handler reports it as the
     // connection's final frame. A cancelled connection's read errors are
-    // teardown noise, not protocol errors.
+    // teardown noise, not protocol errors -- and a frame truncated by a
+    // transport error is the transport's fault, not the client's, so it
+    // counts as an errored connection, not a protocol violation.
     const std::lock_guard<std::mutex> lock(connection.queue_mutex);
-    if (!connection.cancel.load()) connection.parse_error = e.what();
+    if (!connection.cancel.load()) {
+      if (connection.stream.read_errno() != 0) {
+        connections_errored_.fetch_add(1);
+        connection.cancel.store(true);
+      } else {
+        connection.parse_error = e.what();
+      }
+    }
   }
   {
     const std::lock_guard<std::mutex> lock(connection.queue_mutex);

@@ -78,7 +78,9 @@ struct ServeServerOptions {
 /// Counter snapshot (monotonic except active_connections).
 struct ServeServerStats {
   std::uint64_t connections_accepted = 0;
-  std::uint64_t connections_reaped = 0;  ///< dropped by the liveness probe
+  std::uint64_t connections_reaped = 0;   ///< dropped by the liveness probe
+  std::uint64_t connections_errored = 0;  ///< lost to a transport error (not
+                                          ///< a clean half-close)
   std::uint64_t active_connections = 0;
   std::uint64_t jobs_served = 0;     ///< result frames delivered to the peer
   std::uint64_t jobs_cancelled = 0;  ///< served jobs that stopped on cancel
@@ -140,6 +142,7 @@ class ServeServer {
 
   std::atomic<std::uint64_t> connections_accepted_{0};
   std::atomic<std::uint64_t> connections_reaped_{0};
+  std::atomic<std::uint64_t> connections_errored_{0};
   std::atomic<std::uint64_t> jobs_served_{0};
   std::atomic<std::uint64_t> jobs_cancelled_{0};
   std::atomic<std::uint64_t> jobs_failed_{0};

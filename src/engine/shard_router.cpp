@@ -1,0 +1,643 @@
+#include "engine/shard_router.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+#include <variant>
+
+#include "core/serialize.hpp"
+#include "support/assert.hpp"
+
+namespace pooled {
+
+namespace {
+
+/// FNV-1a 64 over the digest string (the digest is already uniform; this
+/// just folds it to the 64 bits rendezvous hashing mixes).
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+/// splitmix64 finalizer: decorrelates the per-(digest, shard) scores so
+/// the rendezvous argmax spreads digests evenly.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+/// Per-shard state. Socket writes (and stream replacement) serialize on
+/// write_mutex; the bookkeeping fields live under the router's mutex_.
+/// Lock order: write_mutex before mutex_, never the reverse.
+struct ShardRouter::Shard {
+  Shard(SocketAddress address_, std::size_t index_)
+      : address(std::move(address_)), index(index_) {}
+
+  const SocketAddress address;
+  const std::size_t index;
+
+  std::mutex write_mutex;
+  std::unique_ptr<SocketStream> stream;  ///< null until first admit
+  std::thread reader;
+
+  // -- under the router's mutex_ ----------------------------------------
+  bool alive = false;
+  /// This connection's send order: local result index -> global index
+  /// (the mirror of ServeServer's per-connection rebase). Cleared on
+  /// reconnect, because the shard numbers each connection from zero.
+  std::vector<std::uint64_t> sent;
+  std::uint64_t jobs_sent_total = 0;
+  std::uint64_t results_total = 0;
+  std::uint64_t times_lost = 0;
+  std::uint64_t times_admitted = 0;
+  bool stats_pending = false;
+  std::optional<MetricsSnapshot> stats_result;
+};
+
+ShardRouter::ShardRouter(std::vector<SocketAddress> shards,
+                         ShardRouterOptions options)
+    : options_(options) {
+  POOLED_REQUIRE(!shards.empty(), "shard router needs at least one shard");
+  POOLED_REQUIRE(options_.probe_seconds > 0.0,
+                 "prober period must be positive");
+  shards_.reserve(shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    shards_.push_back(std::make_unique<Shard>(std::move(shards[i]), i));
+  }
+  MetricsRegistry& registry =
+      options_.metrics != nullptr ? *options_.metrics : own_registry_;
+  jobs_submitted_ = &registry.counter("route.jobs_submitted");
+  jobs_retried_ = &registry.counter("route.jobs_retried");
+  jobs_failed_ = &registry.counter("route.jobs_failed");
+  results_merged_ = &registry.counter("route.results_merged");
+  duplicates_dropped_ = &registry.counter("route.duplicates_dropped");
+  shards_lost_ = &registry.counter("route.shards_lost");
+  shards_readmitted_ = &registry.counter("route.shards_readmitted");
+  shards_alive_ = &registry.gauge("route.shards_alive");
+  jobs_inflight_ = &registry.gauge("route.jobs_inflight");
+  job_seconds_ = &registry.histogram("route.job_seconds");
+}
+
+ShardRouter::~ShardRouter() { stop(); }
+
+void ShardRouter::start() {
+  POOLED_REQUIRE(!prober_.joinable(), "shard router already started");
+  stop_.store(false);
+  // Shards down right now are not an error: the prober keeps dialing
+  // and admits them whenever they come up (self-stabilization).
+  for (const auto& shard : shards_) (void)try_admit(*shard);
+  prober_ = std::thread([this] { prober_loop(); });
+}
+
+void ShardRouter::stop() {
+  stop_.store(true);
+  wake_prober();
+  if (prober_.joinable()) prober_.join();
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> write_lock(shard->write_mutex);
+    if (shard->stream) shard->stream->socket().shutdown_both();
+  }
+  for (const auto& shard : shards_) {
+    if (shard->reader.joinable()) shard->reader.join();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& shard : shards_) {
+      if (shard->alive) {
+        shard->alive = false;
+        shards_alive_->add(-1);
+      }
+      shard->sent.clear();
+      shard->stats_pending = false;
+    }
+    fail_pending_locked("shard router stopped");
+  }
+  results_cv_.notify_all();
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> write_lock(shard->write_mutex);
+    shard->stream.reset();
+  }
+}
+
+std::uint64_t ShardRouter::submit(const DecodeJob& job) {
+  Pending pending;
+  {
+    std::ostringstream frame;
+    save_job(frame, job);  // throws for jobs with no textual form
+    pending.frame = frame.str();
+  }
+  if (options_.affinity && job.spec.has_value()) {
+    pending.digest_hash = fnv1a(instance_digest(*job.spec));
+    pending.has_digest = true;
+  }
+  std::uint64_t index = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    index = next_index_++;
+    pending_.emplace(index, std::move(pending));
+  }
+  jobs_submitted_->add(1);
+  jobs_inflight_->add(1);
+  dispatch(index);
+  return index;
+}
+
+DecodeReport ShardRouter::wait(std::uint64_t index) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = pending_.find(index);
+  POOLED_REQUIRE(it != pending_.end(),
+                 "job #" + std::to_string(index) +
+                     " was never submitted (or already waited for)");
+  results_cv_.wait(lock, [&] { return it->second.done; });
+  DecodeReport report = std::move(it->second.report);
+  pending_.erase(it);
+  return report;
+}
+
+std::vector<DecodeReport> ShardRouter::route(
+    const std::vector<DecodeJob>& jobs) {
+  std::vector<std::uint64_t> indices;
+  indices.reserve(jobs.size());
+  for (const DecodeJob& job : jobs) indices.push_back(submit(job));
+  std::vector<DecodeReport> reports;
+  reports.reserve(jobs.size());
+  for (const std::uint64_t index : indices) reports.push_back(wait(index));
+  return reports;
+}
+
+std::size_t ShardRouter::shard_count() const { return shards_.size(); }
+
+std::size_t ShardRouter::alive_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t alive = 0;
+  for (const auto& shard : shards_) {
+    if (shard->alive) ++alive;
+  }
+  return alive;
+}
+
+std::vector<ShardStatus> ShardRouter::shard_statuses() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ShardStatus> statuses;
+  statuses.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ShardStatus status;
+    status.address = shard->address;
+    status.alive = shard->alive;
+    status.jobs_sent = shard->jobs_sent_total;
+    status.results_received = shard->results_total;
+    status.times_lost = shard->times_lost;
+    status.times_admitted = shard->times_admitted;
+    statuses.push_back(std::move(status));
+  }
+  for (const auto& [index, pending] : pending_) {
+    if (!pending.done && pending.shard >= 0) {
+      ++statuses[static_cast<std::size_t>(pending.shard)].in_flight;
+    }
+  }
+  return statuses;
+}
+
+std::size_t ShardRouter::shard_for_digest(const std::string& digest) const {
+  const std::uint64_t hash = fnv1a(digest);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const Shard* best = nullptr;
+  std::uint64_t best_score = 0;
+  for (const auto& shard : shards_) {
+    if (!shard->alive) continue;
+    const std::uint64_t score = mix(hash ^ mix(shard->index + 1));
+    if (best == nullptr || score > best_score) {
+      best = shard.get();
+      best_score = score;
+    }
+  }
+  POOLED_REQUIRE(best != nullptr, "no shard is alive to route digest to");
+  return best->index;
+}
+
+/// The rendezvous pick over alive shards (digest affinity), or the
+/// round-robin successor. Returns nullptr when no shard is alive.
+ShardRouter::Shard* ShardRouter::pick_shard_locked(std::uint64_t digest_hash,
+                                                   bool has_digest) {
+  Shard* best = nullptr;
+  std::uint64_t best_score = 0;
+  std::size_t alive = 0;
+  for (const auto& shard : shards_) {
+    if (!shard->alive) continue;
+    ++alive;
+    const std::uint64_t score =
+        has_digest ? mix(digest_hash ^ mix(shard->index + 1)) : 0;
+    if (best == nullptr || score > best_score) {
+      best = shard.get();
+      best_score = score;
+    }
+  }
+  if (best == nullptr || has_digest || alive == 1) return best;
+  // Round-robin: the n-th affinity-free job takes the n-th alive shard.
+  const std::uint64_t turn = round_robin_++ % alive;
+  std::uint64_t seen = 0;
+  for (const auto& shard : shards_) {
+    if (!shard->alive) continue;
+    if (seen++ == turn) return shard.get();
+  }
+  return best;
+}
+
+void ShardRouter::dispatch(std::uint64_t index) {
+  for (;;) {
+    Shard* shard = nullptr;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      auto it = pending_.find(index);
+      if (it == pending_.end() || it->second.done) return;  // raced a failure
+      shard = pick_shard_locked(it->second.digest_hash, it->second.has_digest);
+      if (shard == nullptr) {
+        // Nobody to send to: park until the prober readmits a shard (or
+        // the all-dead timeout fails the job).
+        it->second.shard = -1;
+        parked_.push_back(index);
+        if (!all_dead_since_) all_dead_since_.emplace();
+        return;
+      }
+    }
+    const std::lock_guard<std::mutex> write_lock(shard->write_mutex);
+    const char* frame_data = nullptr;
+    std::size_t frame_size = 0;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!shard->alive) continue;  // died between pick and lock: repick
+      auto it = pending_.find(index);
+      if (it == pending_.end() || it->second.done) return;
+      it->second.shard = static_cast<int>(shard->index);
+      shard->sent.push_back(index);
+      ++shard->jobs_sent_total;
+      // The frame bytes are write-once at submit(); reading them outside
+      // mutex_ during the send below is safe.
+      frame_data = it->second.frame.data();
+      frame_size = it->second.frame.size();
+    }
+    std::ostream& out = shard->stream->out();
+    out.write(frame_data, static_cast<std::streamsize>(frame_size));
+    out.flush();
+    if (out) return;  // sent; the shard's reader owns it from here
+    out.clear();      // badbit is sticky; the stream is being torn down
+    on_shard_down(*shard);  // requeues `index` (and any siblings)
+    return;  // `index` is parked now; the prober re-dispatches it
+  }
+}
+
+void ShardRouter::drain_parked() {
+  for (;;) {
+    std::uint64_t index = 0;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (parked_.empty()) return;
+      bool any_alive = false;
+      for (const auto& shard : shards_) any_alive = any_alive || shard->alive;
+      if (!any_alive) return;
+      index = parked_.front();
+      parked_.pop_front();
+    }
+    jobs_retried_->add(1);
+    dispatch(index);
+  }
+}
+
+void ShardRouter::on_shard_down(Shard& shard) {
+  std::size_t orphans = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!shard.alive) return;  // another thread already handled it
+    shard.alive = false;
+    ++shard.times_lost;
+    shards_alive_->add(-1);
+    // Requeue the connection's unanswered jobs: they retry on survivors.
+    for (const std::uint64_t index : shard.sent) {
+      auto it = pending_.find(index);
+      if (it != pending_.end() && !it->second.done &&
+          it->second.shard == static_cast<int>(shard.index)) {
+        it->second.shard = -1;
+        parked_.push_back(index);
+        ++orphans;
+      }
+    }
+    shard.sent.clear();
+    shard.stats_pending = false;  // its answer is never coming
+    bool any_alive = false;
+    for (const auto& other : shards_) any_alive = any_alive || other->alive;
+    if (!any_alive && !all_dead_since_) all_dead_since_.emplace();
+  }
+  shards_lost_->add(1);
+  // Unblock the shard's reader (when this is not it) so the prober can
+  // join it and re-dial.
+  shard.stream->socket().shutdown_both();
+  results_cv_.notify_all();  // a fleet-stats waiter may be blocked on it
+  (void)orphans;
+  wake_prober();  // drain the requeued jobs now, not a probe period later
+}
+
+bool ShardRouter::try_admit(Shard& shard) {
+  std::optional<Socket> socket =
+      Socket::try_dial(shard.address, options_.dial_timeout_seconds);
+  if (!socket) return false;
+  socket->set_send_timeout(options_.write_timeout_seconds);
+  {
+    const std::lock_guard<std::mutex> write_lock(shard.write_mutex);
+    shard.stream = std::make_unique<SocketStream>(std::move(*socket));
+  }
+  const bool readmission = shard.times_admitted > 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shard.alive = true;
+    shard.sent.clear();  // the new connection numbers from zero
+    ++shard.times_admitted;
+    shards_alive_->add(1);
+    all_dead_since_.reset();
+  }
+  if (readmission) shards_readmitted_->add(1);
+  shard.reader = std::thread([this, &shard] { reader_loop(shard); });
+  return true;
+}
+
+void ShardRouter::reader_loop(Shard& shard) {
+  // The stream pointer is stable for this connection: the prober only
+  // replaces it after joining this thread.
+  std::istream& in = shard.stream->in();
+  for (;;) {
+    std::optional<ServeResponse> response;
+    try {
+      response = load_response(in);
+    } catch (const std::exception&) {
+      // A garbled frame loses framing for good -- same as a dead shard.
+      response.reset();
+    }
+    if (!response) break;
+    if (auto* report = std::get_if<DecodeReport>(&(*response))) {
+      std::uint64_t global = 0;
+      bool mapped = false;
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        // The shard numbers this connection's results 0,1,2...; `sent`
+        // maps them back to stream-global indices.
+        const std::size_t local = report->index;
+        if (local < shard.sent.size()) {
+          global = shard.sent[local];
+          ++shard.results_total;
+          mapped = true;
+        }
+      }
+      if (!mapped) break;  // index confusion: drop the connection
+      deliver(global, std::move(*report));
+    } else {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      shard.stats_result = std::get<MetricsSnapshot>(std::move(*response));
+      shard.stats_pending = false;
+      results_cv_.notify_all();
+    }
+  }
+  // Transport ended. A `status error` frame would have been delivered
+  // above (decode failure, not death); reaching here means the shard
+  // itself is gone -- clean EOF and reset alike (read_errno tells a log
+  // line apart, but both kill the connection).
+  if (!stop_.load()) on_shard_down(shard);
+}
+
+void ShardRouter::deliver(std::uint64_t index, DecodeReport report) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto it = pending_.find(index);
+    if (it == pending_.end() || it->second.done) {
+      // A lost shard's answer arrived after the job was already retried
+      // and merged elsewhere: exactly-once delivery drops the copy.
+      duplicates_dropped_->add(1);
+      return;
+    }
+    report.index = index;  // shard-local -> stream-global rebase
+    it->second.report = std::move(report);
+    it->second.done = true;
+    job_seconds_->record(it->second.since.seconds());
+  }
+  results_merged_->add(1);
+  jobs_inflight_->add(-1);
+  results_cv_.notify_all();
+}
+
+void ShardRouter::check_all_dead() {
+  if (options_.all_dead_fail_seconds <= 0.0) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!all_dead_since_ ||
+      all_dead_since_->seconds() < options_.all_dead_fail_seconds) {
+    return;
+  }
+  fail_pending_locked("no shard available for " +
+                      std::to_string(options_.all_dead_fail_seconds) +
+                      " seconds");
+  results_cv_.notify_all();
+}
+
+/// Fails every unfinished job with `status error <reason>`. Caller holds
+/// mutex_ and notifies results_cv_.
+void ShardRouter::fail_pending_locked(const std::string& reason) {
+  std::size_t failed = 0;
+  for (auto& [index, pending] : pending_) {
+    if (pending.done) continue;
+    pending.report = DecodeReport{};
+    pending.report.index = index;
+    pending.report.error = reason;
+    pending.done = true;
+    ++failed;
+  }
+  parked_.clear();
+  if (failed > 0) {
+    jobs_failed_->add(failed);
+    jobs_inflight_->add(-static_cast<std::int64_t>(failed));
+  }
+}
+
+void ShardRouter::wake_prober() {
+  {
+    const std::lock_guard<std::mutex> lock(prober_mutex_);
+    prober_work_ = true;
+  }
+  prober_cv_.notify_all();
+}
+
+void ShardRouter::prober_loop() {
+  while (!stop_.load()) {
+    {
+      std::unique_lock<std::mutex> lock(prober_mutex_);
+      prober_cv_.wait_for(
+          lock, std::chrono::duration<double>(options_.probe_seconds),
+          [this] { return stop_.load() || prober_work_; });
+      prober_work_ = false;
+    }
+    if (stop_.load()) break;
+    // 1. Liveness: one out-of-band blank line per alive shard. try_lock
+    // like the serve reaper -- a dispatch mid-write must not wedge the
+    // prober.
+    for (const auto& shard : shards_) {
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (!shard->alive) continue;
+      }
+      bool alive = true;
+      {
+        const std::unique_lock<std::mutex> write_lock(shard->write_mutex,
+                                                      std::try_to_lock);
+        if (!write_lock.owns_lock()) continue;  // probe again next period
+        if (shard->stream) {
+          alive = send_liveness_probe(shard->stream->socket());
+        }
+      }
+      if (!alive) on_shard_down(*shard);
+    }
+    // 2. Readmission: re-dial dead shards (bounded by try_dial). The old
+    // reader has exited (its stream was shut down on death); join it
+    // before replacing the stream it still references.
+    for (const auto& shard : shards_) {
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (shard->alive) continue;
+      }
+      if (shard->reader.joinable()) shard->reader.join();
+      (void)try_admit(*shard);
+    }
+    // 3. Retry: requeued jobs of lost shards go to survivors.
+    drain_parked();
+    // 4. Give up only on sustained full outage.
+    check_all_dead();
+  }
+}
+
+MetricsSnapshot ShardRouter::build_snapshot() {
+  // Fire one stats frame per alive shard...
+  for (const auto& shard : shards_) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!shard->alive) continue;
+      shard->stats_pending = true;
+      shard->stats_result.reset();
+    }
+    bool sent = false;
+    {
+      const std::lock_guard<std::mutex> write_lock(shard->write_mutex);
+      if (shard->stream) {
+        save_stats_request(shard->stream->out());
+        shard->stream->out().flush();
+        sent = static_cast<bool>(shard->stream->out());
+        if (!sent) shard->stream->out().clear();
+      }
+    }
+    if (!sent) on_shard_down(*shard);
+  }
+  // ...and collect the answers (readers fulfill stats_result), bounded
+  // by stats_timeout_seconds so a dying shard cannot wedge the probe.
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    results_cv_.wait_for(
+        lock, std::chrono::duration<double>(options_.stats_timeout_seconds),
+        [this] {
+          return std::all_of(
+              shards_.begin(), shards_.end(),
+              [](const auto& shard) { return !shard->stats_pending; });
+        });
+  }
+
+  MetricsSnapshot snapshot;
+  auto& values = snapshot.values;
+  values.push_back(
+      MetricValue::of_counter("route.jobs_submitted", jobs_submitted_->value()));
+  values.push_back(
+      MetricValue::of_counter("route.results_merged", results_merged_->value()));
+  values.push_back(
+      MetricValue::of_counter("route.jobs_retried", jobs_retried_->value()));
+  values.push_back(
+      MetricValue::of_counter("route.jobs_failed", jobs_failed_->value()));
+  values.push_back(MetricValue::of_counter("route.duplicates_dropped",
+                                           duplicates_dropped_->value()));
+  values.push_back(
+      MetricValue::of_counter("route.shards_lost", shards_lost_->value()));
+  values.push_back(MetricValue::of_counter("route.shards_readmitted",
+                                           shards_readmitted_->value()));
+  values.push_back(MetricValue::of_gauge(
+      "route.shards_alive", shards_alive_->value(), shards_alive_->peak()));
+  values.push_back(MetricValue::of_gauge(
+      "route.jobs_inflight", jobs_inflight_->value(), jobs_inflight_->peak()));
+  values.push_back(
+      MetricValue::of_histogram("route.job_seconds", job_seconds_->snapshot()));
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& shard : shards_) {
+    const std::string prefix =
+        "route.shard" + std::to_string(shard->index) + ".";
+    values.push_back(
+        MetricValue::of_label(prefix + "address", shard->address.to_string()));
+    values.push_back(MetricValue::of_gauge(prefix + "alive",
+                                           shard->alive ? 1 : 0, 1));
+    values.push_back(
+        MetricValue::of_counter(prefix + "jobs_sent", shard->jobs_sent_total));
+    values.push_back(
+        MetricValue::of_counter(prefix + "results", shard->results_total));
+    values.push_back(
+        MetricValue::of_counter(prefix + "lost", shard->times_lost));
+    values.push_back(
+        MetricValue::of_counter(prefix + "admitted", shard->times_admitted));
+  }
+  // Each live shard's own snapshot rides along, name-prefixed, so one
+  // fleet probe sees every backend's cache/engine/serve counters.
+  for (const auto& shard : shards_) {
+    if (!shard->stats_result) continue;
+    const std::string prefix = "shard" + std::to_string(shard->index) + ".";
+    for (MetricValue value : shard->stats_result->values) {
+      value.name = prefix + value.name;
+      values.push_back(std::move(value));
+    }
+  }
+  return snapshot;
+}
+
+std::size_t route_requests(std::istream& is, std::ostream& os,
+                           ShardRouter& router, std::size_t window) {
+  if (window == 0) window = 4 * router.shard_count();
+  std::deque<std::uint64_t> in_flight;
+  std::size_t served = 0;
+  const auto emit_front = [&] {
+    const DecodeReport report = router.wait(in_flight.front());
+    in_flight.pop_front();
+    save_report(os, report);
+    os.flush();
+    POOLED_REQUIRE(static_cast<bool>(os), "result stream write failed");
+    ++served;
+  };
+  while (std::optional<ServeRequest> request = load_request(is)) {
+    if (std::holds_alternative<StatsRequest>(*request)) {
+      // Answered inline with the fleet snapshot; no job index consumed.
+      save_stats_snapshot(os, router.build_snapshot());
+      os.flush();
+      POOLED_REQUIRE(static_cast<bool>(os), "stats frame write failed");
+      continue;
+    }
+    in_flight.push_back(
+        router.submit(std::get<DecodeJob>(std::move(*request))));
+    // The merge stays in submission order: the head job's report is
+    // always the next frame out, and the bounded window caps how much
+    // completed-but-unemitted work can buffer behind a slow head.
+    while (in_flight.size() >= window) emit_front();
+  }
+  while (!in_flight.empty()) emit_front();
+  return served;
+}
+
+}  // namespace pooled

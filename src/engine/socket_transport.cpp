@@ -1,6 +1,7 @@
 #include "engine/socket_transport.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -9,6 +10,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <charconv>
 #include <cstring>
@@ -133,17 +135,57 @@ void Socket::close() {
   }
 }
 
-Socket Socket::dial(const SocketAddress& address) {
+std::optional<Socket> Socket::try_dial(const SocketAddress& address,
+                                       double timeout_seconds) {
   sockaddr_storage storage;
   const socklen_t length = fill_sockaddr(address, &storage);
   Socket socket(open_socket(address));
-  POOLED_REQUIRE(::connect(socket.fd(),
-                           reinterpret_cast<const sockaddr*>(&storage),
-                           length) == 0,
-                 "cannot connect to " + address.to_string() + ": " +
-                     errno_text());
+  // Non-blocking connect: a blackholed address (SYNs dropped, nothing
+  // answering) must cost at most `timeout_seconds`, not the kernel's
+  // multi-minute SYN retry schedule.
+  const int flags = ::fcntl(socket.fd(), F_GETFL, 0);
+  if (flags < 0) return std::nullopt;
+  if (::fcntl(socket.fd(), F_SETFL, flags | O_NONBLOCK) != 0) {
+    return std::nullopt;
+  }
+  const int rc = ::connect(
+      socket.fd(), reinterpret_cast<const sockaddr*>(&storage), length);
+  if (rc != 0) {
+    if (errno != EINPROGRESS && errno != EAGAIN) return std::nullopt;
+    pollfd poller{socket.fd(), POLLOUT, 0};
+    const int timeout_ms =
+        timeout_seconds <= 0.0
+            ? 0
+            : static_cast<int>(std::min(timeout_seconds * 1000.0, 2.147e9));
+    int ready;
+    do {
+      ready = ::poll(&poller, 1, timeout_ms);
+    } while (ready < 0 && errno == EINTR);
+    if (ready == 0) errno = ETIMEDOUT;  // for callers formatting a message
+    if (ready <= 0) return std::nullopt;
+    int so_error = 0;
+    socklen_t error_length = sizeof(so_error);
+    if (::getsockopt(socket.fd(), SOL_SOCKET, SO_ERROR, &so_error,
+                     &error_length) != 0 ||
+        so_error != 0) {
+      errno = so_error;  // for callers that format a message
+      return std::nullopt;
+    }
+  }
+  if (::fcntl(socket.fd(), F_SETFL, flags) != 0) return std::nullopt;
   if (address.family == SocketAddress::Family::Tcp) set_nodelay(socket.fd());
   return socket;
+}
+
+Socket Socket::dial(const SocketAddress& address) {
+  // Generous for an interactive client, but bounded: dial() can no
+  // longer hang forever against a blackholed address.
+  constexpr double kDialTimeoutSeconds = 30.0;
+  std::optional<Socket> socket = try_dial(address, kDialTimeoutSeconds);
+  POOLED_REQUIRE(socket.has_value(),
+                 "cannot connect to " + address.to_string() + ": " +
+                     errno_text());
+  return *std::move(socket);
 }
 
 SocketStreambuf::SocketStreambuf(int fd)
@@ -158,7 +200,17 @@ SocketStreambuf::int_type SocketStreambuf::underflow() {
   do {
     got = ::recv(fd_, in_buffer_.data(), in_buffer_.size(), 0);
   } while (got < 0 && errno == EINTR);
-  if (got <= 0) return traits_type::eof();  // EOF or error: stream ends
+  if (got <= 0) {
+    // Both end the stream, but callers need to tell them apart: a clean
+    // half-close ("no more requests" / "shard drained") is not a
+    // connection reset ("peer died").
+    if (got == 0) {
+      saw_eof_ = true;
+    } else {
+      read_errno_ = errno;
+    }
+    return traits_type::eof();
+  }
   setg(in_buffer_.data(), in_buffer_.data(), in_buffer_.data() + got);
   return traits_type::to_int_type(*gptr());
 }
@@ -203,7 +255,14 @@ ListenSocket ListenSocket::bind_and_listen(const SocketAddress& address,
                                            int backlog) {
   SocketAddress resolved = address;
   if (address.family == SocketAddress::Family::Unix) {
-    ::unlink(address.path.c_str());  // stale socket from a previous run
+    // A pre-existing path may belong to a *running* server; unlinking it
+    // blindly would orphan that server (still serving its accepted
+    // connections, unreachable for new ones). Dial first: only a path
+    // nobody answers on is stale and safe to reclaim.
+    POOLED_REQUIRE(!Socket::try_dial(address, /*timeout_seconds=*/0.25),
+                   "cannot bind " + address.to_string() +
+                       ": a live server already listens there");
+    ::unlink(address.path.c_str());  // truly stale (or nonexistent)
   }
   Socket socket(open_socket(address));
   if (address.family == SocketAddress::Family::Tcp) {

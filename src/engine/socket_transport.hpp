@@ -74,17 +74,40 @@ class Socket {
   void close();
 
   /// Client side: connects to a serve server. Throws ContractError when
-  /// nothing listens there.
+  /// nothing listens there (a bounded wait -- see try_dial; a blackholed
+  /// address can no longer pin the caller in connect() forever).
   static Socket dial(const SocketAddress& address);
+
+  /// Non-throwing, bounded dial: non-blocking connect + poll + SO_ERROR.
+  /// nullopt when the peer refuses, the address is unreachable, or
+  /// nothing answered within `timeout_seconds` -- the router's probe and
+  /// reconnect primitive, safe to call against dead or blackholed
+  /// shards. The returned socket is back in blocking mode.
+  static std::optional<Socket> try_dial(const SocketAddress& address,
+                                        double timeout_seconds);
 
  private:
   int fd_ = -1;
 };
 
 /// std::streambuf over a connected socket (buffered both ways).
+///
+/// The input path records *why* it ended: a clean peer EOF (recv
+/// returned 0 -- the peer half-closed) sets saw_eof(), a failing recv
+/// records its errno in read_errno(). Both surface as eof() to the
+/// iostream layer, so callers that care -- the shard router deciding
+/// "shard died" vs "shard drained", the serve server's reaped-connection
+/// accounting -- must ask the streambuf, not the stream state.
 class SocketStreambuf final : public std::streambuf {
  public:
   explicit SocketStreambuf(int fd);
+
+  /// True once the peer closed its write side cleanly (recv returned 0).
+  [[nodiscard]] bool saw_eof() const { return saw_eof_; }
+
+  /// 0 after clean EOF (or while reads still flow); the errno of the
+  /// failing recv otherwise (ECONNRESET and friends).
+  [[nodiscard]] int read_errno() const { return read_errno_; }
 
  protected:
   int_type underflow() override;
@@ -97,6 +120,8 @@ class SocketStreambuf final : public std::streambuf {
   int fd_;
   std::vector<char> in_buffer_;
   std::vector<char> out_buffer_;
+  bool saw_eof_ = false;
+  int read_errno_ = 0;
 };
 
 /// A connection: the owning Socket plus the streams speaking through it.
@@ -112,6 +137,11 @@ class SocketStream {
   [[nodiscard]] std::ostream& out() { return out_; }
   [[nodiscard]] Socket& socket() { return socket_; }
 
+  /// Why in() ended (see SocketStreambuf): clean peer half-close...
+  [[nodiscard]] bool saw_eof() const { return buffer_.saw_eof(); }
+  /// ...or a transport error, whose errno this reports (0 = none).
+  [[nodiscard]] int read_errno() const { return buffer_.read_errno(); }
+
  private:
   Socket socket_;
   SocketStreambuf buffer_;
@@ -120,9 +150,11 @@ class SocketStream {
 };
 
 /// A bound, listening socket. TCP port 0 binds an ephemeral port; the
-/// resolved address (for clients and log lines) is local_address(). Unix
-/// paths are unlinked before binding (stale sockets from a previous run)
-/// and on close.
+/// resolved address (for clients and log lines) is local_address(). A
+/// pre-existing unix socket path is dialed first: only a *stale* one
+/// (nothing answers the connect) is unlinked and rebound -- binding over
+/// a live server throws instead of silently orphaning it. Paths are
+/// unlinked on close.
 class ListenSocket {
  public:
   static ListenSocket bind_and_listen(const SocketAddress& address,

@@ -10,22 +10,26 @@ CliParser::CliParser(std::string program_name) : program_(std::move(program_name
 
 void CliParser::add_i64(const std::string& name, const std::string& help,
                         std::int64_t def) {
-  options_[name] = Option{Kind::I64, help, std::to_string(def)};
+  options_[name] = Option{Kind::I64, help, std::to_string(def), {}};
 }
 
 void CliParser::add_f64(const std::string& name, const std::string& help, double def) {
   std::ostringstream os;
   os << def;
-  options_[name] = Option{Kind::F64, help, os.str()};
+  options_[name] = Option{Kind::F64, help, os.str(), {}};
 }
 
 void CliParser::add_string(const std::string& name, const std::string& help,
                            std::string def) {
-  options_[name] = Option{Kind::String, help, std::move(def)};
+  options_[name] = Option{Kind::String, help, std::move(def), {}};
 }
 
 void CliParser::add_flag(const std::string& name, const std::string& help) {
-  options_[name] = Option{Kind::Flag, help, "0"};
+  options_[name] = Option{Kind::Flag, help, "0", {}};
+}
+
+void CliParser::add_string_list(const std::string& name, const std::string& help) {
+  options_[name] = Option{Kind::StringList, help, "", {}};
 }
 
 void CliParser::set_value(const std::string& name, const std::string& value) {
@@ -41,6 +45,9 @@ void CliParser::set_value(const std::string& name, const std::string& value) {
     (void)std::strtod(value.c_str(), &end);
     POOLED_REQUIRE(end != value.c_str() && *end == '\0',
                    "option --" + name + " expects a number, got '" + value + "'");
+  } else if (it->second.kind == Kind::StringList) {
+    it->second.values.push_back(value);
+    return;
   }
   it->second.value = value;
 }
@@ -95,6 +102,11 @@ bool CliParser::flag(const std::string& name) const {
   return find(name, Kind::Flag).value == "1";
 }
 
+const std::vector<std::string>& CliParser::string_list(
+    const std::string& name) const {
+  return find(name, Kind::StringList).values;
+}
+
 std::string CliParser::help_text() const {
   std::ostringstream os;
   os << "usage: " << program_ << " [options]\n";
@@ -110,10 +122,17 @@ std::string CliParser::help_text() const {
       case Kind::String:
         os << " <str>";
         break;
+      case Kind::StringList:
+        os << " <str>...";
+        break;
       case Kind::Flag:
         break;
     }
-    os << "  " << opt.help << " (default: " << opt.value << ")\n";
+    if (opt.kind == Kind::StringList) {
+      os << "  " << opt.help << " (repeatable)\n";
+    } else {
+      os << "  " << opt.help << " (default: " << opt.value << ")\n";
+    }
   }
   return os.str();
 }

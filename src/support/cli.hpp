@@ -29,6 +29,9 @@ class CliParser {
   void add_f64(const std::string& name, const std::string& help, double def);
   void add_string(const std::string& name, const std::string& help, std::string def);
   void add_flag(const std::string& name, const std::string& help);
+  /// Repeatable option: every `--name value` occurrence appends (e.g.
+  /// `route --shard a:1 --shard a:2`). Empty by default.
+  void add_string_list(const std::string& name, const std::string& help);
 
   /// Parses argv; recognizes --help (sets help_requested()).
   void parse(int argc, const char* const* argv);
@@ -37,16 +40,19 @@ class CliParser {
   [[nodiscard]] double f64(const std::string& name) const;
   [[nodiscard]] const std::string& string(const std::string& name) const;
   [[nodiscard]] bool flag(const std::string& name) const;
+  [[nodiscard]] const std::vector<std::string>& string_list(
+      const std::string& name) const;
 
   [[nodiscard]] bool help_requested() const { return help_requested_; }
   [[nodiscard]] std::string help_text() const;
 
  private:
-  enum class Kind { I64, F64, String, Flag };
+  enum class Kind { I64, F64, String, Flag, StringList };
   struct Option {
     Kind kind;
     std::string help;
-    std::string value;  // textual; flags use "0"/"1"
+    std::string value;                // textual; flags use "0"/"1"
+    std::vector<std::string> values;  // StringList only
   };
 
   const Option& find(const std::string& name, Kind kind) const;

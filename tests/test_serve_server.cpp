@@ -2,9 +2,15 @@
 // connection reaper, and the v2 seed field end to end.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cstring>
+#include <optional>
 #include <chrono>
 #include <cstdio>
 #include <sstream>
@@ -21,6 +27,7 @@
 #include "obs/metrics.hpp"
 #include "parallel/thread_pool.hpp"
 #include "support/assert.hpp"
+#include "support/timer.hpp"
 
 namespace pooled {
 namespace {
@@ -107,6 +114,131 @@ TEST(SocketTransport, DialFailsWhenNothingListens) {
     address = listener.local_address();
   }
   EXPECT_THROW((void)Socket::dial(address), ContractError);
+}
+
+TEST(SocketTransport, TryDialTimesOutInsteadOfHanging) {
+  // A zero-backlog listener that never accepts: once its queue fills,
+  // the kernel drops further SYNs and a blocking connect would sit in
+  // retransmission for minutes -- the exact hang try_dial exists to
+  // bound. (A blackhole IP would be flakier: some sandboxes answer it.)
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  struct sockaddr_in sin = {};
+  sin.sin_family = AF_INET;
+  sin.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<const struct sockaddr*>(&sin),
+                   sizeof(sin)),
+            0);
+  ASSERT_EQ(::listen(fd, 0), 0);
+  socklen_t len = sizeof(sin);
+  ASSERT_EQ(::getsockname(fd, reinterpret_cast<struct sockaddr*>(&sin), &len),
+            0);
+  const SocketAddress address = SocketAddress::parse(
+      "127.0.0.1:" + std::to_string(ntohs(sin.sin_port)));
+
+  std::vector<Socket> queue_fill;  // completed connects stay open
+  bool timed_out = false;
+  const Timer timer;
+  for (int attempt = 0; attempt < 16 && !timed_out; ++attempt) {
+    std::optional<Socket> socket = Socket::try_dial(address, 0.3);
+    if (socket.has_value()) {
+      queue_fill.push_back(std::move(*socket));
+    } else {
+      timed_out = true;
+    }
+  }
+  EXPECT_TRUE(timed_out) << "the accept queue never filled";
+  EXPECT_LT(timer.seconds(), 30.0);  // bounded, unlike a blocking connect
+  ::close(fd);
+}
+
+TEST(SocketTransport, TryDialReachesALiveListener) {
+  ListenSocket listener = loopback_listener();
+  std::optional<Socket> client =
+      Socket::try_dial(listener.local_address(), 5.0);
+  ASSERT_TRUE(client.has_value());
+  std::optional<Socket> served = listener.accept(/*timeout_ms=*/5000);
+  ASSERT_TRUE(served.has_value());
+  // The returned socket must be back in blocking mode: a blocking read
+  // on the server side sees the client's bytes, no EAGAIN surprises.
+  SocketStream client_stream(std::move(*client));
+  SocketStream server_stream(std::move(*served));
+  client_stream.out() << "ping\n" << std::flush;
+  std::string line;
+  std::getline(server_stream.in(), line);
+  EXPECT_EQ(line, "ping");
+}
+
+TEST(SocketTransport, CleanEofIsNotATransportError) {
+  ListenSocket listener = loopback_listener();
+  std::optional<Socket> client =
+      Socket::try_dial(listener.local_address(), 5.0);
+  ASSERT_TRUE(client.has_value());
+  std::optional<Socket> served = listener.accept(/*timeout_ms=*/5000);
+  ASSERT_TRUE(served.has_value());
+  SocketStream server_stream(std::move(*served));
+  client.reset();  // orderly close: FIN, not RST
+  std::string line;
+  EXPECT_FALSE(std::getline(server_stream.in(), line));
+  EXPECT_TRUE(server_stream.saw_eof());
+  EXPECT_EQ(server_stream.read_errno(), 0);
+}
+
+TEST(SocketTransport, ResetConnectionReportsReadErrno) {
+  ListenSocket listener = loopback_listener();
+  std::optional<Socket> client =
+      Socket::try_dial(listener.local_address(), 5.0);
+  ASSERT_TRUE(client.has_value());
+  std::optional<Socket> served = listener.accept(/*timeout_ms=*/5000);
+  ASSERT_TRUE(served.has_value());
+  SocketStream server_stream(std::move(*served));
+  // SO_LINGER{on, 0} turns close() into an abortive RST -- the shape of
+  // a crashed peer, as opposed to the clean FIN above.
+  const struct linger abort_on_close = {1, 0};
+  ASSERT_EQ(::setsockopt(client->fd(), SOL_SOCKET, SO_LINGER, &abort_on_close,
+                         sizeof(abort_on_close)),
+            0);
+  client.reset();
+  std::string line;
+  EXPECT_FALSE(std::getline(server_stream.in(), line));
+  EXPECT_NE(server_stream.read_errno(), 0);  // ECONNRESET on Linux
+  EXPECT_FALSE(server_stream.saw_eof());
+}
+
+TEST(SocketTransport, BindRefusesToClobberLiveUnixSocket) {
+  const std::string path =
+      "/tmp/pooled_bind_guard_" + std::to_string(::getpid()) + ".sock";
+  const SocketAddress address = SocketAddress::parse("unix:" + path);
+  ListenSocket first = ListenSocket::bind_and_listen(address);
+  try {
+    ListenSocket second = ListenSocket::bind_and_listen(address);
+    FAIL() << "binding over a live unix socket must throw, not clobber it";
+  } catch (const ContractError& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << "error should name the contested address: " << e.what();
+  }
+  // The loser must not have unlinked the winner's socket out from under
+  // it: the path still answers.
+  EXPECT_TRUE(Socket::try_dial(address, 5.0).has_value());
+}
+
+TEST(SocketTransport, StaleUnixSocketFileIsReclaimed) {
+  const std::string path =
+      "/tmp/pooled_stale_" + std::to_string(::getpid()) + ".sock";
+  ::unlink(path.c_str());
+  // A crashed server's leftovers: a bound socket file nobody listens on.
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  struct sockaddr_un sun = {};
+  sun.sun_family = AF_UNIX;
+  std::strncpy(sun.sun_path, path.c_str(), sizeof(sun.sun_path) - 1);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<const struct sockaddr*>(&sun),
+                   sizeof(sun)),
+            0);
+  ::close(fd);  // the file stays behind
+  ListenSocket listener =
+      ListenSocket::bind_and_listen(SocketAddress::parse("unix:" + path));
+  EXPECT_TRUE(listener.valid());
 }
 
 TEST(ServeServer, StartsOnEphemeralPortAndStopsCleanly) {
@@ -339,6 +471,41 @@ TEST(ServeServer, ClientDisconnectMidDecodeCancelsInFlightJobs) {
   EXPECT_GE(active->peak, 1);
 
   server.stop();  // must not hang on the torn-down connection
+}
+
+TEST(ServeServer, ResetPeerCountsAsErroredNotCleanHalfClose) {
+  ThreadPool pool(2);
+  const BatchEngine engine(pool);
+  ServeServer server(loopback_listener(), engine);
+  server.start();
+
+  {
+    // Send a long decode, then RST (a crashed client, not an orderly
+    // half-close). The reader must see the transport error, cancel the
+    // connection's queued work, and count it as errored.
+    SocketStream client(Socket::dial(server.address()));
+    save_job(client.out(), long_running_job(43));
+    client.out().flush();
+    const struct linger abort_on_close = {1, 0};
+    ::setsockopt(client.socket().fd(), SOL_SOCKET, SO_LINGER, &abort_on_close,
+                 sizeof(abort_on_close));
+  }  // close -> RST
+
+  wait_until([&] { return server.stats().connections_errored >= 1; },
+             "errored-connection accounting");
+  EXPECT_GE(server.build_snapshot().counter_value("serve.connections_errored"),
+            1u);
+
+  // A clean half-close stays a clean half-close: served, not errored.
+  SocketStream next(Socket::dial(server.address()));
+  save_job(next.out(), sample_job(44, nullptr));
+  next.out().flush();
+  next.socket().shutdown_write();
+  const auto reports = drain_reports(next.in());
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_TRUE(reports[0].ok()) << reports[0].error;
+  EXPECT_EQ(server.stats().connections_errored, 1u);
+  server.stop();
 }
 
 TEST(ServeServer, StatsFrameAnswersUnderConcurrentLoad) {

@@ -1,0 +1,411 @@
+// Shard router: digest-affinity routing, submission-order merge, real
+// SIGKILL failover onto survivors, and readmission after restart.
+//
+// The failover tests need shards that die like crashed processes (RST /
+// vanished fd, not an orderly shutdown), so they fork() real children
+// running a ServeServer and SIGKILL them mid-batch. Children are forked
+// before the parent creates any router/engine threads (fork safety) and
+// report their bound port over a pipe.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/serialize.hpp"
+#include "engine/batch_engine.hpp"
+#include "engine/protocol.hpp"
+#include "engine/serve_server.hpp"
+#include "engine/shard_router.hpp"
+#include "engine/socket_transport.hpp"
+#include "obs/metrics.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/assert.hpp"
+
+namespace pooled {
+namespace {
+
+using std::chrono::steady_clock;
+
+/// Spec-backed job over a fresh teacher instance.
+DecodeJob sample_job(std::uint64_t seed, std::uint32_t n = 300,
+                     std::uint32_t k = 5, std::uint32_t m = 220) {
+  ThreadPool pool(1);
+  DesignParams params;
+  params.n = n;
+  params.seed = seed;
+  const Signal truth = Signal::random(n, k, seed ^ 0x51D);
+  DecodeJob job;
+  job.spec = simulate_spec(DesignKind::RandomRegular, params, m, truth, pool);
+  job.decoder = "mn";
+  job.k = k;
+  return job;
+}
+
+/// A job that runs for ~deadline_ms wall-clock: noisy enough that the
+/// adaptive decoder never converges, so the deadline is what stops it
+/// (status stays ok). Slow on purpose -- a SIGKILL mid-batch must land
+/// while jobs are genuinely in flight.
+DecodeJob slow_job(std::uint64_t seed, double deadline_ms) {
+  DecodeJob job = sample_job(seed, /*n=*/600, /*k=*/6, /*m=*/600);
+  job.decoder = "adaptive:mn:L=1";
+  job.noise = NoiseModel::symmetric(0.3, 11);
+  job.deadline_seconds = deadline_ms / 1000.0;
+  return job;
+}
+
+/// Polls until `predicate` holds; fails the test on timeout.
+template <typename Predicate>
+void wait_until(Predicate predicate, const char* what,
+                double timeout_seconds = 30.0) {
+  const auto deadline =
+      steady_clock::now() + std::chrono::duration<double>(timeout_seconds);
+  while (!predicate()) {
+    ASSERT_LT(steady_clock::now(), deadline) << "timed out waiting for " << what;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+// ---------------------------------------------------------------------
+// In-process shard fleet (for tests that never kill a shard).
+
+struct LocalFleet {
+  explicit LocalFleet(std::size_t count) : pool(2), engine(pool) {
+    for (std::size_t i = 0; i < count; ++i) {
+      servers.push_back(std::make_unique<ServeServer>(
+          ListenSocket::bind_and_listen(SocketAddress::parse("127.0.0.1:0")),
+          engine));
+      servers.back()->start();
+      addresses.push_back(servers.back()->address());
+    }
+  }
+  ~LocalFleet() {
+    for (const auto& server : servers) server->stop();
+  }
+
+  ThreadPool pool;
+  BatchEngine engine;
+  std::vector<std::unique_ptr<ServeServer>> servers;
+  std::vector<SocketAddress> addresses;
+};
+
+// ---------------------------------------------------------------------
+// Forked shard children (for tests that SIGKILL a shard).
+
+struct ShardProcess {
+  pid_t pid = -1;
+  std::uint16_t port = 0;
+};
+
+/// Forks a child that serves decode requests on 127.0.0.1:`port` (0 =
+/// kernel's pick) until it is killed. Must be called before the parent
+/// spawns threads (routers, engines): fork only duplicates the calling
+/// thread, and a lock held by a non-forked thread would deadlock the
+/// child.
+ShardProcess spawn_shard(std::uint16_t port) {
+  int ready_pipe[2];
+  POOLED_REQUIRE(::pipe(ready_pipe) == 0, "pipe failed");
+  const pid_t pid = ::fork();
+  POOLED_REQUIRE(pid >= 0, "fork failed");
+  if (pid == 0) {
+    // Child. _exit on every path: no gtest teardown, no atexit.
+    ::close(ready_pipe[0]);
+    try {
+      const SocketAddress address =
+          SocketAddress::parse("127.0.0.1:" + std::to_string(port));
+      std::optional<ListenSocket> listener;
+      // A restarted shard rebinds its predecessor's port; give the
+      // kernel a moment to release it.
+      for (int attempt = 0; attempt < 100 && !listener; ++attempt) {
+        try {
+          listener.emplace(ListenSocket::bind_and_listen(address));
+        } catch (const std::exception&) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+      }
+      if (!listener) ::_exit(3);
+      ThreadPool pool(2);
+      const BatchEngine engine(pool);
+      ServeServer server(std::move(*listener), engine);
+      server.start();
+      const std::uint16_t bound = server.address().port;
+      if (::write(ready_pipe[1], &bound, sizeof(bound)) != sizeof(bound)) {
+        ::_exit(4);
+      }
+      ::close(ready_pipe[1]);
+      for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
+    } catch (...) {
+      ::_exit(2);
+    }
+  }
+  ::close(ready_pipe[1]);
+  ShardProcess shard;
+  shard.pid = pid;
+  const ssize_t got = ::read(ready_pipe[0], &shard.port, sizeof(shard.port));
+  ::close(ready_pipe[0]);
+  POOLED_REQUIRE(got == static_cast<ssize_t>(sizeof(shard.port)),
+                 "shard child died before reporting a port");
+  return shard;
+}
+
+void kill_shard(ShardProcess& shard) {
+  if (shard.pid <= 0) return;
+  ::kill(shard.pid, SIGKILL);
+  ::waitpid(shard.pid, nullptr, 0);
+  shard.pid = -1;
+}
+
+// ---------------------------------------------------------------------
+
+TEST(ShardRouter, AffinityRoutesADigestToOneShardDeterministically) {
+  LocalFleet fleet(3);
+  ShardRouterOptions options;
+  ShardRouter router(fleet.addresses, options);
+  router.start();
+  wait_until([&] { return router.alive_count() == 3; }, "fleet up");
+
+  // Three distinct instances, four decodes each, interleaved. Affinity
+  // must pin each instance to exactly one shard (that shard's result
+  // cache is the one that can serve the repeats).
+  std::vector<DecodeJob> jobs;
+  std::vector<std::size_t> expected_shard;
+  for (int repeat = 0; repeat < 4; ++repeat) {
+    for (std::uint64_t which = 0; which < 3; ++which) {
+      jobs.push_back(sample_job(100 + which));
+      expected_shard.push_back(
+          router.shard_for_digest(instance_digest(*jobs.back().spec)));
+    }
+  }
+  const std::vector<DecodeReport> reports = router.route(jobs);
+  ASSERT_EQ(reports.size(), jobs.size());
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    EXPECT_TRUE(reports[i].ok()) << reports[i].error;
+    EXPECT_EQ(reports[i].index, i);  // merged in submission order
+  }
+  // shard_for_digest is a pure function of (digest, alive set): repeats
+  // of one instance agree on their shard.
+  for (std::size_t i = 3; i < expected_shard.size(); ++i) {
+    EXPECT_EQ(expected_shard[i], expected_shard[i % 3]);
+  }
+  // ...and the per-shard counters agree with the prediction.
+  std::map<std::size_t, std::uint64_t> predicted;
+  for (const std::size_t shard : expected_shard) ++predicted[shard];
+  const std::vector<ShardStatus> statuses = router.shard_statuses();
+  for (std::size_t i = 0; i < statuses.size(); ++i) {
+    EXPECT_EQ(statuses[i].jobs_sent, predicted[i])
+        << "shard " << i << " traffic does not match the rendezvous pick";
+  }
+  router.stop();
+}
+
+TEST(ShardRouter, RoundRobinSpreadsWithoutAffinity) {
+  LocalFleet fleet(3);
+  ShardRouterOptions options;
+  options.affinity = false;
+  ShardRouter router(fleet.addresses, options);
+  router.start();
+  wait_until([&] { return router.alive_count() == 3; }, "fleet up");
+
+  std::vector<DecodeJob> jobs;
+  for (std::uint64_t seed = 0; seed < 9; ++seed) {
+    jobs.push_back(sample_job(200 + seed));
+  }
+  const std::vector<DecodeReport> reports = router.route(jobs);
+  ASSERT_EQ(reports.size(), 9u);
+  for (const ShardStatus& status : router.shard_statuses()) {
+    EXPECT_EQ(status.jobs_sent, 3u);
+    EXPECT_EQ(status.results_received, 3u);
+  }
+  router.stop();
+}
+
+TEST(ShardRouter, FleetStatsMergeEveryShardSnapshot) {
+  LocalFleet fleet(2);
+  MetricsRegistry registry;
+  ShardRouterOptions options;
+  options.metrics = &registry;
+  ShardRouter router(fleet.addresses, options);
+  router.start();
+  wait_until([&] { return router.alive_count() == 2; }, "fleet up");
+  (void)router.route({sample_job(300), sample_job(301)});
+
+  const MetricsSnapshot snapshot = router.build_snapshot();
+  std::set<std::string> names;
+  for (const MetricValue& value : snapshot.values) names.insert(value.name);
+  EXPECT_TRUE(names.count("route.jobs_submitted"));
+  EXPECT_TRUE(names.count("route.shards_alive"));
+  EXPECT_TRUE(names.count("route.job_seconds"));
+  EXPECT_TRUE(names.count("route.shard0.address"));
+  EXPECT_TRUE(names.count("route.shard1.address"));
+  // Each live backend's own snapshot rides along, name-prefixed.
+  EXPECT_TRUE(names.count("shard0.serve.jobs_served"));
+  EXPECT_TRUE(names.count("shard1.serve.jobs_served"));
+  router.stop();
+}
+
+TEST(ShardRouter, RoutedStreamAnswersStatsInline) {
+  LocalFleet fleet(2);
+  ShardRouter router(fleet.addresses);
+  router.start();
+  wait_until([&] { return router.alive_count() == 2; }, "fleet up");
+
+  std::ostringstream requests;
+  save_job(requests, sample_job(400));
+  save_stats_request(requests);
+  save_job(requests, sample_job(401));
+  std::istringstream in(requests.str());
+  std::ostringstream out;
+  EXPECT_EQ(route_requests(in, out, router), 2u);
+  router.stop();
+
+  // The stats frame answers in place; result frames keep submission
+  // order around it.
+  std::istringstream replay(out.str());
+  std::size_t results = 0;
+  std::size_t stats = 0;
+  std::size_t expected_index = 0;
+  while (auto response = load_response(replay)) {
+    if (auto* report = std::get_if<DecodeReport>(&(*response))) {
+      EXPECT_EQ(report->index, expected_index++);
+      ++results;
+    } else {
+      ++stats;
+    }
+  }
+  EXPECT_EQ(results, 2u);
+  EXPECT_EQ(stats, 1u);
+}
+
+TEST(ShardRouter, SigkilledShardFailsOverWithoutLosingJobs) {
+  // Fork the fleet FIRST: the parent has no threads yet.
+  std::vector<ShardProcess> shards;
+  for (int i = 0; i < 3; ++i) shards.push_back(spawn_shard(0));
+
+  std::vector<SocketAddress> addresses;
+  for (const ShardProcess& shard : shards) {
+    addresses.push_back(
+        SocketAddress::parse("127.0.0.1:" + std::to_string(shard.port)));
+  }
+  MetricsRegistry registry;
+  ShardRouterOptions options;
+  options.affinity = false;  // spread the batch over all three
+  options.metrics = &registry;
+  ShardRouter router(addresses, options);
+  router.start();
+  wait_until([&] { return router.alive_count() == 3; }, "fleet up");
+
+  constexpr std::size_t kJobs = 18;
+  std::vector<std::uint64_t> indices;
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    indices.push_back(router.submit(slow_job(500 + i, /*deadline_ms=*/400)));
+  }
+  // SIGKILL one backend while its share of the batch is in flight. No
+  // orderly shutdown: in-flight results are simply never answered.
+  kill_shard(shards[0]);
+  wait_until([&] { return router.alive_count() == 2; }, "death detection");
+
+  std::vector<DecodeReport> reports;
+  for (const std::uint64_t index : indices) {
+    reports.push_back(router.wait(index));
+  }
+  // Zero lost, zero duplicated, submission order preserved.
+  ASSERT_EQ(reports.size(), kJobs);
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    EXPECT_TRUE(reports[i].ok()) << reports[i].error;
+    EXPECT_EQ(reports[i].index, i);
+  }
+  EXPECT_EQ(registry.counter("route.results_merged").value(), kJobs);
+  EXPECT_GE(registry.counter("route.shards_lost").value(), 1u);
+  const std::vector<ShardStatus> statuses = router.shard_statuses();
+  EXPECT_FALSE(statuses[0].alive);
+  EXPECT_GE(statuses[0].times_lost, 1u);
+  // The survivors answered everything they were sent.
+  EXPECT_EQ(statuses[1].results_received, statuses[1].jobs_sent);
+  EXPECT_EQ(statuses[2].results_received, statuses[2].jobs_sent);
+  router.stop();
+  for (ShardProcess& shard : shards) kill_shard(shard);
+}
+
+TEST(ShardRouter, RestartedShardIsReadmittedAndServesAgain) {
+  std::vector<ShardProcess> shards;
+  for (int i = 0; i < 2; ++i) shards.push_back(spawn_shard(0));
+  const std::uint16_t recycled_port = shards[0].port;
+
+  std::vector<SocketAddress> addresses;
+  for (const ShardProcess& shard : shards) {
+    addresses.push_back(
+        SocketAddress::parse("127.0.0.1:" + std::to_string(shard.port)));
+  }
+  MetricsRegistry registry;
+  ShardRouterOptions options;
+  options.affinity = false;
+  options.metrics = &registry;
+  ShardRouter router(addresses, options);
+  router.start();
+  wait_until([&] { return router.alive_count() == 2; }, "fleet up");
+
+  kill_shard(shards[0]);
+  wait_until([&] { return router.alive_count() == 1; }, "death detection");
+  // Traffic continues on the survivor while shard 0 is down.
+  EXPECT_TRUE(router.route({sample_job(600)})[0].ok());
+
+  // Restart: a new process takes over the dead shard's port. The prober
+  // must readmit it and traffic must flow to it again, no operator
+  // action involved.
+  shards[0] = spawn_shard(recycled_port);
+  wait_until([&] { return router.alive_count() == 2; }, "readmission");
+  // At least one readmission; possibly more. (A SIGKILLed process's fds
+  // close one by one, so the prober can briefly win a connection into
+  // the dying listener's backlog and lose it to an RST -- the router
+  // rides out that flap by design.)
+  EXPECT_GE(registry.counter("route.shards_readmitted").value(), 1u);
+
+  const std::uint64_t sent_before = router.shard_statuses()[0].jobs_sent;
+  std::vector<DecodeJob> jobs;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    jobs.push_back(sample_job(700 + seed));
+  }
+  for (const DecodeReport& report : router.route(jobs)) {
+    EXPECT_TRUE(report.ok()) << report.error;
+  }
+  EXPECT_GT(router.shard_statuses()[0].jobs_sent, sent_before)
+      << "the readmitted shard never saw traffic again";
+  router.stop();
+  for (ShardProcess& shard : shards) kill_shard(shard);
+}
+
+TEST(ShardRouter, FullOutageFailsPendingJobsAfterTimeout) {
+  std::vector<ShardProcess> shards;
+  shards.push_back(spawn_shard(0));
+  const SocketAddress address =
+      SocketAddress::parse("127.0.0.1:" + std::to_string(shards[0].port));
+  ShardRouterOptions options;
+  options.all_dead_fail_seconds = 0.5;
+  options.dial_timeout_seconds = 0.1;
+  ShardRouter router({address}, options);
+  router.start();
+  wait_until([&] { return router.alive_count() == 1; }, "shard up");
+
+  const std::uint64_t index =
+      router.submit(slow_job(800, /*deadline_ms=*/30000));
+  kill_shard(shards[0]);
+  // Nobody left to retry on: after the grace period the job must fail
+  // loudly instead of wedging its waiter forever.
+  const DecodeReport report = router.wait(index);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.error.find("no shard"), std::string::npos) << report.error;
+  router.stop();
+}
+
+}  // namespace
+}  // namespace pooled

@@ -7,6 +7,8 @@
 //               report the estimate + decode diagnostics
 //   serve       serve decode requests: newline-delimited streams from a
 //               file/stdin, or concurrent connections with --listen
+//   route       fan a request stream out over N serve backends with
+//               digest-affinity routing and dead-shard failover
 //   sweep       success-rate sweep over m, CSV to stdout
 //   decoders    list every registry spec with its variants and docs
 //   thresholds  print every theoretical threshold for (n, theta)
@@ -19,6 +21,8 @@
 //   pooled_cli serve --in jobs.txt --out results.txt
 //   pooled_cli serve --listen 127.0.0.1:7733 --progress
 //   pooled_cli serve --listen unix:/tmp/pooled.sock
+//   pooled_cli route --shard 127.0.0.1:7733 --shard 127.0.0.1:7734
+//       --in jobs.txt --out results.txt
 //   pooled_cli sweep --n 1000 --theta 0.3 --trials 20
 //   pooled_cli decoders
 //   pooled_cli thresholds --n 10000 --theta 0.3
@@ -42,6 +46,7 @@
 #include "engine/registry.hpp"
 #include "engine/result_cache.hpp"
 #include "engine/serve_server.hpp"
+#include "engine/shard_router.hpp"
 #include "engine/socket_transport.hpp"
 #include "io/csv.hpp"
 #include "io/table.hpp"
@@ -60,8 +65,8 @@ using namespace pooled;
 
 int usage() {
   std::fputs(
-      "usage: pooled_cli <simulate|decode|serve|sweep|decoders|thresholds> "
-      "[options]\n"
+      "usage: pooled_cli <simulate|decode|serve|route|sweep|decoders|"
+      "thresholds> [options]\n"
       "       pooled_cli <subcommand> --help for options\n",
       stderr);
   return 2;
@@ -323,13 +328,14 @@ int cmd_serve(int argc, const char* const* argv) {
     std::fprintf(stderr,
                  "served %llu jobs over %llu connections "
                  "(%llu cancelled, %llu failed, %llu write-failures, "
-                 "%llu reaped)\n",
+                 "%llu reaped, %llu errored)\n",
                  static_cast<unsigned long long>(stats.jobs_served),
                  static_cast<unsigned long long>(stats.connections_accepted),
                  static_cast<unsigned long long>(stats.jobs_cancelled),
                  static_cast<unsigned long long>(stats.jobs_failed),
                  static_cast<unsigned long long>(stats.write_failures),
-                 static_cast<unsigned long long>(stats.connections_reaped));
+                 static_cast<unsigned long long>(stats.connections_reaped),
+                 static_cast<unsigned long long>(stats.connections_errored));
     print_cache_counters(cache.get());
     return 0;
   }
@@ -371,6 +377,78 @@ int cmd_serve(int argc, const char* const* argv) {
     }
     write_snapshot_text(body, snapshot);
     std::fputs(body.str().c_str(), stderr);
+  }
+  return 0;
+}
+
+int cmd_route(int argc, const char* const* argv) {
+  CliParser cli("pooled_cli route");
+  cli.add_string_list("shard",
+                      "backend serve address (<host>:<port> or unix:/path); "
+                      "repeat once per shard");
+  cli.add_string("in", "request file, '-' = stdin (see engine/protocol.hpp)", "-");
+  cli.add_string("out", "result file, '-' = stdout", "-");
+  cli.add_i64("window", "max jobs in flight (0 = 4x shard count)", 0);
+  cli.add_f64("probe", "liveness-probe / reconnect period in seconds", 0.05);
+  cli.add_f64("dial-timeout", "per-attempt connect timeout in seconds", 1.0);
+  cli.add_f64("all-dead-timeout",
+              "fail pending jobs after this many seconds of full-fleet "
+              "outage (0 = wait forever)", 30.0);
+  cli.add_flag("no-affinity",
+               "round-robin every job instead of routing by instance digest");
+  cli.parse(argc, argv);
+  if (cli.help_requested()) {
+    std::fputs(cli.help_text().c_str(), stdout);
+    return 0;
+  }
+  POOLED_REQUIRE(!cli.string_list("shard").empty(),
+                 "route needs at least one --shard <addr>");
+  POOLED_REQUIRE(cli.i64("window") >= 0, "--window must be >= 0");
+  std::vector<SocketAddress> shards;
+  for (const std::string& addr : cli.string_list("shard")) {
+    shards.push_back(SocketAddress::parse(addr));
+  }
+
+  ShardRouterOptions options;
+  options.probe_seconds = cli.f64("probe");
+  options.dial_timeout_seconds = cli.f64("dial-timeout");
+  options.all_dead_fail_seconds = cli.f64("all-dead-timeout");
+  options.affinity = !cli.flag("no-affinity");
+  ShardRouter router(std::move(shards), options);
+  router.start();
+  std::fprintf(stderr, "routing over %zu shards (%zu alive)\n",
+               router.shard_count(), router.alive_count());
+
+  std::ifstream file_in;
+  std::istream* in = &std::cin;
+  if (cli.string("in") != "-") {
+    file_in.open(cli.string("in"));
+    POOLED_REQUIRE(static_cast<bool>(file_in),
+                   "cannot open '" + cli.string("in") + "' for reading");
+    in = &file_in;
+  }
+  std::ofstream file_out;
+  std::ostream* out = &std::cout;
+  if (cli.string("out") != "-") {
+    file_out.open(cli.string("out"));
+    POOLED_REQUIRE(static_cast<bool>(file_out),
+                   "cannot open '" + cli.string("out") + "' for writing");
+    out = &file_out;
+  }
+
+  const std::size_t served = route_requests(
+      *in, *out, router, static_cast<std::size_t>(cli.i64("window")));
+  router.stop();
+  std::fprintf(stderr, "routed %zu jobs\n", served);
+  for (const ShardStatus& status : router.shard_statuses()) {
+    std::fprintf(stderr,
+                 "  shard %s: %llu sent, %llu answered, %llu lost, "
+                 "%llu admitted\n",
+                 status.address.to_string().c_str(),
+                 static_cast<unsigned long long>(status.jobs_sent),
+                 static_cast<unsigned long long>(status.results_received),
+                 static_cast<unsigned long long>(status.times_lost),
+                 static_cast<unsigned long long>(status.times_admitted));
   }
   return 0;
 }
@@ -470,6 +548,7 @@ int main(int argc, char** argv) {
     if (command == "simulate") return cmd_simulate(argc - 1, argv + 1);
     if (command == "decode") return cmd_decode(argc - 1, argv + 1);
     if (command == "serve") return cmd_serve(argc - 1, argv + 1);
+    if (command == "route") return cmd_route(argc - 1, argv + 1);
     if (command == "sweep") return cmd_sweep(argc - 1, argv + 1);
     if (command == "decoders") return cmd_decoders(argc - 1, argv + 1);
     if (command == "thresholds") return cmd_thresholds(argc - 1, argv + 1);

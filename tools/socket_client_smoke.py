@@ -9,6 +9,7 @@ hangs up without sending anything.
 
 Usage: socket_client_smoke.py <host> <port> <jobs-file> [<jobs-file>...]
        socket_client_smoke.py --stats-probe <host> <port> <jobs-file>
+       socket_client_smoke.py --route <pooled_cli> <jobs-file>
 
 --stats-probe exercises the v2 `pooled-stats` observability frame under
 load: connection A sends the jobs file and reads its results *without*
@@ -16,9 +17,18 @@ half-closing (so it stays live), then connection B sends a stats frame
 and asserts the snapshot reconciles with the work -- jobs_served covers
 every job A sent and connections_active counts both connections. The
 stats frame body prints to stdout for the CI log.
+
+--route exercises the shard router's failover end to end: it spawns two
+`pooled_cli serve --listen` shards and one `pooled_cli route` process
+over them, streams the jobs file through the router's stdin, SIGKILLs
+one shard mid-run, and asserts every job still produced exactly one
+result frame, in submission order, with every status ok.
 """
+import re
 import socket
+import subprocess
 import sys
+import time
 
 
 def read_frames(conn: socket.socket, frame_count: int) -> bytes:
@@ -71,7 +81,72 @@ def stats_probe(host: str, port: int, jobs_path: str) -> int:
     return 0
 
 
+def spawn_serve(cli: str) -> "tuple[subprocess.Popen, str]":
+    """Starts `pooled_cli serve --listen 127.0.0.1:0`; returns (proc, addr)."""
+    proc = subprocess.Popen(
+        [cli, "serve", "--listen", "127.0.0.1:0"],
+        stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True)
+    # The "listening on <addr>" stderr line is the readiness signal (and
+    # carries the kernel-assigned port).
+    line = proc.stderr.readline()
+    match = re.search(r"listening on (\S+)", line)
+    if not match:
+        proc.kill()
+        raise SystemExit(f"shard never came up: {line!r}")
+    return proc, match.group(1)
+
+
+def route_smoke(cli: str, jobs_path: str) -> int:
+    with open(jobs_path, "rb") as jobs_file:
+        jobs = jobs_file.read()
+    job_count = jobs.count(b"pooled-job")
+    if job_count < 4:
+        raise SystemExit("route smoke needs a jobs file with >= 4 jobs")
+    shard_a, addr_a = spawn_serve(cli)
+    shard_b, addr_b = spawn_serve(cli)
+    router = subprocess.Popen(
+        [cli, "route", "--shard", addr_a, "--shard", addr_b,
+         "--no-affinity", "--window", "4"],
+        stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL)
+    try:
+        # Feed the whole stream, then SIGKILL shard A while the batch is
+        # still in flight. The router must retry A's unanswered jobs on B
+        # and keep the merged output in submission order.
+        router.stdin.write(jobs)
+        router.stdin.flush()
+        time.sleep(0.3)
+        shard_a.kill()
+        router.stdin.close()
+        received = router.stdout.read()
+        if router.wait(timeout=120) != 0:
+            raise SystemExit("router exited nonzero")
+    finally:
+        for proc in (shard_a, shard_b, router):
+            if proc.poll() is None:
+                proc.kill()
+    results = received.count(b"pooled-result")
+    if results != job_count:
+        raise SystemExit(
+            f"{results} result frames for {job_count} jobs "
+            "(lost or duplicated under failover)")
+    if received.count(b"status ok") != job_count:
+        raise SystemExit("not every job survived the shard kill")
+    indices = [int(m.group(1))
+               for m in re.finditer(rb"\njob (\d+)\n", received)]
+    if indices != list(range(job_count)):
+        raise SystemExit(f"results out of submission order: {indices}")
+    print(f"route smoke ok: {job_count} jobs, one shard SIGKILLed, "
+          "zero lost, order preserved", file=sys.stderr)
+    return 0
+
+
 def main() -> int:
+    if len(sys.argv) >= 2 and sys.argv[1] == "--route":
+        if len(sys.argv) != 4:
+            print(__doc__, file=sys.stderr)
+            return 2
+        return route_smoke(sys.argv[2], sys.argv[3])
     if len(sys.argv) >= 2 and sys.argv[1] == "--stats-probe":
         if len(sys.argv) != 5:
             print(__doc__, file=sys.stderr)
