@@ -466,7 +466,7 @@ std::optional<ServeResponse> load_response(std::istream& is) {
 
 void ProgressStream::emit(std::uint64_t connection, std::size_t job_index,
                           std::uint32_t round, std::uint64_t queries) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   os_ << "progress ";
   if (connection != 0) os_ << "conn=" << connection << ' ';
   os_ << "job=" << job_index << " round=" << round << " queries=" << queries

@@ -51,12 +51,12 @@
 #include <atomic>
 #include <cstddef>
 #include <iosfwd>
-#include <mutex>
 #include <optional>
 #include <variant>
 
 #include "engine/batch_engine.hpp"
 #include "obs/metrics.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace pooled {
 
@@ -107,8 +107,9 @@ class ProgressStream {
   }
 
  private:
-  std::mutex mutex_;  // one progress line at a time
-  std::ostream& os_;
+  AnnotatedMutex mutex_;  ///< one progress line at a time
+  std::ostream& os_;  ///< writes serialize on mutex_ (annotation-free:
+                      ///< a reference cannot be PT_GUARDED_BY)
 };
 
 /// Writes one request. Only spec-backed jobs serialize (prebuilt or

@@ -38,7 +38,7 @@ std::optional<std::string> ResultCache::job_key(const DecodeJob& job) {
 }
 
 std::optional<DecodeReport> ResultCache::lookup(const std::string& key) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
@@ -51,7 +51,7 @@ std::optional<DecodeReport> ResultCache::lookup(const std::string& key) {
 
 void ResultCache::insert(const std::string& key, const DecodeReport& report) {
   if (!report.ok()) return;  // failures retry rather than stick
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
     // Concurrent miss on the same key: another worker already decoded it.
@@ -68,10 +68,14 @@ void ResultCache::insert(const std::string& key, const DecodeReport& report) {
     lru_.pop_back();
     ++evictions_;
   }
+  POOLED_DCHECK(index_.size() == lru_.size(),
+                "LRU list and key index must leave insert() in sync");
+  POOLED_DCHECK(index_.size() <= capacity_,
+                "eviction must keep the cache within capacity");
 }
 
 CacheStats ResultCache::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   CacheStats stats;
   stats.hits = hits_;
   stats.misses = misses_;
@@ -83,7 +87,7 @@ CacheStats ResultCache::stats() const {
 }
 
 void ResultCache::clear() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   lru_.clear();
   index_.clear();
 }

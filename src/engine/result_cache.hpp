@@ -19,13 +19,13 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
 
 #include "engine/batch_engine.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace pooled {
 
@@ -73,14 +73,17 @@ class ResultCache {
  private:
   using Entry = std::pair<std::string, DecodeReport>;
 
-  mutable std::mutex mutex_;
-  std::size_t capacity_;
-  std::list<Entry> lru_;  // front = most recently used
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t insertions_ = 0;
-  std::uint64_t evictions_ = 0;
+  mutable AnnotatedMutex mutex_;
+  const std::size_t capacity_;  ///< immutable after construction
+  /// front = most recently used; index_ points into lru_ and the two
+  /// stay entry-for-entry in sync (checked at every unlock boundary).
+  std::list<Entry> lru_ POOLED_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_
+      POOLED_GUARDED_BY(mutex_);
+  std::uint64_t hits_ POOLED_GUARDED_BY(mutex_) = 0;
+  std::uint64_t misses_ POOLED_GUARDED_BY(mutex_) = 0;
+  std::uint64_t insertions_ POOLED_GUARDED_BY(mutex_) = 0;
+  std::uint64_t evictions_ POOLED_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace pooled

@@ -28,8 +28,11 @@ struct ServeServer::Connection {
 
   /// Serializes result frames and liveness probes so a probe newline
   /// never lands inside a frame (frames are always flushed whole under
-  /// this mutex).
-  std::mutex write_mutex;
+  /// this mutex). The stream itself is deliberately unannotated: its
+  /// read side belongs to the reader thread alone, only the write side
+  /// is shared (handler, reaper, stats answers) and every writer takes
+  /// this mutex.
+  AnnotatedMutex write_mutex;
 
   /// The connection's cancel token; every in-flight DecodeContext points
   /// here. Set by the reaper (dropped peer) or by stop().
@@ -39,12 +42,12 @@ struct ServeServer::Connection {
   // Reader -> handler pipeline. Bounded at two windows so a fast client
   // cannot buffer an unbounded backlog server-side. `spans` stays
   // parallel to `queue` (null entries when tracing is off).
-  std::mutex queue_mutex;
-  std::condition_variable queue_cv;
-  std::deque<DecodeJob> queue;
-  std::deque<std::unique_ptr<TraceSpan>> spans;
-  bool reader_done = false;
-  std::string parse_error;
+  AnnotatedMutex queue_mutex;
+  std::condition_variable_any queue_cv;
+  std::deque<DecodeJob> queue POOLED_GUARDED_BY(queue_mutex);
+  std::deque<std::unique_ptr<TraceSpan>> spans POOLED_GUARDED_BY(queue_mutex);
+  bool reader_done POOLED_GUARDED_BY(queue_mutex) = false;
+  std::string parse_error POOLED_GUARDED_BY(queue_mutex);
   std::uint64_t jobs_parsed = 0;  ///< reader-only span index
 
   std::thread handler;
@@ -78,13 +81,18 @@ void ServeServer::start() {
 void ServeServer::stop() {
   stop_.store(true);
   reaper_cv_.notify_all();
-  listener_.close();
+  // Join the accept loop *before* closing the listener: accept() polls
+  // with a 100ms timeout and rechecks stop_, so the join is prompt, and
+  // closing an fd another thread is still polling is a data race (worse,
+  // the kernel can reuse the fd number mid-poll). TSan caught the old
+  // close-then-join order.
   if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.close();
   if (reaper_thread_.joinable()) reaper_thread_.join();
   // The accept loop is gone, but a concurrent stats() may still walk the
   // list; handlers never take connections_mutex_, so joining under it is
   // deadlock-free.
-  const std::lock_guard<std::mutex> lock(connections_mutex_);
+  const LockGuard lock(connections_mutex_);
   for (const auto& connection : connections_) {
     connection->cancel.store(true);
     connection->stream.socket().shutdown_both();  // unblocks the reader
@@ -105,7 +113,7 @@ ServeServerStats ServeServer::stats() const {
   stats.jobs_cancelled = jobs_cancelled_.load();
   stats.jobs_failed = jobs_failed_.load();
   stats.write_failures = write_failures_.load();
-  const std::lock_guard<std::mutex> lock(connections_mutex_);
+  const LockGuard lock(connections_mutex_);
   for (const auto& connection : connections_) {
     if (!connection->done.load()) ++stats.active_connections;
   }
@@ -155,7 +163,7 @@ void ServeServer::accept_loop() {
     // Reap finished connections on every wakeup so a long-lived server
     // does not accumulate one thread + fd per past client.
     {
-      const std::lock_guard<std::mutex> lock(connections_mutex_);
+      const LockGuard lock(connections_mutex_);
       for (auto it = connections_.begin(); it != connections_.end();) {
         if ((*it)->done.load()) {
           if ((*it)->handler.joinable()) (*it)->handler.join();
@@ -172,7 +180,7 @@ void ServeServer::accept_loop() {
         std::make_unique<Connection>(std::move(*socket), chunk, serial);
     Connection& ref = *connection;
     {
-      const std::lock_guard<std::mutex> lock(connections_mutex_);
+      const LockGuard lock(connections_mutex_);
       connections_.push_back(std::move(connection));
     }
     active_gauge_->add(1);
@@ -185,13 +193,13 @@ void ServeServer::reaper_loop() {
     {
       // Interruptible inter-probe wait: stop() must not block for up to
       // a full probe period behind a plain sleep.
-      std::unique_lock<std::mutex> lock(reaper_mutex_);
+      LockGuard lock(reaper_mutex_);
       reaper_cv_.wait_for(lock,
                           std::chrono::duration<double>(options_.probe_seconds),
                           [this] { return stop_.load(); });
     }
     if (stop_.load()) break;
-    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    const LockGuard lock(connections_mutex_);
     for (const auto& connection : connections_) {
       if (connection->done.load() || connection->cancel.load()) continue;
       bool alive;
@@ -199,17 +207,20 @@ void ServeServer::reaper_loop() {
         // try_lock, not lock: a handler mid-write (possibly blocked in
         // send against a stalled reader) must not wedge the reaper --
         // and with it connections_mutex_, accepts, and stop().
-        const std::unique_lock<std::mutex> write_lock(connection->write_mutex,
-                                                      std::try_to_lock);
-        if (!write_lock.owns_lock()) continue;  // probe again next period
+        if (!connection->write_mutex.try_lock()) continue;  // next period
+        const LockGuard write_lock(connection->write_mutex, std::adopt_lock);
         alive = send_liveness_probe(connection->stream.socket());
       }
       if (alive) continue;
       // Peer is gone: reclaim the workers. The cancel token stops every
       // in-flight round-based decode at its next round boundary, and the
-      // shutdown unblocks a reader waiting in recv.
-      connection->cancel.store(true);
+      // shutdown unblocks a reader waiting in recv. The reap counter is
+      // bumped *before* the token: every observable effect of this
+      // cancellation (a Cancelled report, jobs_cancelled) then implies
+      // the reap is already counted, so a stats reader can reconcile
+      // jobs_cancelled against connections_reaped at any instant.
       connections_reaped_.fetch_add(1);
+      connection->cancel.store(true);
       connection->stream.socket().shutdown_both();
       connection->queue_cv.notify_all();
     }
@@ -240,7 +251,7 @@ void ServeServer::read_requests(Connection& connection) {
         // decodes (that latency is exactly what it is trying to observe).
         try {
           const MetricsSnapshot snapshot = build_snapshot();
-          const std::lock_guard<std::mutex> lock(connection.write_mutex);
+          const LockGuard lock(connection.write_mutex);
           save_stats_snapshot(connection.stream.out(), snapshot);
           connection.stream.out().flush();
           POOLED_REQUIRE(static_cast<bool>(connection.stream.out()),
@@ -261,14 +272,20 @@ void ServeServer::read_requests(Connection& connection) {
         job.trace = span.get();
       }
       ++connection.jobs_parsed;
-      std::unique_lock<std::mutex> lock(connection.queue_mutex);
-      connection.queue_cv.wait(lock, [&] {
-        return connection.queue.size() < queue_cap || connection.cancel.load();
-      });
+      LockGuard lock(connection.queue_mutex);
+      // Explicit wait loop (not the predicate overload): the condition
+      // reads `queue`, which the analysis can only check when the read
+      // is visibly under the lock, not inside a lambda.
+      while (connection.queue.size() >= queue_cap &&
+             !connection.cancel.load()) {
+        connection.queue_cv.wait(lock);
+      }
       if (connection.cancel.load()) break;
       if (span != nullptr) span->mark_enqueued();
       connection.queue.push_back(std::move(job));
       connection.spans.push_back(std::move(span));
+      POOLED_DCHECK(connection.queue.size() == connection.spans.size(),
+                    "span queue must stay parallel to the job queue");
       lock.unlock();
       queue_gauge_->add(1);
       connection.queue_cv.notify_all();
@@ -279,7 +296,7 @@ void ServeServer::read_requests(Connection& connection) {
     // teardown noise, not protocol errors -- and a frame truncated by a
     // transport error is the transport's fault, not the client's, so it
     // counts as an errored connection, not a protocol violation.
-    const std::lock_guard<std::mutex> lock(connection.queue_mutex);
+    const LockGuard lock(connection.queue_mutex);
     if (!connection.cancel.load()) {
       if (connection.stream.read_errno() != 0) {
         connections_errored_.fetch_add(1);
@@ -290,7 +307,7 @@ void ServeServer::read_requests(Connection& connection) {
     }
   }
   {
-    const std::lock_guard<std::mutex> lock(connection.queue_mutex);
+    const LockGuard lock(connection.queue_mutex);
     connection.reader_done = true;
   }
   connection.queue_cv.notify_all();
@@ -306,12 +323,14 @@ void ServeServer::handle_connection(Connection& connection) {
     std::vector<std::unique_ptr<TraceSpan>> spans;  // parallel to jobs
     bool drained = false;
     {
-      std::unique_lock<std::mutex> lock(connection.queue_mutex);
-      connection.queue_cv.wait(lock, [&] {
-        return !connection.queue.empty() || connection.reader_done ||
-               connection.cancel.load();
-      });
+      LockGuard lock(connection.queue_mutex);
+      while (connection.queue.empty() && !connection.reader_done &&
+             !connection.cancel.load()) {
+        connection.queue_cv.wait(lock);
+      }
       if (connection.cancel.load()) break;
+      POOLED_DCHECK(connection.queue.size() == connection.spans.size(),
+                    "span queue must stay parallel to the job queue");
       while (!connection.queue.empty() && jobs.size() < connection.chunk) {
         jobs.push_back(std::move(connection.queue.front()));
         connection.queue.pop_front();
@@ -363,7 +382,7 @@ void ServeServer::handle_connection(Connection& connection) {
       // the frame boundary unknown, so nothing after it can be salvaged.
       std::size_t delivered = 0;
       try {
-        const std::lock_guard<std::mutex> lock(connection.write_mutex);
+        const LockGuard lock(connection.write_mutex);
         for (std::size_t j = 0; j < reports.size(); ++j) {
           const Timer serialize_timer;
           save_report(out, reports[j]);
@@ -393,7 +412,7 @@ void ServeServer::handle_connection(Connection& connection) {
   // client learns why its later requests were never answered.
   std::string parse_error;
   {
-    const std::lock_guard<std::mutex> lock(connection.queue_mutex);
+    const LockGuard lock(connection.queue_mutex);
     parse_error = connection.parse_error;
   }
   if (!parse_error.empty() && peer_writable && !connection.cancel.load()) {
@@ -402,7 +421,7 @@ void ServeServer::handle_connection(Connection& connection) {
     failure.error = "protocol error: " + parse_error;
     jobs_failed_.fetch_add(1);
     try {
-      const std::lock_guard<std::mutex> lock(connection.write_mutex);
+      const LockGuard lock(connection.write_mutex);
       save_report(out, failure);
       out.flush();
       POOLED_REQUIRE(static_cast<bool>(out), "error frame write failed");
@@ -417,7 +436,7 @@ void ServeServer::handle_connection(Connection& connection) {
   {
     // Jobs still queued at teardown (cancel path) never decode; settle
     // the depth gauge and emit their spans as-is.
-    const std::lock_guard<std::mutex> lock(connection.queue_mutex);
+    const LockGuard lock(connection.queue_mutex);
     queue_gauge_->add(-static_cast<std::int64_t>(connection.queue.size()));
     connection.queue.clear();
     connection.spans.clear();

@@ -38,12 +38,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 #include "engine/protocol.hpp"
 #include "engine/socket_transport.hpp"
 #include "obs/metrics.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace pooled {
 
@@ -134,11 +134,12 @@ class ServeServer {
   std::thread reaper_thread_;
   // Wakes the reaper out of its inter-probe wait so stop() is prompt
   // even when probe_seconds is long.
-  std::mutex reaper_mutex_;
-  std::condition_variable reaper_cv_;
+  AnnotatedMutex reaper_mutex_;
+  std::condition_variable_any reaper_cv_;
 
-  mutable std::mutex connections_mutex_;
-  std::list<std::unique_ptr<Connection>> connections_;
+  mutable AnnotatedMutex connections_mutex_;
+  std::list<std::unique_ptr<Connection>> connections_
+      POOLED_GUARDED_BY(connections_mutex_);
 
   std::atomic<std::uint64_t> connections_accepted_{0};
   std::atomic<std::uint64_t> connections_reaped_{0};

@@ -1,6 +1,5 @@
 #include "engine/shard_router.hpp"
 
-#include <algorithm>
 #include <chrono>
 #include <exception>
 #include <istream>
@@ -38,8 +37,12 @@ std::uint64_t mix(std::uint64_t x) {
 
 }  // namespace
 
-/// Per-shard state. Socket writes (and stream replacement) serialize on
-/// write_mutex; the bookkeeping fields live under the router's mutex_.
+/// Per-shard connection handles. Socket writes (and stream replacement)
+/// serialize on write_mutex; the mutable bookkeeping lives in the
+/// router's states_[index], under the router's mutex_. The stream
+/// pointer is deliberately unannotated: it is replaced only under
+/// write_mutex *and* with the shard's reader joined, so the reader's
+/// lock-free reads of a stable pointer are safe.
 /// Lock order: write_mutex before mutex_, never the reverse.
 struct ShardRouter::Shard {
   Shard(SocketAddress address_, std::size_t index_)
@@ -48,22 +51,9 @@ struct ShardRouter::Shard {
   const SocketAddress address;
   const std::size_t index;
 
-  std::mutex write_mutex;
+  AnnotatedMutex write_mutex;
   std::unique_ptr<SocketStream> stream;  ///< null until first admit
   std::thread reader;
-
-  // -- under the router's mutex_ ----------------------------------------
-  bool alive = false;
-  /// This connection's send order: local result index -> global index
-  /// (the mirror of ServeServer's per-connection rebase). Cleared on
-  /// reconnect, because the shard numbers each connection from zero.
-  std::vector<std::uint64_t> sent;
-  std::uint64_t jobs_sent_total = 0;
-  std::uint64_t results_total = 0;
-  std::uint64_t times_lost = 0;
-  std::uint64_t times_admitted = 0;
-  bool stats_pending = false;
-  std::optional<MetricsSnapshot> stats_result;
 };
 
 ShardRouter::ShardRouter(std::vector<SocketAddress> shards,
@@ -76,6 +66,7 @@ ShardRouter::ShardRouter(std::vector<SocketAddress> shards,
   for (std::size_t i = 0; i < shards.size(); ++i) {
     shards_.push_back(std::make_unique<Shard>(std::move(shards[i]), i));
   }
+  states_.resize(shards_.size());
   MetricsRegistry& registry =
       options_.metrics != nullptr ? *options_.metrics : own_registry_;
   jobs_submitted_ = &registry.counter("route.jobs_submitted");
@@ -106,27 +97,27 @@ void ShardRouter::stop() {
   wake_prober();
   if (prober_.joinable()) prober_.join();
   for (const auto& shard : shards_) {
-    const std::lock_guard<std::mutex> write_lock(shard->write_mutex);
+    const LockGuard write_lock(shard->write_mutex);
     if (shard->stream) shard->stream->socket().shutdown_both();
   }
   for (const auto& shard : shards_) {
     if (shard->reader.joinable()) shard->reader.join();
   }
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    for (const auto& shard : shards_) {
-      if (shard->alive) {
-        shard->alive = false;
+    const LockGuard lock(mutex_);
+    for (ShardState& state : states_) {
+      if (state.alive) {
+        state.alive = false;
         shards_alive_->add(-1);
       }
-      shard->sent.clear();
-      shard->stats_pending = false;
+      state.sent.clear();
+      state.stats_pending = false;
     }
     fail_pending_locked("shard router stopped");
   }
   results_cv_.notify_all();
   for (const auto& shard : shards_) {
-    const std::lock_guard<std::mutex> write_lock(shard->write_mutex);
+    const LockGuard write_lock(shard->write_mutex);
     shard->stream.reset();
   }
 }
@@ -144,7 +135,7 @@ std::uint64_t ShardRouter::submit(const DecodeJob& job) {
   }
   std::uint64_t index = 0;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     index = next_index_++;
     pending_.emplace(index, std::move(pending));
   }
@@ -155,12 +146,12 @@ std::uint64_t ShardRouter::submit(const DecodeJob& job) {
 }
 
 DecodeReport ShardRouter::wait(std::uint64_t index) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   auto it = pending_.find(index);
   POOLED_REQUIRE(it != pending_.end(),
                  "job #" + std::to_string(index) +
                      " was never submitted (or already waited for)");
-  results_cv_.wait(lock, [&] { return it->second.done; });
+  while (!it->second.done) results_cv_.wait(lock);
   DecodeReport report = std::move(it->second.report);
   pending_.erase(it);
   return report;
@@ -180,26 +171,27 @@ std::vector<DecodeReport> ShardRouter::route(
 std::size_t ShardRouter::shard_count() const { return shards_.size(); }
 
 std::size_t ShardRouter::alive_count() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   std::size_t alive = 0;
-  for (const auto& shard : shards_) {
-    if (shard->alive) ++alive;
+  for (const ShardState& state : states_) {
+    if (state.alive) ++alive;
   }
   return alive;
 }
 
 std::vector<ShardStatus> ShardRouter::shard_statuses() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   std::vector<ShardStatus> statuses;
   statuses.reserve(shards_.size());
   for (const auto& shard : shards_) {
+    const ShardState& state = states_[shard->index];
     ShardStatus status;
     status.address = shard->address;
-    status.alive = shard->alive;
-    status.jobs_sent = shard->jobs_sent_total;
-    status.results_received = shard->results_total;
-    status.times_lost = shard->times_lost;
-    status.times_admitted = shard->times_admitted;
+    status.alive = state.alive;
+    status.jobs_sent = state.jobs_sent_total;
+    status.results_received = state.results_total;
+    status.times_lost = state.times_lost;
+    status.times_admitted = state.times_admitted;
     statuses.push_back(std::move(status));
   }
   for (const auto& [index, pending] : pending_) {
@@ -212,11 +204,11 @@ std::vector<ShardStatus> ShardRouter::shard_statuses() const {
 
 std::size_t ShardRouter::shard_for_digest(const std::string& digest) const {
   const std::uint64_t hash = fnv1a(digest);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   const Shard* best = nullptr;
   std::uint64_t best_score = 0;
   for (const auto& shard : shards_) {
-    if (!shard->alive) continue;
+    if (!states_[shard->index].alive) continue;
     const std::uint64_t score = mix(hash ^ mix(shard->index + 1));
     if (best == nullptr || score > best_score) {
       best = shard.get();
@@ -235,7 +227,7 @@ ShardRouter::Shard* ShardRouter::pick_shard_locked(std::uint64_t digest_hash,
   std::uint64_t best_score = 0;
   std::size_t alive = 0;
   for (const auto& shard : shards_) {
-    if (!shard->alive) continue;
+    if (!states_[shard->index].alive) continue;
     ++alive;
     const std::uint64_t score =
         has_digest ? mix(digest_hash ^ mix(shard->index + 1)) : 0;
@@ -249,7 +241,7 @@ ShardRouter::Shard* ShardRouter::pick_shard_locked(std::uint64_t digest_hash,
   const std::uint64_t turn = round_robin_++ % alive;
   std::uint64_t seen = 0;
   for (const auto& shard : shards_) {
-    if (!shard->alive) continue;
+    if (!states_[shard->index].alive) continue;
     if (seen++ == turn) return shard.get();
   }
   return best;
@@ -259,7 +251,7 @@ void ShardRouter::dispatch(std::uint64_t index) {
   for (;;) {
     Shard* shard = nullptr;
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const LockGuard lock(mutex_);
       auto it = pending_.find(index);
       if (it == pending_.end() || it->second.done) return;  // raced a failure
       shard = pick_shard_locked(it->second.digest_hash, it->second.has_digest);
@@ -268,21 +260,24 @@ void ShardRouter::dispatch(std::uint64_t index) {
         // the all-dead timeout fails the job).
         it->second.shard = -1;
         parked_.push_back(index);
+        POOLED_DCHECK(parked_.size() <= pending_.size(),
+                      "every parked index must still be pending");
         if (!all_dead_since_) all_dead_since_.emplace();
         return;
       }
     }
-    const std::lock_guard<std::mutex> write_lock(shard->write_mutex);
+    const LockGuard write_lock(shard->write_mutex);
     const char* frame_data = nullptr;
     std::size_t frame_size = 0;
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      if (!shard->alive) continue;  // died between pick and lock: repick
+      const LockGuard lock(mutex_);
+      ShardState& state = states_[shard->index];
+      if (!state.alive) continue;  // died between pick and lock: repick
       auto it = pending_.find(index);
       if (it == pending_.end() || it->second.done) return;
       it->second.shard = static_cast<int>(shard->index);
-      shard->sent.push_back(index);
-      ++shard->jobs_sent_total;
+      state.sent.push_back(index);
+      ++state.jobs_sent_total;
       // The frame bytes are write-once at submit(); reading them outside
       // mutex_ during the send below is safe.
       frame_data = it->second.frame.data();
@@ -302,10 +297,12 @@ void ShardRouter::drain_parked() {
   for (;;) {
     std::uint64_t index = 0;
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const LockGuard lock(mutex_);
       if (parked_.empty()) return;
       bool any_alive = false;
-      for (const auto& shard : shards_) any_alive = any_alive || shard->alive;
+      for (const ShardState& state : states_) {
+        any_alive = any_alive || state.alive;
+      }
       if (!any_alive) return;
       index = parked_.front();
       parked_.pop_front();
@@ -318,13 +315,14 @@ void ShardRouter::drain_parked() {
 void ShardRouter::on_shard_down(Shard& shard) {
   std::size_t orphans = 0;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    if (!shard.alive) return;  // another thread already handled it
-    shard.alive = false;
-    ++shard.times_lost;
+    const LockGuard lock(mutex_);
+    ShardState& state = states_[shard.index];
+    if (!state.alive) return;  // another thread already handled it
+    state.alive = false;
+    ++state.times_lost;
     shards_alive_->add(-1);
     // Requeue the connection's unanswered jobs: they retry on survivors.
-    for (const std::uint64_t index : shard.sent) {
+    for (const std::uint64_t index : state.sent) {
       auto it = pending_.find(index);
       if (it != pending_.end() && !it->second.done &&
           it->second.shard == static_cast<int>(shard.index)) {
@@ -333,10 +331,10 @@ void ShardRouter::on_shard_down(Shard& shard) {
         ++orphans;
       }
     }
-    shard.sent.clear();
-    shard.stats_pending = false;  // its answer is never coming
+    state.sent.clear();
+    state.stats_pending = false;  // its answer is never coming
     bool any_alive = false;
-    for (const auto& other : shards_) any_alive = any_alive || other->alive;
+    for (const ShardState& other : states_) any_alive = any_alive || other.alive;
     if (!any_alive && !all_dead_since_) all_dead_since_.emplace();
   }
   shards_lost_->add(1);
@@ -354,15 +352,20 @@ bool ShardRouter::try_admit(Shard& shard) {
   if (!socket) return false;
   socket->set_send_timeout(options_.write_timeout_seconds);
   {
-    const std::lock_guard<std::mutex> write_lock(shard.write_mutex);
+    const LockGuard write_lock(shard.write_mutex);
     shard.stream = std::make_unique<SocketStream>(std::move(*socket));
   }
-  const bool readmission = shard.times_admitted > 0;
+  bool readmission = false;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    shard.alive = true;
-    shard.sent.clear();  // the new connection numbers from zero
-    ++shard.times_admitted;
+    const LockGuard lock(mutex_);
+    ShardState& state = states_[shard.index];
+    // Read under the same lock that increments it (the prober and
+    // start() never admit one shard concurrently, but stop() resets
+    // state under mutex_).
+    readmission = state.times_admitted > 0;
+    state.alive = true;
+    state.sent.clear();  // the new connection numbers from zero
+    ++state.times_admitted;
     shards_alive_->add(1);
     all_dead_since_.reset();
   }
@@ -388,22 +391,24 @@ void ShardRouter::reader_loop(Shard& shard) {
       std::uint64_t global = 0;
       bool mapped = false;
       {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const LockGuard lock(mutex_);
+        ShardState& state = states_[shard.index];
         // The shard numbers this connection's results 0,1,2...; `sent`
         // maps them back to stream-global indices.
         const std::size_t local = report->index;
-        if (local < shard.sent.size()) {
-          global = shard.sent[local];
-          ++shard.results_total;
+        if (local < state.sent.size()) {
+          global = state.sent[local];
+          ++state.results_total;
           mapped = true;
         }
       }
       if (!mapped) break;  // index confusion: drop the connection
       deliver(global, std::move(*report));
     } else {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      shard.stats_result = std::get<MetricsSnapshot>(std::move(*response));
-      shard.stats_pending = false;
+      const LockGuard lock(mutex_);
+      ShardState& state = states_[shard.index];
+      state.stats_result = std::get<MetricsSnapshot>(std::move(*response));
+      state.stats_pending = false;
       results_cv_.notify_all();
     }
   }
@@ -416,7 +421,7 @@ void ShardRouter::reader_loop(Shard& shard) {
 
 void ShardRouter::deliver(std::uint64_t index, DecodeReport report) {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     auto it = pending_.find(index);
     if (it == pending_.end() || it->second.done) {
       // A lost shard's answer arrived after the job was already retried
@@ -436,7 +441,7 @@ void ShardRouter::deliver(std::uint64_t index, DecodeReport report) {
 
 void ShardRouter::check_all_dead() {
   if (options_.all_dead_fail_seconds <= 0.0) return;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   if (!all_dead_since_ ||
       all_dead_since_->seconds() < options_.all_dead_fail_seconds) {
     return;
@@ -468,7 +473,7 @@ void ShardRouter::fail_pending_locked(const std::string& reason) {
 
 void ShardRouter::wake_prober() {
   {
-    const std::lock_guard<std::mutex> lock(prober_mutex_);
+    const LockGuard lock(prober_mutex_);
     prober_work_ = true;
   }
   prober_cv_.notify_all();
@@ -477,10 +482,20 @@ void ShardRouter::wake_prober() {
 void ShardRouter::prober_loop() {
   while (!stop_.load()) {
     {
-      std::unique_lock<std::mutex> lock(prober_mutex_);
-      prober_cv_.wait_for(
-          lock, std::chrono::duration<double>(options_.probe_seconds),
-          [this] { return stop_.load() || prober_work_; });
+      LockGuard lock(prober_mutex_);
+      // Explicit deadline loop, not the predicate wait_for overload: the
+      // condition reads prober_work_, which the analysis can only check
+      // when the read is visibly under the lock, not inside a lambda.
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(options_.probe_seconds));
+      while (!stop_.load() && !prober_work_) {
+        if (prober_cv_.wait_until(lock, deadline) ==
+            std::cv_status::timeout) {
+          break;
+        }
+      }
       prober_work_ = false;
     }
     if (stop_.load()) break;
@@ -489,14 +504,13 @@ void ShardRouter::prober_loop() {
     // prober.
     for (const auto& shard : shards_) {
       {
-        const std::lock_guard<std::mutex> lock(mutex_);
-        if (!shard->alive) continue;
+        const LockGuard lock(mutex_);
+        if (!states_[shard->index].alive) continue;
       }
       bool alive = true;
       {
-        const std::unique_lock<std::mutex> write_lock(shard->write_mutex,
-                                                      std::try_to_lock);
-        if (!write_lock.owns_lock()) continue;  // probe again next period
+        if (!shard->write_mutex.try_lock()) continue;  // next period
+        const LockGuard write_lock(shard->write_mutex, std::adopt_lock);
         if (shard->stream) {
           alive = send_liveness_probe(shard->stream->socket());
         }
@@ -508,8 +522,8 @@ void ShardRouter::prober_loop() {
     // before replacing the stream it still references.
     for (const auto& shard : shards_) {
       {
-        const std::lock_guard<std::mutex> lock(mutex_);
-        if (shard->alive) continue;
+        const LockGuard lock(mutex_);
+        if (states_[shard->index].alive) continue;
       }
       if (shard->reader.joinable()) shard->reader.join();
       (void)try_admit(*shard);
@@ -525,14 +539,15 @@ MetricsSnapshot ShardRouter::build_snapshot() {
   // Fire one stats frame per alive shard...
   for (const auto& shard : shards_) {
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      if (!shard->alive) continue;
-      shard->stats_pending = true;
-      shard->stats_result.reset();
+      const LockGuard lock(mutex_);
+      ShardState& state = states_[shard->index];
+      if (!state.alive) continue;
+      state.stats_pending = true;
+      state.stats_result.reset();
     }
     bool sent = false;
     {
-      const std::lock_guard<std::mutex> write_lock(shard->write_mutex);
+      const LockGuard write_lock(shard->write_mutex);
       if (shard->stream) {
         save_stats_request(shard->stream->out());
         shard->stream->out().flush();
@@ -545,14 +560,21 @@ MetricsSnapshot ShardRouter::build_snapshot() {
   // ...and collect the answers (readers fulfill stats_result), bounded
   // by stats_timeout_seconds so a dying shard cannot wedge the probe.
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    results_cv_.wait_for(
-        lock, std::chrono::duration<double>(options_.stats_timeout_seconds),
-        [this] {
-          return std::all_of(
-              shards_.begin(), shards_.end(),
-              [](const auto& shard) { return !shard->stats_pending; });
-        });
+    LockGuard lock(mutex_);
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(options_.stats_timeout_seconds));
+    for (;;) {
+      bool waiting = false;
+      for (const ShardState& state : states_) {
+        waiting = waiting || state.stats_pending;
+      }
+      if (!waiting) break;
+      if (results_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        break;
+      }
+    }
   }
 
   MetricsSnapshot snapshot;
@@ -578,29 +600,31 @@ MetricsSnapshot ShardRouter::build_snapshot() {
   values.push_back(
       MetricValue::of_histogram("route.job_seconds", job_seconds_->snapshot()));
 
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   for (const auto& shard : shards_) {
+    const ShardState& state = states_[shard->index];
     const std::string prefix =
         "route.shard" + std::to_string(shard->index) + ".";
     values.push_back(
         MetricValue::of_label(prefix + "address", shard->address.to_string()));
     values.push_back(MetricValue::of_gauge(prefix + "alive",
-                                           shard->alive ? 1 : 0, 1));
+                                           state.alive ? 1 : 0, 1));
     values.push_back(
-        MetricValue::of_counter(prefix + "jobs_sent", shard->jobs_sent_total));
+        MetricValue::of_counter(prefix + "jobs_sent", state.jobs_sent_total));
     values.push_back(
-        MetricValue::of_counter(prefix + "results", shard->results_total));
+        MetricValue::of_counter(prefix + "results", state.results_total));
     values.push_back(
-        MetricValue::of_counter(prefix + "lost", shard->times_lost));
+        MetricValue::of_counter(prefix + "lost", state.times_lost));
     values.push_back(
-        MetricValue::of_counter(prefix + "admitted", shard->times_admitted));
+        MetricValue::of_counter(prefix + "admitted", state.times_admitted));
   }
   // Each live shard's own snapshot rides along, name-prefixed, so one
   // fleet probe sees every backend's cache/engine/serve counters.
   for (const auto& shard : shards_) {
-    if (!shard->stats_result) continue;
+    const ShardState& state = states_[shard->index];
+    if (!state.stats_result) continue;
     const std::string prefix = "shard" + std::to_string(shard->index) + ".";
-    for (MetricValue value : shard->stats_result->values) {
+    for (MetricValue value : state.stats_result->values) {
       value.name = prefix + value.name;
       values.push_back(std::move(value));
     }

@@ -44,7 +44,6 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -53,6 +52,7 @@
 #include "engine/protocol.hpp"
 #include "engine/socket_transport.hpp"
 #include "obs/metrics.hpp"
+#include "support/thread_annotations.hpp"
 #include "support/timer.hpp"
 
 namespace pooled {
@@ -136,6 +136,25 @@ class ShardRouter {
  private:
   struct Shard;
 
+  /// Mutable per-shard bookkeeping, indexed by shard index. Kept on the
+  /// router rather than on Shard so every field is annotated against the
+  /// one capability that guards it, this->mutex_ (an annotation on a
+  /// Shard member would have to name the owning router's mutex, which
+  /// the analysis cannot alias with `this` at use sites).
+  struct ShardState {
+    bool alive = false;
+    /// This connection's send order: local result index -> global index
+    /// (the mirror of ServeServer's per-connection rebase). Cleared on
+    /// reconnect, because the shard numbers each connection from zero.
+    std::vector<std::uint64_t> sent;
+    std::uint64_t jobs_sent_total = 0;
+    std::uint64_t results_total = 0;
+    std::uint64_t times_lost = 0;
+    std::uint64_t times_admitted = 0;
+    bool stats_pending = false;
+    std::optional<MetricsSnapshot> stats_result;
+  };
+
   /// One submitted job, keyed by stream-global index, alive from
   /// submit() until its wait() claims the report.
   struct Pending {
@@ -156,8 +175,9 @@ class ShardRouter {
   void drain_parked();
   void deliver(std::uint64_t index, DecodeReport report);
   void check_all_dead();
-  void fail_pending_locked(const std::string& reason);
-  Shard* pick_shard_locked(std::uint64_t digest_hash, bool has_digest);
+  void fail_pending_locked(const std::string& reason) POOLED_REQUIRES(mutex_);
+  Shard* pick_shard_locked(std::uint64_t digest_hash, bool has_digest)
+      POOLED_REQUIRES(mutex_);
   void wake_prober();
 
   ShardRouterOptions options_;
@@ -165,18 +185,21 @@ class ShardRouter {
 
   std::atomic<bool> stop_{false};
   std::thread prober_;
-  std::mutex prober_mutex_;
-  std::condition_variable prober_cv_;
-  bool prober_work_ = false;  ///< under prober_mutex_: drain/readmit now
+  AnnotatedMutex prober_mutex_;
+  std::condition_variable_any prober_cv_;
+  /// Drain/readmit now, instead of waiting out the probe period.
+  bool prober_work_ POOLED_GUARDED_BY(prober_mutex_) = false;
 
   // Guards all routing state: pending_, parked_, per-shard bookkeeping.
-  mutable std::mutex mutex_;
-  std::condition_variable results_cv_;  ///< result merged / stats arrived
-  std::uint64_t next_index_ = 0;
-  std::deque<std::uint64_t> parked_;  ///< submitted, no shard to send to
-  std::map<std::uint64_t, Pending> pending_;
-  std::optional<Timer> all_dead_since_;
-  std::uint64_t round_robin_ = 0;
+  mutable AnnotatedMutex mutex_;
+  std::condition_variable_any results_cv_;  ///< result merged / stats arrived
+  std::uint64_t next_index_ POOLED_GUARDED_BY(mutex_) = 0;
+  /// Submitted, no shard to send to.
+  std::deque<std::uint64_t> parked_ POOLED_GUARDED_BY(mutex_);
+  std::map<std::uint64_t, Pending> pending_ POOLED_GUARDED_BY(mutex_);
+  std::optional<Timer> all_dead_since_ POOLED_GUARDED_BY(mutex_);
+  std::uint64_t round_robin_ POOLED_GUARDED_BY(mutex_) = 0;
+  std::vector<ShardState> states_ POOLED_GUARDED_BY(mutex_);
 
   // Metrics: resolved into options_.metrics when set, else into
   // own_registry_ (same pattern as ServeServer's own_* fallbacks).

@@ -226,7 +226,6 @@ void write_snapshot_text(std::ostream& os, const MetricsSnapshot& snapshot) {
 
 MetricsRegistry::Slot& MetricsRegistry::resolve(const std::string& name,
                                                 MetricKind kind) {
-  // Caller holds mutex_.
   const auto it = index_.find(name);
   if (it != index_.end()) {
     Slot& slot = order_[it->second];
@@ -239,37 +238,39 @@ MetricsRegistry::Slot& MetricsRegistry::resolve(const std::string& name,
   slot.name = name;
   index_.emplace(name, order_.size());
   order_.push_back(std::move(slot));
+  POOLED_DCHECK(index_.size() == order_.size(),
+                "name table and slot order must register in lock-step");
   return order_.back();
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   Slot& slot = resolve(name, MetricKind::Counter);
   if (slot.counter == nullptr) slot.counter = &counters_.emplace_back();
   return *slot.counter;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   Slot& slot = resolve(name, MetricKind::Gauge);
   if (slot.gauge == nullptr) slot.gauge = &gauges_.emplace_back();
   return *slot.gauge;
 }
 
 LatencyHistogram& MetricsRegistry::histogram(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   Slot& slot = resolve(name, MetricKind::Histogram);
   if (slot.histogram == nullptr) slot.histogram = &histograms_.emplace_back();
   return *slot.histogram;
 }
 
 void MetricsRegistry::set_label(const std::string& name, std::string value) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   resolve(name, MetricKind::Label).label = std::move(value);
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   MetricsSnapshot snap;
   snap.values.reserve(order_.size());
   for (const Slot& slot : order_) {

@@ -36,10 +36,11 @@
 #include <cstdint>
 #include <deque>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "support/thread_annotations.hpp"
 
 namespace pooled {
 
@@ -203,15 +204,19 @@ class MetricsRegistry {
     std::string label;
   };
 
-  Slot& resolve(const std::string& name, MetricKind kind);
+  Slot& resolve(const std::string& name, MetricKind kind)
+      POOLED_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::vector<Slot> order_;
-  std::unordered_map<std::string, std::size_t> index_;
+  mutable AnnotatedMutex mutex_;
+  std::vector<Slot> order_ POOLED_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, std::size_t> index_ POOLED_GUARDED_BY(mutex_);
   // Deques: element addresses survive growth (atomics are not movable).
-  std::deque<Counter> counters_;
-  std::deque<Gauge> gauges_;
-  std::deque<LatencyHistogram> histograms_;
+  // The *elements* deliberately escape the mutex -- a resolved Counter&
+  // updates lock-free via relaxed atomics; only registration (layout
+  // growth) and the name table need the lock.
+  std::deque<Counter> counters_ POOLED_GUARDED_BY(mutex_);
+  std::deque<Gauge> gauges_ POOLED_GUARDED_BY(mutex_);
+  std::deque<LatencyHistogram> histograms_ POOLED_GUARDED_BY(mutex_);
 };
 
 }  // namespace pooled

@@ -80,7 +80,7 @@ void TraceRecorder::emit(const TraceSpan& span) {
   }
   line += "}}\n";
 
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   (*out_) << line;
   out_->flush();
 }

@@ -29,10 +29,10 @@
 #include <array>
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 
 #include "core/decoder.hpp"
+#include "support/thread_annotations.hpp"
 #include "support/timer.hpp"
 
 namespace pooled {
@@ -68,8 +68,10 @@ class TraceRecorder {
   friend class TraceSpan;
   void emit(const TraceSpan& span);
 
-  std::ostream* out_;
-  std::mutex mutex_;
+  /// Spans finish on reader/handler threads concurrently; only the
+  /// stream write needs the mutex (lines are assembled lock-free).
+  std::ostream* out_ POOLED_PT_GUARDED_BY(mutex_);
+  AnnotatedMutex mutex_;
   Timer epoch_;
 };
 

@@ -24,7 +24,7 @@ ThreadPool::ThreadPool(unsigned threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -38,7 +38,7 @@ void ThreadPool::participate(Batch& batch) {
     if (index >= batch.count) break;
     batch.fn(index);
     if (batch.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      const LockGuard lock(mutex_);
       done_cv_.notify_all();
     }
   }
@@ -51,8 +51,10 @@ void ThreadPool::worker_loop(unsigned lane) {
   for (;;) {
     std::shared_ptr<Batch> batch;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [&] { return stop_ || (current_ != nullptr && current_ != seen); });
+      LockGuard lock(mutex_);
+      while (!stop_ && (current_ == nullptr || current_ == seen)) {
+        cv_.wait(lock);
+      }
       if (stop_) return;
       batch = current_;
       seen = batch;
@@ -69,13 +71,15 @@ void ThreadPool::run_tasks(std::size_t count,
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
-  std::lock_guard<std::mutex> batch_lock(batch_mutex_);
+  const LockGuard batch_lock(batch_mutex_);
   auto batch = std::make_shared<Batch>();
   batch->fn = fn;
   batch->count = count;
   batch->remaining.store(count, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
+    POOLED_DCHECK(current_ == nullptr,
+                  "batch_mutex_ is held, so no other batch can be current");
     current_ = batch;
   }
   cv_.notify_all();
@@ -83,10 +87,10 @@ void ThreadPool::run_tasks(std::size_t count,
   participate(*batch);
   inside_task_ = false;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [&] {
-      return batch->remaining.load(std::memory_order_acquire) == 0;
-    });
+    LockGuard lock(mutex_);
+    while (batch->remaining.load(std::memory_order_acquire) != 0) {
+      done_cv_.wait(lock);
+    }
     current_ = nullptr;
   }
 }

@@ -19,9 +19,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "support/thread_annotations.hpp"
 
 namespace pooled {
 
@@ -71,12 +72,14 @@ class ThreadPool {
   void worker_loop(unsigned lane);
   void participate(Batch& batch);
 
-  std::mutex batch_mutex_;  // serializes run_tasks callers
-  std::mutex mutex_;        // protects current_/stop_ + cvs
-  std::condition_variable cv_;
-  std::condition_variable done_cv_;
-  std::shared_ptr<Batch> current_;  // null when idle
-  bool stop_ = false;
+  /// Serializes run_tasks callers; held across a whole batch, so it is
+  /// ordered strictly before the state mutex below.
+  AnnotatedMutex batch_mutex_ POOLED_ACQUIRED_BEFORE(mutex_);
+  AnnotatedMutex mutex_;  // protects current_/stop_ + cvs
+  std::condition_variable_any cv_;
+  std::condition_variable_any done_cv_;
+  std::shared_ptr<Batch> current_ POOLED_GUARDED_BY(mutex_);  // null when idle
+  bool stop_ POOLED_GUARDED_BY(mutex_) = false;
   std::vector<std::thread> workers_;
   static thread_local bool inside_task_;
   static thread_local unsigned lane_;

@@ -20,4 +20,11 @@ void assert_failure(const char* condition, std::source_location where) {
   std::abort();
 }
 
+void check_failure(const char* condition, const char* message,
+                   std::source_location where) {
+  std::fprintf(stderr, "pooled invariant violated: %s [%s] at %s:%u\n", message,
+               condition, where.file_name(), static_cast<unsigned>(where.line()));
+  std::abort();
+}
+
 }  // namespace pooled::detail

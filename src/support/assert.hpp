@@ -1,9 +1,19 @@
 // Contract checking for the pooled library.
 //
-// Two tiers:
+// Four tiers:
 //   POOLED_REQUIRE(cond, msg)  -- precondition on public API boundaries.
 //     Always evaluated; throws pooled::ContractError so callers (and the
 //     test suite) can observe violations.
+//   POOLED_CHECK(cond, msg)    -- invariant that must hold in every
+//     build. Always evaluated; prints the condition, message, and
+//     file:line to stderr and aborts. Use where a violation means the
+//     process state is already corrupt (lock-boundary invariants,
+//     queue/span parallelism, bookkeeping counts) -- throwing would
+//     just smear the corruption across an unwind.
+//   POOLED_DCHECK(cond, msg)   -- same contract as POOLED_CHECK, but
+//     compiled out of Release builds (kept under POOLED_ENABLE_ASSERTS
+//     or any !NDEBUG build). For invariants too hot to check in
+//     production.
 //   POOLED_ASSERT(cond)        -- internal invariant on hot paths.
 //     Compiled out unless POOLED_ENABLE_ASSERTS or a debug build.
 #pragma once
@@ -24,6 +34,8 @@ namespace detail {
 [[noreturn]] void contract_failure(const char* condition, const std::string& message,
                                    std::source_location where);
 [[noreturn]] void assert_failure(const char* condition, std::source_location where);
+[[noreturn]] void check_failure(const char* condition, const char* message,
+                                std::source_location where);
 }  // namespace detail
 
 }  // namespace pooled
@@ -35,6 +47,22 @@ namespace detail {
                                          std::source_location::current());         \
     }                                                                              \
   } while (false)
+
+#define POOLED_CHECK(cond, msg)                                                    \
+  do {                                                                             \
+    if (!(cond)) {                                                                 \
+      ::pooled::detail::check_failure(#cond, (msg),                                \
+                                      std::source_location::current());            \
+    }                                                                              \
+  } while (false)
+
+#if defined(POOLED_ENABLE_ASSERTS) || !defined(NDEBUG)
+#define POOLED_DCHECK(cond, msg) POOLED_CHECK(cond, msg)
+#else
+#define POOLED_DCHECK(cond, msg) \
+  do {                           \
+  } while (false)
+#endif
 
 #if defined(POOLED_ENABLE_ASSERTS) || !defined(NDEBUG)
 #define POOLED_ASSERT(cond)                                                        \

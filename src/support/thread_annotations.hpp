@@ -1,0 +1,128 @@
+// Clang thread-safety annotations for the threaded core.
+//
+// The serving stack is a web of mutexes: the thread pool's batch state,
+// the result cache's LRU, per-connection queues in the socket server,
+// per-shard bookkeeping in the router, the metrics registry's name
+// table. Each one has a written contract ("guarded by mutex_", "caller
+// holds mutex_") that until now lived in comments. These macros turn
+// those comments into compiler-checked facts: under Clang,
+// `-Wthread-safety -Werror` (enabled automatically by CMakeLists.txt
+// for Clang builds, and by the `thread-safety` CI job) rejects any
+// access to a POOLED_GUARDED_BY member without its mutex held and any
+// call to a POOLED_REQUIRES function without the stated capability.
+// Under GCC the macros expand to nothing and the code is unchanged.
+//
+// Vocabulary (the standard Clang capability set, POOLED_-prefixed):
+//
+//   POOLED_GUARDED_BY(m)   data member readable/writable only with m held
+//   POOLED_PT_GUARDED_BY(m) pointee (not the pointer) guarded by m
+//   POOLED_REQUIRES(m)     function callable only with m already held
+//   POOLED_ACQUIRE(m) / POOLED_RELEASE(m)  function acquires/releases m
+//   POOLED_TRY_ACQUIRE(b, m)  returns b when m was acquired
+//   POOLED_EXCLUDES(m)     function must NOT be entered with m held
+//   POOLED_ACQUIRED_BEFORE/AFTER(m)  documents lock ordering (checked
+//                          only under -Wthread-safety-beta; kept as
+//                          machine-readable documentation regardless)
+//   POOLED_NO_THREAD_SAFETY_ANALYSIS  opts a function out -- every use
+//                          must carry a comment stating the invariant
+//                          that makes the unchecked access safe
+//
+// The analysis only understands annotated lock types, so the threaded
+// core locks an AnnotatedMutex through a LockGuard instead of a
+// std::mutex through std::lock_guard/std::unique_lock. LockGuard is a
+// relockable scoped capability: it satisfies BasicLockable, so
+// condition waits use std::condition_variable_any (wait loops are
+// written out explicitly -- `while (!cond) cv.wait(lock);` -- because
+// the analysis does not see through predicate lambdas).
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__)
+#define POOLED_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define POOLED_THREAD_ANNOTATION(x)  // GCC et al.: annotations vanish
+#endif
+
+#define POOLED_CAPABILITY(x) POOLED_THREAD_ANNOTATION(capability(x))
+#define POOLED_SCOPED_CAPABILITY POOLED_THREAD_ANNOTATION(scoped_lockable)
+#define POOLED_GUARDED_BY(x) POOLED_THREAD_ANNOTATION(guarded_by(x))
+#define POOLED_PT_GUARDED_BY(x) POOLED_THREAD_ANNOTATION(pt_guarded_by(x))
+#define POOLED_ACQUIRED_BEFORE(...) \
+  POOLED_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define POOLED_ACQUIRED_AFTER(...) \
+  POOLED_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define POOLED_REQUIRES(...) \
+  POOLED_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define POOLED_ACQUIRE(...) \
+  POOLED_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define POOLED_RELEASE(...) \
+  POOLED_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define POOLED_TRY_ACQUIRE(...) \
+  POOLED_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define POOLED_EXCLUDES(...) \
+  POOLED_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define POOLED_ASSERT_CAPABILITY(x) \
+  POOLED_THREAD_ANNOTATION(assert_capability(x))
+#define POOLED_RETURN_CAPABILITY(x) POOLED_THREAD_ANNOTATION(lock_returned(x))
+#define POOLED_NO_THREAD_SAFETY_ANALYSIS \
+  POOLED_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace pooled {
+
+/// std::mutex the analysis can see. Same cost, same semantics; the
+/// capability attribute is the only addition.
+class POOLED_CAPABILITY("mutex") AnnotatedMutex {
+ public:
+  AnnotatedMutex() = default;
+  AnnotatedMutex(const AnnotatedMutex&) = delete;
+  AnnotatedMutex& operator=(const AnnotatedMutex&) = delete;
+
+  void lock() POOLED_ACQUIRE() { mutex_.lock(); }
+  void unlock() POOLED_RELEASE() { mutex_.unlock(); }
+  bool try_lock() POOLED_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// RAII lock over an AnnotatedMutex: std::lock_guard when used plainly,
+/// std::unique_lock when a condition variable needs to release and
+/// reacquire it (BasicLockable), and an adopter for mutexes taken with
+/// try_lock():
+///
+///   if (!m.try_lock()) return;          // analysis tracks the branch
+///   const LockGuard lock(m, std::adopt_lock);
+///
+/// The analysis tracks the lock()/unlock() pairs, so an early unlock()
+/// followed by scope exit is understood, not double-released.
+class POOLED_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(AnnotatedMutex& mutex) POOLED_ACQUIRE(mutex)
+      : mutex_(mutex), owns_(true) {
+    mutex_.lock();
+  }
+  LockGuard(AnnotatedMutex& mutex, std::adopt_lock_t) POOLED_REQUIRES(mutex)
+      : mutex_(mutex), owns_(true) {}
+  ~LockGuard() POOLED_RELEASE() {
+    if (owns_) mutex_.unlock();
+  }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+  void lock() POOLED_ACQUIRE() {
+    mutex_.lock();
+    owns_ = true;
+  }
+  void unlock() POOLED_RELEASE() {
+    mutex_.unlock();
+    owns_ = false;
+  }
+
+ private:
+  AnnotatedMutex& mutex_;
+  bool owns_;
+};
+
+}  // namespace pooled

@@ -1,0 +1,258 @@
+// Race-provoking torture batteries for the ThreadSanitizer lane.
+//
+// Each test aims many threads at one of the concurrent structures and
+// keeps them colliding long enough for TSan to observe every pairing the
+// design allows: lock-free metric updates against registry snapshots,
+// cache hits against inserts and evictions, and a shard fleet losing and
+// readmitting a backend mid-traffic. The assertions are deliberately
+// coarse (monotonic counters, bounded sizes, every job answered) -- the
+// point of the test is the interleavings themselves, which the `race`
+// ctest label lets the TSan CI job select:
+//
+//   ctest -L race        # just these batteries
+//
+// The batteries also run in the normal suite, where the coarse
+// assertions still catch lost updates and broken eviction accounting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/batch_engine.hpp"
+#include "engine/result_cache.hpp"
+#include "engine/serve_server.hpp"
+#include "engine/shard_router.hpp"
+#include "engine/socket_transport.hpp"
+#include "obs/metrics.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace pooled {
+namespace {
+
+using std::chrono::steady_clock;
+
+/// Wall-clock budget per battery: long enough to pile up collisions,
+/// short enough that the suite stays interactive off the TSan lane.
+constexpr auto kBatteryBudget = std::chrono::milliseconds(300);
+
+// ---------------------------------------------------------------------
+// MetricsRegistry: snapshot() walks the name table under the registry
+// mutex while writers update resolved Counters/Gauges/Histograms
+// lock-free and keep registering fresh names. TSan checks that the
+// deliberate escape (relaxed atomics outside the lock) is the only one.
+
+TEST(RaceTorture, MetricsRegistrySnapshotVsIncrement) {
+  MetricsRegistry registry;
+  std::atomic<bool> stop{false};
+  constexpr int kWriters = 4;
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&registry, &stop, t] {
+      Counter& shared = registry.counter("torture.shared");
+      Gauge& gauge = registry.gauge("torture.gauge" + std::to_string(t));
+      LatencyHistogram& hist = registry.histogram("torture.hist");
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        shared.add(1);
+        gauge.add(1);
+        hist.record_us(i % 4096);
+        if (i % 64 == 0) {
+          // Registration (layout growth) keeps racing the snapshots.
+          registry
+              .counter("torture.dyn" + std::to_string(t) + "." +
+                       std::to_string(i % 8))
+              .add(1);
+        }
+        ++i;
+      }
+      gauge.add(-static_cast<std::int64_t>(i));
+    });
+  }
+
+  const auto deadline = steady_clock::now() + kBatteryBudget;
+  std::uint64_t snapshots = 0;
+  std::uint64_t last_shared = 0;
+  while (steady_clock::now() < deadline) {
+    const MetricsSnapshot snap = registry.snapshot();
+    const std::uint64_t shared = snap.counter_value("torture.shared");
+    // A counter may lag in-flight adds but must never run backwards.
+    EXPECT_GE(shared, last_shared);
+    last_shared = shared;
+    const MetricValue* hist = snap.find("torture.hist");
+    if (hist != nullptr && hist->hist.count > 0) {
+      EXPECT_LE(hist->hist.min_seconds, hist->hist.max_seconds);
+    }
+    ++snapshots;
+  }
+  stop.store(true);
+  for (std::thread& writer : writers) writer.join();
+  EXPECT_GT(snapshots, 0u);
+
+  // Quiescent: the final snapshot sees every add, and the gauges were
+  // wound back down to zero before the writers exited.
+  const MetricsSnapshot final_snap = registry.snapshot();
+  EXPECT_GE(final_snap.counter_value("torture.shared"), last_shared);
+  for (int t = 0; t < kWriters; ++t) {
+    EXPECT_EQ(final_snap.gauge_value("torture.gauge" + std::to_string(t)), 0);
+  }
+}
+
+// ---------------------------------------------------------------------
+// ResultCache: concurrent hits, inserts, and (capacity 16 against a
+// 64-key space) constant evictions, with a stats() reader riding along.
+
+TEST(RaceTorture, ResultCacheHitInsertEvict) {
+  constexpr std::size_t kCapacity = 16;
+  constexpr std::uint32_t kKeySpace = 64;
+  ResultCache cache(kCapacity);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> lookups{0};
+
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &stop, &lookups, t] {
+      std::mt19937 rng(0xC0FFEEu + static_cast<unsigned>(t));
+      std::uniform_int_distribution<std::uint32_t> pick(0, kKeySpace - 1);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::uint32_t id = pick(rng);
+        const std::string key = "torture.key" + std::to_string(id);
+        lookups.fetch_add(1, std::memory_order_relaxed);
+        if (const std::optional<DecodeReport> hit = cache.lookup(key)) {
+          // Integrity: a hit is the report inserted under that key.
+          EXPECT_EQ(hit->n, id);
+          EXPECT_EQ(hit->decoder_name, "torture");
+        } else {
+          DecodeReport report;
+          report.decoder_name = "torture";
+          report.n = id;
+          cache.insert(key, report);
+        }
+      }
+    });
+  }
+
+  const auto deadline = steady_clock::now() + kBatteryBudget;
+  while (steady_clock::now() < deadline) {
+    const CacheStats stats = cache.stats();
+    EXPECT_LE(stats.size, kCapacity);
+    EXPECT_EQ(stats.capacity, kCapacity);
+    // Eviction only ever removes what an insertion put in.
+    EXPECT_GE(stats.insertions, stats.evictions);
+    std::this_thread::yield();
+  }
+  stop.store(true);
+  for (std::thread& thread : threads) thread.join();
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, lookups.load());
+  EXPECT_EQ(stats.size, stats.insertions - stats.evictions);
+  EXPECT_LE(stats.size, kCapacity);
+}
+
+// ---------------------------------------------------------------------
+// ShardRouter: a two-shard fleet on unix sockets (restartable on the
+// same path, unlike port-0 TCP) loses shard 0 repeatedly while
+// submitters keep routing. Every job must still be answered ok (retried
+// on the survivor), and the fleet must converge back to full strength.
+
+DecodeJob torture_job(std::uint64_t seed) {
+  ThreadPool pool(1);
+  DesignParams params;
+  params.n = 120;
+  params.seed = seed;
+  const Signal truth = Signal::random(120, 3, seed ^ 0x51D);
+  DecodeJob job;
+  job.spec = simulate_spec(DesignKind::RandomRegular, params, 90, truth, pool);
+  job.decoder = "mn";
+  job.k = 3;
+  return job;
+}
+
+TEST(RaceTorture, ShardRouterKillReadmit) {
+  const std::string base = ::testing::TempDir() + "pooled_race_";
+  const std::vector<SocketAddress> addresses = {
+      SocketAddress::parse("unix:" + base + "0.sock"),
+      SocketAddress::parse("unix:" + base + "1.sock"),
+  };
+
+  ThreadPool pool(2);
+  const BatchEngine engine(pool);
+  std::vector<std::unique_ptr<ServeServer>> servers;
+  for (const SocketAddress& address : addresses) {
+    servers.push_back(std::make_unique<ServeServer>(
+        ListenSocket::bind_and_listen(address), engine));
+    servers.back()->start();
+  }
+
+  ShardRouterOptions options;
+  options.probe_seconds = 0.01;
+  ShardRouter router(addresses, options);
+  router.start();
+
+  std::atomic<bool> chaos_stop{false};
+  std::thread chaos([&] {
+    // Kill/readmit cycle: stop() resets shard 0's connections (its
+    // in-flight jobs retry on shard 1), then a fresh server on the same
+    // path lets the prober readmit it.
+    while (!chaos_stop.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(40));
+      if (chaos_stop.load()) break;
+      servers[0]->stop();
+      servers[0] = std::make_unique<ServeServer>(
+          ListenSocket::bind_and_listen(addresses[0]), engine);
+      servers[0]->start();
+    }
+  });
+
+  constexpr int kSubmitters = 2;
+  constexpr int kBatches = 3;
+  constexpr int kJobsPerBatch = 4;
+  std::atomic<int> answered{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&router, &answered, t] {
+      for (int b = 0; b < kBatches; ++b) {
+        std::vector<DecodeJob> jobs;
+        jobs.reserve(kJobsPerBatch);
+        for (int j = 0; j < kJobsPerBatch; ++j) {
+          jobs.push_back(torture_job(
+              static_cast<std::uint64_t>(t * 1000 + b * 10 + j + 1)));
+        }
+        const std::vector<DecodeReport> reports = router.route(jobs);
+        for (const DecodeReport& report : reports) {
+          EXPECT_TRUE(report.ok()) << report.error;
+          answered.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& submitter : submitters) submitter.join();
+  chaos_stop.store(true);
+  chaos.join();
+  EXPECT_EQ(answered.load(), kSubmitters * kBatches * kJobsPerBatch);
+
+  // Self-stabilization: with the chaos over, the prober re-dials shard 0
+  // and the fleet converges back to full capacity.
+  const auto deadline = steady_clock::now() + std::chrono::seconds(30);
+  while (router.alive_count() < addresses.size()) {
+    ASSERT_LT(steady_clock::now(), deadline)
+        << "fleet never converged back to " << addresses.size() << " shards";
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  router.stop();
+  for (const auto& server : servers) server->stop();
+}
+
+}  // namespace
+}  // namespace pooled

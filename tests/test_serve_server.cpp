@@ -439,12 +439,18 @@ TEST(ServeServer, ClientDisconnectMidDecodeCancelsInFlightJobs) {
     client.out().flush();
   }  // full close, no shutdown_write handshake
 
-  // The reaper's liveness probe must notice the dead peer and flip the
-  // connection's cancel token; the in-flight adaptive decode then stops
-  // at its next round boundary instead of grinding through 600 rounds.
+  // The dead peer must be noticed and the connection's cancel token
+  // flipped; the in-flight adaptive decode then stops at its next round
+  // boundary instead of grinding through 600 rounds. Two detection
+  // paths race, both valid: the reaper's probe write fails (reaped), or
+  // that same probe provokes an RST that fails the reader's recv first
+  // (errored). Which one wins is pure scheduling -- under TSan the
+  // reader regularly loses its clean EOF to the probe's RST.
   wait_until([&] { return server.stats().jobs_cancelled >= 1; },
              "the in-flight decode to be cancelled");
-  EXPECT_GE(server.stats().connections_reaped, 1u);
+  EXPECT_GE(server.stats().connections_reaped +
+                server.stats().connections_errored,
+            1u);
 
   // The workers are back: a live client is served promptly.
   SocketStream next(Socket::dial(server.address()));
@@ -459,7 +465,9 @@ TEST(ServeServer, ClientDisconnectMidDecodeCancelsInFlightJobs) {
   // connection and the cancelled (still-delivered-or-dropped) job are
   // visible to a stats consumer, and nothing counted as a clean failure.
   const MetricsSnapshot snapshot = server.build_snapshot();
-  EXPECT_GE(snapshot.counter_value("serve.connections_reaped"), 1u);
+  EXPECT_GE(snapshot.counter_value("serve.connections_reaped") +
+                snapshot.counter_value("serve.connections_errored"),
+            1u);
   EXPECT_GE(snapshot.counter_value("serve.jobs_cancelled"), 1u);
   EXPECT_EQ(snapshot.counter_value("serve.jobs_failed"), 0u);
   // `next` may or may not have finished winding down by now, so only the

@@ -2,10 +2,12 @@
 // SIGKILL failover onto survivors, and readmission after restart.
 //
 // The failover tests need shards that die like crashed processes (RST /
-// vanished fd, not an orderly shutdown), so they fork() real children
-// running a ServeServer and SIGKILL them mid-batch. Children are forked
-// before the parent creates any router/engine threads (fork safety) and
-// report their bound port over a pipe.
+// vanished fd, not an orderly shutdown), so they fork()+exec() real
+// children running a ServeServer and SIGKILL them mid-batch. The exec
+// (of this same binary, in --shard-child mode; see main) matters: a
+// bare fork from a threaded parent inherits locks held by non-forked
+// threads, and ThreadSanitizer refuses to start threads in such a child
+// outright. Each child reports its bound port over a pipe.
 #include <gtest/gtest.h>
 
 #include <signal.h>
@@ -100,53 +102,100 @@ struct LocalFleet {
 };
 
 // ---------------------------------------------------------------------
-// Forked shard children (for tests that SIGKILL a shard).
+// Exec'd shard children (for tests that SIGKILL or restart a shard).
+
+/// The child side of spawn_shard: serves decode requests on
+/// 127.0.0.1:`port` (0 = kernel's pick) until SIGKILLed, reporting the
+/// bound port over `ready_fd`. Runs in a freshly exec'd copy of this
+/// binary (dispatched from main), so it is single-threaded at birth no
+/// matter how many threads the test already has.
+int run_shard_child(std::uint16_t port, int ready_fd) {
+  try {
+    const SocketAddress address =
+        SocketAddress::parse("127.0.0.1:" + std::to_string(port));
+    std::optional<ListenSocket> listener;
+    // A restarted shard rebinds its predecessor's port; give the
+    // kernel a moment to release it.
+    for (int attempt = 0; attempt < 100 && !listener; ++attempt) {
+      try {
+        listener.emplace(ListenSocket::bind_and_listen(address));
+      } catch (const std::exception&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+    }
+    if (!listener) return 3;
+    ThreadPool pool(2);
+    const BatchEngine engine(pool);
+    ServeServer server(std::move(*listener), engine);
+    server.start();
+    const std::uint16_t bound = server.address().port;
+    if (::write(ready_fd, &bound, sizeof(bound)) != sizeof(bound)) return 4;
+    ::close(ready_fd);
+    for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
+  } catch (...) {
+    return 2;
+  }
+}
 
 struct ShardProcess {
+  ShardProcess() = default;
+  ShardProcess(ShardProcess&& other) noexcept
+      : pid(other.pid), port(other.port) {
+    other.pid = -1;
+  }
+  ShardProcess& operator=(ShardProcess&& other) noexcept {
+    if (this != &other) {
+      reap();
+      pid = other.pid;
+      port = other.port;
+      other.pid = -1;
+    }
+    return *this;
+  }
+  ShardProcess(const ShardProcess&) = delete;
+  ShardProcess& operator=(const ShardProcess&) = delete;
+  // SIGKILL on destruction: a test that fails mid-body must not leak a
+  // child, because the child inherits the test's stdout pipe and ctest
+  // would wait on its EOF forever.
+  ~ShardProcess() { reap(); }
+
+  void reap() {
+    if (pid <= 0) return;
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+    pid = -1;
+  }
+
   pid_t pid = -1;
   std::uint16_t port = 0;
 };
 
-/// Forks a child that serves decode requests on 127.0.0.1:`port` (0 =
-/// kernel's pick) until it is killed. Must be called before the parent
-/// spawns threads (routers, engines): fork only duplicates the calling
-/// thread, and a lock held by a non-forked thread would deadlock the
-/// child.
+/// Spawns a shard-server child via fork+exec of this binary (see
+/// run_shard_child) and waits for its bound port. Safe to call from a
+/// test that already has threads running.
 ShardProcess spawn_shard(std::uint16_t port) {
   int ready_pipe[2];
   POOLED_REQUIRE(::pipe(ready_pipe) == 0, "pipe failed");
+  // Argument strings are built *before* fork: between fork and exec in
+  // a threaded parent only async-signal-safe calls are allowed (another
+  // thread may have held the allocator lock at fork time).
+  const std::string port_arg = std::to_string(port);
+  const std::string fd_arg = std::to_string(ready_pipe[1]);
+  char* const child_argv[] = {
+      const_cast<char*>("test_shard_router"),
+      const_cast<char*>("--shard-child"),
+      const_cast<char*>(port_arg.c_str()),
+      const_cast<char*>(fd_arg.c_str()),
+      nullptr,
+  };
   const pid_t pid = ::fork();
   POOLED_REQUIRE(pid >= 0, "fork failed");
   if (pid == 0) {
-    // Child. _exit on every path: no gtest teardown, no atexit.
+    // Child: close the read end and become a fresh shard server. The
+    // write end rides through exec (pipe() sets no O_CLOEXEC).
     ::close(ready_pipe[0]);
-    try {
-      const SocketAddress address =
-          SocketAddress::parse("127.0.0.1:" + std::to_string(port));
-      std::optional<ListenSocket> listener;
-      // A restarted shard rebinds its predecessor's port; give the
-      // kernel a moment to release it.
-      for (int attempt = 0; attempt < 100 && !listener; ++attempt) {
-        try {
-          listener.emplace(ListenSocket::bind_and_listen(address));
-        } catch (const std::exception&) {
-          std::this_thread::sleep_for(std::chrono::milliseconds(50));
-        }
-      }
-      if (!listener) ::_exit(3);
-      ThreadPool pool(2);
-      const BatchEngine engine(pool);
-      ServeServer server(std::move(*listener), engine);
-      server.start();
-      const std::uint16_t bound = server.address().port;
-      if (::write(ready_pipe[1], &bound, sizeof(bound)) != sizeof(bound)) {
-        ::_exit(4);
-      }
-      ::close(ready_pipe[1]);
-      for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
-    } catch (...) {
-      ::_exit(2);
-    }
+    ::execv("/proc/self/exe", child_argv);
+    ::_exit(127);  // exec failed
   }
   ::close(ready_pipe[1]);
   ShardProcess shard;
@@ -158,12 +207,7 @@ ShardProcess spawn_shard(std::uint16_t port) {
   return shard;
 }
 
-void kill_shard(ShardProcess& shard) {
-  if (shard.pid <= 0) return;
-  ::kill(shard.pid, SIGKILL);
-  ::waitpid(shard.pid, nullptr, 0);
-  shard.pid = -1;
-}
+void kill_shard(ShardProcess& shard) { shard.reap(); }
 
 // ---------------------------------------------------------------------
 
@@ -409,3 +453,16 @@ TEST(ShardRouter, FullOutageFailsPendingJobsAfterTimeout) {
 
 }  // namespace
 }  // namespace pooled
+
+// Custom main (overrides gtest_main's): `--shard-child <port> <fd>`
+// makes this binary run as one exec'd shard server for spawn_shard
+// instead of a test suite.
+int main(int argc, char** argv) {
+  if (argc == 4 && std::string(argv[1]) == "--shard-child") {
+    return pooled::run_shard_child(
+        static_cast<std::uint16_t>(std::stoul(argv[2])),
+        static_cast<int>(std::stol(argv[3])));
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

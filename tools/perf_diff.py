@@ -18,7 +18,13 @@ Everything else -- slower RTT percentiles, deeper queues, bigger arenas
 -- is reported but does not fail the job: those are trajectory signals,
 not gates.
 
+A malformed input (missing file, broken JSON, or a record without the
+keys the perf suite always writes) exits 2 with a message naming the
+offender, so a half-written BENCH_perf.json reads as "fix the input",
+never as a perf verdict.
+
 Usage: perf_diff.py <baseline.json> <current.json>
+       perf_diff.py --self-test
 """
 import json
 import sys
@@ -27,30 +33,46 @@ SECTION_SPEEDUP_RATIO_FLOOR = 0.5
 THROUGHPUT_RATIO_FLOOR = 0.4
 
 
+class MalformedInput(Exception):
+    """An input file is structurally unusable (vs. merely slow)."""
+
+
 def fmt(value: float) -> str:
     return f"{value:.3g}"
 
 
-def main() -> int:
-    if len(sys.argv) != 3:
-        print(__doc__, file=sys.stderr)
-        return 2
-    with open(sys.argv[1]) as f:
-        baseline = json.load(f)
-    with open(sys.argv[2]) as f:
-        current = json.load(f)
+def pick(mapping, key, where):
+    """mapping[key], or a MalformedInput naming the record and the key."""
+    if not isinstance(mapping, dict) or key not in mapping:
+        raise MalformedInput(f"{where} is missing key '{key}'")
+    return mapping[key]
 
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as error:
+        raise MalformedInput(f"cannot read {path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise MalformedInput(f"{path} is not valid JSON: {error}") from error
+
+
+def run_diff(baseline, current) -> int:
     failures = []
 
-    base_sections = {s["name"]: s for s in baseline.get("sections", [])}
+    base_sections = {}
+    for section in baseline.get("sections", []):
+        base_sections[pick(section, "name", "baseline section")] = section
     for section in current.get("sections", []):
-        name = section["name"]
-        speedup = section["speedup_vs_baseline"]
+        name = pick(section, "name", "current section")
+        speedup = pick(section, "speedup_vs_baseline", f"section '{name}'")
         base = base_sections.get(name)
         if base is None:
             print(f"  {name}: {fmt(speedup)}x (no committed baseline)")
             continue
-        base_speedup = base["speedup_vs_baseline"]
+        base_speedup = pick(base, "speedup_vs_baseline",
+                            f"baseline section '{name}'")
         ratio = speedup / base_speedup if base_speedup > 0 else 1.0
         print(f"  {name}: {fmt(speedup)}x vs committed {fmt(base_speedup)}x "
               f"({fmt(ratio)}x of trajectory)")
@@ -65,9 +87,11 @@ def main() -> int:
         failures.append("current run has no saturation section")
     else:
         base_sat = baseline.get("saturation")
-        throughput = sat["throughput_jobs_per_sec"]
+        throughput = pick(sat, "throughput_jobs_per_sec",
+                          "current saturation section")
         if base_sat is not None:
-            base_throughput = base_sat["throughput_jobs_per_sec"]
+            base_throughput = pick(base_sat, "throughput_jobs_per_sec",
+                                   "baseline saturation section")
             ratio = throughput / base_throughput if base_throughput > 0 else 1.0
             print(f"  saturation throughput: {fmt(throughput)} jobs/s vs "
                   f"committed {fmt(base_throughput)} ({fmt(ratio)}x)")
@@ -77,22 +101,27 @@ def main() -> int:
                     f"below {THROUGHPUT_RATIO_FLOOR}x of committed "
                     f"{fmt(base_throughput)}")
             for key in ("rtt_p50_ms", "rtt_p95_ms", "rtt_p99_ms"):
-                print(f"  saturation {key}: {fmt(sat[key])} vs committed "
-                      f"{fmt(base_sat[key])}  (informational)")
+                # Informational only, so an absent percentile (an older
+                # vintage of the suite) degrades to "n/a", not an error.
+                ours = fmt(sat[key]) if key in sat else "n/a"
+                theirs = fmt(base_sat[key]) if key in base_sat else "n/a"
+                print(f"  saturation {key}: {ours} vs committed {theirs}"
+                      "  (informational)")
         else:
             print(f"  saturation throughput: {fmt(throughput)} jobs/s "
                   "(no committed baseline)")
         # Structural checks hold regardless of the baseline's vintage.
-        if sat["jobs_served"] != sat["jobs"]:
+        where = "current saturation section"
+        if pick(sat, "jobs_served", where) != pick(sat, "jobs", where):
             failures.append(
                 f"server served {sat['jobs_served']} of {sat['jobs']} jobs")
-        if sat["midload_jobs_served"] <= 0:
+        if pick(sat, "midload_jobs_served", where) <= 0:
             failures.append("mid-load stats frame reported zero jobs served")
-        if sat["cache_hit_rate"] <= 0.0:
+        if pick(sat, "cache_hit_rate", where) <= 0.0:
             failures.append("result cache never hit under repeated specs")
         print(f"  saturation cache hit-rate {fmt(sat['cache_hit_rate'] * 100)}%"
-              f", queue-depth peak {sat['queue_depth_peak']}, arena peak "
-              f"{sat['arena_peak_bytes']} bytes")
+              f", queue-depth peak {sat.get('queue_depth_peak', 'n/a')}, arena "
+              f"peak {sat.get('arena_peak_bytes', 'n/a')} bytes")
 
     if failures:
         for failure in failures:
@@ -100,6 +129,80 @@ def main() -> int:
         return 1
     print("  perf diff ok")
     return 0
+
+
+def self_test() -> int:
+    """Exercises the pass, fail, and malformed paths on fixtures."""
+    saturation = {
+        "throughput_jobs_per_sec": 100.0,
+        "rtt_p50_ms": 1.0, "rtt_p95_ms": 2.0, "rtt_p99_ms": 3.0,
+        "jobs": 64, "jobs_served": 64,
+        "midload_jobs_served": 10,
+        "cache_hit_rate": 0.5,
+        "queue_depth_peak": 4, "arena_peak_bytes": 1024,
+    }
+    good = {
+        "sections": [{"name": "decode", "speedup_vs_baseline": 2.0}],
+        "saturation": dict(saturation),
+    }
+
+    checks = []
+
+    checks.append(("identical runs pass", run_diff(good, good) == 0))
+
+    slow = json.loads(json.dumps(good))
+    slow["sections"][0]["speedup_vs_baseline"] = 0.5
+    checks.append(("halved speedup fails", run_diff(good, slow) == 1))
+
+    starved = json.loads(json.dumps(good))
+    starved["saturation"]["throughput_jobs_per_sec"] = 10.0
+    checks.append(("collapsed throughput fails", run_diff(good, starved) == 1))
+
+    # Partial records must raise with the offending key, not KeyError.
+    for mutilate, missing in (
+        (lambda d: d["sections"][0].pop("speedup_vs_baseline"),
+         "speedup_vs_baseline"),
+        (lambda d: d["sections"][0].pop("name"), "name"),
+        (lambda d: d["saturation"].pop("throughput_jobs_per_sec"),
+         "throughput_jobs_per_sec"),
+        (lambda d: d["saturation"].pop("jobs_served"), "jobs_served"),
+    ):
+        broken = json.loads(json.dumps(good))
+        mutilate(broken)
+        try:
+            run_diff(good, broken)
+            checks.append((f"missing '{missing}' raises", False))
+        except MalformedInput as error:
+            checks.append((f"missing '{missing}' raises", missing in str(error)))
+
+    # An old baseline without RTT percentiles is informational, not fatal.
+    vintage = json.loads(json.dumps(good))
+    for key in ("rtt_p50_ms", "rtt_p95_ms", "rtt_p99_ms"):
+        vintage["saturation"].pop(key)
+    checks.append(("vintage baseline degrades", run_diff(vintage, good) == 0))
+
+    failed = [name for name, ok in checks if not ok]
+    for name, ok in checks:
+        print(f"  self-test {'ok  ' if ok else 'FAIL'} {name}")
+    if failed:
+        print(f"perf_diff self-test failed: {', '.join(failed)}",
+              file=sys.stderr)
+        return 1
+    print("perf_diff self-test ok")
+    return 0
+
+
+def main() -> int:
+    if len(sys.argv) == 2 and sys.argv[1] == "--self-test":
+        return self_test()
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        return run_diff(load(sys.argv[1]), load(sys.argv[2]))
+    except MalformedInput as error:
+        print(f"perf diff: malformed input: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Runs the clang-tidy gate (.clang-tidy) over the library and tools,
+# driving off the compilation database CMake exports.
+#
+#   tools/run_tidy.sh [build-dir]    # default build dir: build
+#
+# Environment:
+#   CLANG_TIDY  clang-tidy binary to use (default: clang-tidy)
+#
+# Exits nonzero on any finding (WarningsAsErrors: '*' in .clang-tidy),
+# which is what the CI tidy job enforces. Tests are deliberately out of
+# scope: gtest's macros trip checks the production tree must stay clean
+# of, and the gate is about the shipped library and CLI.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+TIDY="${CLANG_TIDY:-clang-tidy}"
+
+if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+  echo "error: ${BUILD_DIR}/compile_commands.json not found." >&2
+  echo "Configure first: cmake -B ${BUILD_DIR} -S . (the tree exports" >&2
+  echo "CMAKE_EXPORT_COMPILE_COMMANDS unconditionally)." >&2
+  exit 2
+fi
+if ! command -v "${TIDY}" >/dev/null 2>&1; then
+  echo "error: ${TIDY} not found; install clang-tidy or set CLANG_TIDY." >&2
+  exit 2
+fi
+
+# Library sources plus the CLI: every TU the static library ships.
+mapfile -t FILES < <(find src tools -name '*.cpp' | sort)
+echo "clang-tidy gate: ${#FILES[@]} files against ${BUILD_DIR}/compile_commands.json"
+
+# xargs -P keeps all cores busy; any failing invocation fails the gate.
+printf '%s\n' "${FILES[@]}" |
+  xargs -P "$(nproc)" -n 4 "${TIDY}" -p "${BUILD_DIR}" --quiet
+
+echo "clang-tidy gate: clean"
