@@ -1,0 +1,47 @@
+// Metrics wire-grammar harness: the obs/metrics line format
+// (counter/gauge/label/hist) one line at a time. The grammar promises
+// byte stability -- format(parse(format(parse(line)))) must equal
+// format(parse(line)) -- which is what lets the golden protocol
+// fixtures pin stats frames byte-for-byte. Canonicalizing once first
+// absorbs deliberate parser lenience (trailing junk after a complete
+// line, "-1" wrapping into an unsigned counter); from canonical form on,
+// the format must be exactly stable.
+#include "harnesses.hpp"
+
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "support/assert.hpp"
+
+namespace pooled::fuzz {
+
+int fuzz_metrics_wire(const std::uint8_t* data, std::size_t size) {
+  const std::string bytes(reinterpret_cast<const char*>(data), size);
+  std::istringstream lines(bytes);
+  std::string line;
+  while (std::getline(lines, line)) {
+    MetricValue value;
+    try {
+      value = parse_metric_line(line);
+    } catch (const ContractError&) {
+      continue;  // clean rejection of a malformed line
+    }
+    const std::string canonical = format_metric_line(value);
+    MetricValue again;
+    try {
+      again = parse_metric_line(canonical);
+    } catch (const ContractError&) {
+      POOLED_CHECK(false, "canonical metric line was rejected on reparse");
+    }
+    POOLED_CHECK(format_metric_line(again) == canonical,
+                 "metric line format<->parse is not byte-stable");
+  }
+  return 0;
+}
+
+}  // namespace pooled::fuzz
+
+#ifdef POOLED_FUZZER_MAIN
+POOLED_DEFINE_FUZZER_MAIN(::pooled::fuzz::fuzz_metrics_wire)
+#endif

@@ -1,0 +1,139 @@
+// Protocol-frame harness: every reader of the v1/v2 job, result, and
+// `pooled-stats` grammars over arbitrary bytes, plus the round-trip
+// fixed-point property on everything the readers accept.
+//
+// Allocation discipline rides on the limits:: constants enforced inside
+// the parsers (line length, instance m, support entries, block bytes):
+// the libFuzzer drivers run with -malloc_limit_mb, so a parser that
+// commits giant memory to a hostile header shows up as an OOM finding,
+// not a slow death.
+#include "harnesses.hpp"
+
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "engine/protocol.hpp"
+#include "support/assert.hpp"
+
+namespace pooled::fuzz {
+
+namespace {
+
+/// serialize(parse(serialize(job))) must reproduce serialize(job): once
+/// a frame is in canonical (writer-emitted) form, parse -> serialize is
+/// the identity. Property violations abort via POOLED_CHECK, which the
+/// fuzzer reports as a crash on this input.
+void check_job_fixed_point(const DecodeJob& job) {
+  std::ostringstream first;
+  save_job(first, job);
+  std::istringstream reparse(first.str());
+  std::optional<DecodeJob> again;
+  try {
+    again = load_job(reparse);
+  } catch (const ContractError&) {
+    POOLED_CHECK(false, "serialized job frame was rejected on reparse");
+  }
+  POOLED_CHECK(again.has_value(), "serialized job frame hit end-of-stream");
+  std::ostringstream second;
+  save_job(second, *again);
+  POOLED_CHECK(first.str() == second.str(),
+               "job frame parse->serialize is not a fixed point");
+}
+
+void check_report_fixed_point(const DecodeReport& report) {
+  std::ostringstream first;
+  save_report(first, report);
+  std::istringstream reparse(first.str());
+  std::optional<DecodeReport> again;
+  try {
+    again = load_report(reparse);
+  } catch (const ContractError&) {
+    POOLED_CHECK(false, "serialized result frame was rejected on reparse");
+  }
+  POOLED_CHECK(again.has_value(), "serialized result frame hit end-of-stream");
+  std::ostringstream second;
+  save_report(second, *again);
+  POOLED_CHECK(first.str() == second.str(),
+               "result frame parse->serialize is not a fixed point");
+}
+
+void check_snapshot_fixed_point(const MetricsSnapshot& snapshot) {
+  std::ostringstream first;
+  save_stats_snapshot(first, snapshot);
+  std::istringstream reparse(first.str());
+  std::optional<MetricsSnapshot> again;
+  try {
+    again = load_stats_snapshot(reparse);
+  } catch (const ContractError&) {
+    POOLED_CHECK(false, "serialized stats frame was rejected on reparse");
+  }
+  POOLED_CHECK(again.has_value(), "serialized stats frame hit end-of-stream");
+  std::ostringstream second;
+  save_stats_snapshot(second, *again);
+  POOLED_CHECK(first.str() == second.str(),
+               "stats frame parse->serialize is not a fixed point");
+}
+
+/// Runs one reader over the whole byte stream. A ContractError is the
+/// expected rejection of malformed input; everything else escapes.
+template <class Loader, class Checker>
+void drive(const std::string& bytes, const Loader& loader,
+           const Checker& checker) {
+  std::istringstream is(bytes);
+  try {
+    while (true) {
+      auto parsed = loader(is);
+      if (!parsed.has_value()) break;
+      checker(*parsed);
+    }
+  } catch (const ContractError&) {
+    // Clean, typed rejection: exactly what malformed bytes should get.
+  }
+}
+
+}  // namespace
+
+int fuzz_protocol(const std::uint8_t* data, std::size_t size) {
+  const std::string bytes(reinterpret_cast<const char*>(data), size);
+
+  // The serve server's reader (jobs + stats requests interleaved).
+  drive(
+      bytes, [](std::istream& is) { return load_request(is); },
+      [](const ServeRequest& request) {
+        if (const auto* job = std::get_if<DecodeJob>(&request)) {
+          check_job_fixed_point(*job);
+        }
+      });
+  // The shard router's reader (results + stats answers interleaved).
+  drive(
+      bytes, [](std::istream& is) { return load_response(is); },
+      [](const ServeResponse& response) {
+        if (const auto* report = std::get_if<DecodeReport>(&response)) {
+          check_report_fixed_point(*report);
+        } else {
+          check_snapshot_fixed_point(std::get<MetricsSnapshot>(response));
+        }
+      });
+  // The single-kind readers reject the frames the combined ones accept
+  // (load_job refuses stats frames, and vice versa); drive them too so
+  // those rejection paths stay covered.
+  drive(
+      bytes, [](std::istream& is) { return load_job(is); },
+      [](const DecodeJob& job) { check_job_fixed_point(job); });
+  drive(
+      bytes, [](std::istream& is) { return load_report(is); },
+      [](const DecodeReport& report) { check_report_fixed_point(report); });
+  drive(
+      bytes, [](std::istream& is) { return load_stats_snapshot(is); },
+      [](const MetricsSnapshot& snapshot) {
+        check_snapshot_fixed_point(snapshot);
+      });
+  return 0;
+}
+
+}  // namespace pooled::fuzz
+
+#ifdef POOLED_FUZZER_MAIN
+POOLED_DEFINE_FUZZER_MAIN(::pooled::fuzz::fuzz_protocol)
+#endif

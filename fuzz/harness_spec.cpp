@@ -1,0 +1,38 @@
+// Decoder-spec harness: arbitrary bytes as a registry spec string
+// ("mn:raw", "adaptive:mn:L=16", "gt:threshold:3", ...) through
+// DecoderRegistry parse + factory construction. Factories validate their
+// variants (batch sizes, thresholds, seeds) with from_chars, so every
+// rejection must be a ContractError -- a std::out_of_range or bad_alloc
+// escaping a factory is a finding. Accepted specs must build a usable
+// decoder the registry acknowledges.
+#include "harnesses.hpp"
+
+#include <memory>
+#include <string>
+
+#include "core/decoder.hpp"
+#include "engine/registry.hpp"
+#include "support/assert.hpp"
+
+namespace pooled::fuzz {
+
+int fuzz_spec(const std::uint8_t* data, std::size_t size) {
+  const std::string spec(reinterpret_cast<const char*>(data), size);
+  try {
+    const std::shared_ptr<const Decoder> decoder = make_decoder(spec);
+    POOLED_CHECK(decoder != nullptr, "registry returned a null decoder");
+    POOLED_CHECK(DecoderRegistry::global().contains(spec),
+                 "constructible spec not acknowledged by contains()");
+    POOLED_CHECK(!decoder->name().empty(),
+                 "constructed decoder reports an empty name");
+  } catch (const ContractError&) {
+    // Malformed specs get a clean, typed rejection.
+  }
+  return 0;
+}
+
+}  // namespace pooled::fuzz
+
+#ifdef POOLED_FUZZER_MAIN
+POOLED_DEFINE_FUZZER_MAIN(::pooled::fuzz::fuzz_spec)
+#endif

@@ -1,0 +1,63 @@
+// Fuzz harness entry points over every wire grammar the serve/route
+// stack parses. Each harness is an ordinary function taking a byte
+// buffer, shared by three drivers:
+//
+//   - the libFuzzer executables (CMake option POOLED_BUILD_FUZZERS,
+//     Clang-only): each fuzz_<name> target compiles its harness TU with
+//     POOLED_FUZZER_MAIN defined, which emits the LLVMFuzzerTestOneInput
+//     wrapper below;
+//   - fuzz_replay (built on every compiler, GCC included): runs every
+//     checked-in corpus entry under fuzz/corpora/ through its harness as
+//     a plain ctest suite, so fuzz-found regressions are pinned even in
+//     builds that cannot link libFuzzer;
+//   - the deterministic test batteries (tests/test_protocol_robustness):
+//     exhaustive truncation/corruption loops feed their mutants through
+//     the same harness, so the hand-rolled cases and the coverage-guided
+//     search assert one property set.
+//
+// Contract shared by every harness: malformed input gets a clean, typed
+// rejection (pooled::ContractError) -- any other escape (abort from a
+// violated POOLED_CHECK property, std::bad_alloc from an unbounded
+// buffer, a crash, a hang) is a finding. On accepted input the harnesses
+// additionally assert round-trip properties (parse -> serialize -> parse
+// is a fixed point) and, for the decode differential, kernel-tier
+// equivalence.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pooled::fuzz {
+
+/// Protocol frames: arbitrary bytes through load_request / load_job /
+/// load_response / load_report / load_stats_snapshot (v1, v2, and
+/// `pooled-stats`). Accepted frames must satisfy the fixed-point
+/// property serialize(parse(serialize(parse(x)))) == serialize(parse(x)).
+int fuzz_protocol(const std::uint8_t* data, std::size_t size);
+
+/// Registry decoder spec strings ("mn:raw", "adaptive:mn:L=16",
+/// "gt:threshold:3", ...) through DecoderRegistry parse + factory
+/// construction. Accepted specs must construct a usable decoder.
+int fuzz_spec(const std::uint8_t* data, std::size_t size);
+
+/// The obs/metrics wire grammar (counter/gauge/label/hist lines), one
+/// line at a time. Accepted lines must be format<->parse byte-stable.
+int fuzz_metrics_wire(const std::uint8_t* data, std::size_t size);
+
+/// Structured differential fuzzer: derives a small instance from the
+/// bytes, decodes it under the scalar kernel tier and under every other
+/// tier this host can run, and asserts bit-identical outcomes --
+/// the test_kernels differential battery extended to adversarial inputs.
+int fuzz_decode_differential(const std::uint8_t* data, std::size_t size);
+
+}  // namespace pooled::fuzz
+
+/// Emits the libFuzzer entry point forwarding to `harness`. Each harness
+/// TU instantiates this under POOLED_FUZZER_MAIN (set only on the
+/// fuzz_<name> executables, so all four harnesses can also link into one
+/// replay driver without duplicate symbols).
+#define POOLED_DEFINE_FUZZER_MAIN(harness)                            \
+  extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,     \
+                                        std::size_t size) {           \
+    return harness(data, size);                                       \
+  }

@@ -170,6 +170,9 @@ InstanceSpec load_instance(std::istream& is) {
       saw_t = true;
     } else if (key == "m") {
       POOLED_REQUIRE(static_cast<bool>(is >> spec.m), "truncated m");
+      POOLED_REQUIRE(spec.m <= kMaxInstanceResults,
+                     "m " + std::to_string(spec.m) + " exceeds the limit of " +
+                         std::to_string(kMaxInstanceResults) + " results");
       saw_m = true;
     } else if (key == "y") {
       POOLED_REQUIRE(saw_m, "y field must follow m");
@@ -177,7 +180,7 @@ InstanceSpec load_instance(std::istream& is) {
       // hostile header claiming a huge m fails on the missing values
       // instead of attempting a giant allocation.
       spec.y.clear();
-      spec.y.reserve(std::min<std::uint32_t>(spec.m, 1u << 20));
+      spec.y.reserve(std::min(spec.m, kMaxInstanceResults));
       for (std::uint32_t i = 0; i < spec.m; ++i) {
         std::uint32_t value = 0;
         POOLED_REQUIRE(static_cast<bool>(is >> value), "truncated y values");

@@ -32,6 +32,14 @@
 
 namespace pooled {
 
+/// Hard cap on `m`, the number of query results an instance may carry.
+/// load_instance rejects anything above it before touching the y values,
+/// so a hostile header cannot drive a giant allocation; the engine
+/// protocol re-exports it (engine/protocol.hpp limits::kMaxResults) so
+/// the wire parsers and the fuzz harnesses agree on what "oversized"
+/// means.
+inline constexpr std::uint32_t kMaxInstanceResults = 1u << 20;
+
 /// Everything needed to reconstruct a streamed instance.
 struct InstanceSpec {
   DesignKind kind = DesignKind::RandomRegular;

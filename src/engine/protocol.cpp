@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <istream>
 #include <memory>
 #include <ostream>
@@ -30,6 +31,29 @@ bool is_blank(const std::string& line) {
                      [](unsigned char c) { return std::isspace(c) != 0; });
 }
 
+/// std::getline with the limits::kMaxLineBytes cap: reads through the
+/// underlying streambuf so an over-long line is rejected the moment it
+/// crosses the limit, not after it has been buffered whole. Matches
+/// getline's stream-state contract (failbit at end of stream) so the
+/// `while (read_line(is, line))` loops read like the getline ones did.
+bool read_line(std::istream& is, std::string& line) {
+  line.clear();
+  std::streambuf* buf = is.rdbuf();
+  int ch = buf == nullptr ? std::char_traits<char>::eof() : buf->sbumpc();
+  if (ch == std::char_traits<char>::eof()) {
+    is.setstate(std::ios::eofbit | std::ios::failbit);
+    return false;
+  }
+  while (ch != std::char_traits<char>::eof() && ch != '\n') {
+    POOLED_REQUIRE(line.size() < limits::kMaxLineBytes,
+                   "protocol line exceeds the " +
+                       std::to_string(limits::kMaxLineBytes) + " byte limit");
+    line.push_back(static_cast<char>(ch));
+    ch = buf->sbumpc();
+  }
+  return true;
+}
+
 std::string trimmed(const std::string& line) {
   const auto first = line.find_first_not_of(" \t\r");
   if (first == std::string::npos) return {};
@@ -55,7 +79,7 @@ struct FrameHeader {
 /// and then parse_version.
 std::optional<FrameHeader> read_any_header(std::istream& is) {
   std::string line;
-  while (std::getline(is, line)) {
+  while (read_line(is, line)) {
     if (!is_blank(line)) break;
   }
   if (!is) return std::nullopt;
@@ -144,7 +168,7 @@ DecodeJob load_job_body(std::istream& is, int version_value) {
   bool saw_k = false;
   bool saw_instance = false;
   std::string line;
-  while (std::getline(is, line)) {
+  while (read_line(is, line)) {
     if (is_blank(line)) continue;
     std::istringstream fields(line);
     std::string key;
@@ -167,8 +191,11 @@ DecodeJob load_job_body(std::istream& is, int version_value) {
     } else if (key == "deadline-ms") {
       require_v2(*version, key);
       double millis = 0.0;
-      POOLED_REQUIRE(static_cast<bool>(fields >> millis) && millis > 0.0,
-                     "deadline-ms must be a positive number");
+      // Finite matters: an `inf` deadline would otherwise parse as "wait
+      // forever", turning one hostile frame into a wedged worker.
+      POOLED_REQUIRE(static_cast<bool>(fields >> millis) && millis > 0.0 &&
+                         std::isfinite(millis),
+                     "deadline-ms must be a positive finite number");
       job.deadline_seconds = millis / 1000.0;
     } else if (key == "rounds") {
       require_v2(*version, key);
@@ -185,18 +212,32 @@ DecodeJob load_job_body(std::istream& is, int version_value) {
     } else if (key == "truth") {
       std::vector<std::uint32_t> support;
       std::uint32_t index = 0;
-      while (fields >> index) support.push_back(index);
+      while (fields >> index) {
+        POOLED_REQUIRE(support.size() < limits::kMaxSupportEntries,
+                       "truth line exceeds the " +
+                           std::to_string(limits::kMaxSupportEntries) +
+                           " entry limit");
+        support.push_back(index);
+      }
       job.truth_support = std::move(support);
     } else if (key == "instance") {
       // The embedded instance block runs to the frame's `end` line;
-      // load_instance consumes its whole stream, hence the copy.
+      // load_instance consumes its whole stream, hence the copy. The
+      // copy is bounded: a frame that never terminates cannot make the
+      // reader buffer more than kMaxInstanceBlockBytes.
       std::ostringstream block;
+      std::size_t block_bytes = 0;
       bool terminated = false;
-      while (std::getline(is, line)) {
+      while (read_line(is, line)) {
         if (trimmed(line) == kEnd) {
           terminated = true;
           break;
         }
+        block_bytes += line.size() + 1;
+        POOLED_REQUIRE(block_bytes <= limits::kMaxInstanceBlockBytes,
+                       "job instance block exceeds the " +
+                           std::to_string(limits::kMaxInstanceBlockBytes) +
+                           " byte limit");
         block << line << '\n';
       }
       POOLED_REQUIRE(terminated, "job instance block missing 'end'");
@@ -216,7 +257,7 @@ DecodeJob load_job_body(std::istream& is, int version_value) {
 /// The body of a stats request (nothing but the `end` line).
 void load_stats_request_body(std::istream& is) {
   std::string line;
-  while (std::getline(is, line)) {
+  while (read_line(is, line)) {
     if (is_blank(line)) continue;
     POOLED_REQUIRE(trimmed(line) == kEnd,
                    "unexpected stats-request field '" + trimmed(line) + "'");
@@ -270,7 +311,7 @@ MetricsSnapshot load_stats_snapshot_body(std::istream& is) {
   MetricsSnapshot snapshot;
   bool terminated = false;
   std::string line;
-  while (std::getline(is, line)) {
+  while (read_line(is, line)) {
     if (is_blank(line)) continue;
     const std::string body = trimmed(line);
     if (body == kEnd) {
@@ -374,7 +415,7 @@ DecodeReport load_report_body(std::istream& is, int version_value) {
   DecodeReport report;
   bool terminated = false;
   std::string line;
-  while (std::getline(is, line)) {
+  while (read_line(is, line)) {
     if (is_blank(line)) continue;
     if (trimmed(line) == kEnd) {
       terminated = true;
@@ -425,7 +466,13 @@ DecodeReport load_report_body(std::istream& is, int version_value) {
     } else if (key == "support") {
       std::uint32_t index = 0;
       report.support.clear();
-      while (fields >> index) report.support.push_back(index);
+      while (fields >> index) {
+        POOLED_REQUIRE(report.support.size() < limits::kMaxSupportEntries,
+                       "support line exceeds the " +
+                           std::to_string(limits::kMaxSupportEntries) +
+                           " entry limit");
+        report.support.push_back(index);
+      }
     } else if (key == "exact") {
       POOLED_REQUIRE(static_cast<bool>(fields >> flag), "truncated exact");
       report.exact = flag != 0;
@@ -481,6 +528,9 @@ std::size_t serve_stream(std::istream& is, std::ostream& os,
                          const MetricsRegistry* metrics,
                          TraceRecorder* trace) {
   if (chunk == 0) chunk = engine.window();
+  // Bound parsed-but-unscheduled jobs: a misconfigured window cannot
+  // make the server buffer an unbounded batch before decoding starts.
+  chunk = std::min(chunk, limits::kMaxJobsPerWindow);
   std::size_t served = 0;
   bool more_requests = true;
   while (more_requests &&

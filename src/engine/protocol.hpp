@@ -54,6 +54,7 @@
 #include <optional>
 #include <variant>
 
+#include "core/serialize.hpp"
 #include "engine/batch_engine.hpp"
 #include "obs/metrics.hpp"
 #include "support/thread_annotations.hpp"
@@ -62,6 +63,41 @@ namespace pooled {
 
 struct CacheStats;
 class TraceRecorder;
+
+/// Size limits every wire parser enforces, named in one place so the
+/// server, the fuzz harnesses, and the documentation agree on what
+/// "oversized" means. Frames over these limits are rejected with a
+/// ContractError before the parser commits memory to them.
+namespace limits {
+
+/// Longest single protocol line. The dominating legitimate line is an
+/// instance's `y` row: kMaxResults values of up to 10 digits plus
+/// separators (~12 MiB), so 16 MiB leaves headroom while still bounding
+/// what one line can make the reader buffer.
+inline constexpr std::size_t kMaxLineBytes = std::size_t{1} << 24;
+
+/// Most query results (`m`) one instance may carry -- the same constant
+/// core/serialize.cpp enforces when loading the embedded instance block,
+/// re-exported so protocol-level code names one authority.
+inline constexpr std::uint32_t kMaxResults = kMaxInstanceResults;
+
+/// Most entries a `truth` or `support` line may list. A support is a
+/// subset of an instance's columns, and instances are bounded elsewhere;
+/// anything above this is an attack, not an experiment.
+inline constexpr std::size_t kMaxSupportEntries = std::size_t{1} << 20;
+
+/// Total bytes of an embedded `instance` block inside a job frame
+/// (header lines plus the y row), bounding what load_job buffers for
+/// one frame: kMaxLineBytes for the y row plus slack for the rest.
+inline constexpr std::size_t kMaxInstanceBlockBytes =
+    kMaxLineBytes + (std::size_t{1} << 16);
+
+/// Most jobs a serve window may buffer before decoding. serve_stream
+/// clamps its chunk to this, so a misconfigured (or hostile) window
+/// cannot make the server hold unbounded parsed-but-unscheduled jobs.
+inline constexpr std::size_t kMaxJobsPerWindow = 4096;
+
+}  // namespace limits
 
 /// Thread-safe per-round progress reporting for serve mode: one stream
 /// shared by every in-flight job, each job writing lines tagged with its

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
 
 #include "core/incremental.hpp"
 #include "core/thresholds.hpp"
@@ -10,6 +9,7 @@
 #include "parallel/thread_pool.hpp"
 #include "sim/montecarlo.hpp"
 #include "support/assert.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace pooled {
 
@@ -35,11 +35,11 @@ std::uint32_t required_queries_one_run(const RequiredQueriesConfig& config,
 RunningStats required_queries(const RequiredQueriesConfig& config,
                               std::uint32_t trials, ThreadPool& pool) {
   RunningStats stats;
-  std::mutex mu;
+  AnnotatedMutex mu;
   pool.run_tasks(trials, [&](std::size_t t) {
     std::uint32_t required = required_queries_one_run(config, t);
     if (required == 0) required = config.m_cap;  // saturate, don't drop
-    std::lock_guard<std::mutex> lock(mu);
+    const LockGuard lock(mu);
     stats.add(static_cast<double>(required));
   });
   return stats;

@@ -2,9 +2,9 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
 
 #include "support/env.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace pooled {
 
@@ -50,8 +50,8 @@ void set_log_level(LogLevel level) { level_storage().store(static_cast<int>(leve
 namespace detail {
 
 void log_emit(LogLevel level, const std::string& message) {
-  static std::mutex mu;
-  std::lock_guard<std::mutex> lock(mu);
+  static AnnotatedMutex mu;
+  const LockGuard lock(mu);
   std::fprintf(stderr, "[pooled %s] %s\n", level_name(level), message.c_str());
 }
 

@@ -1,0 +1,150 @@
+// The centralized protocol size limits (engine/protocol.hpp,
+// namespace pooled::limits): every bound must reject over-limit input
+// with a ContractError *before* committing resources -- no giant
+// allocation, no unbounded accumulation, no infinite deadline -- and
+// must not bite legitimate frames anywhere near realistic sizes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "core/serialize.hpp"
+#include "engine/protocol.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/assert.hpp"
+
+namespace pooled {
+namespace {
+
+std::string tiny_job_frame() {
+  // One `end` line: the embedded instance block's terminator closes the
+  // whole job frame (see load_job_body).
+  return
+      "pooled-job v1\ndecoder mn\nk 3\ninstance\n"
+      "pooled-instance v1\ndesign random-regular\nn 10\nseed 1\n"
+      "gamma 5\np 0.5\nm 2\ny 1 2\nend\n";
+}
+
+TEST(ProtocolLimits, ResultLimitIsTheCoreSerializeConstant) {
+  // engine/protocol.hpp re-exports the core constant so the m guard in
+  // core/serialize.cpp and the documented protocol limit cannot drift.
+  EXPECT_EQ(limits::kMaxResults, kMaxInstanceResults);
+}
+
+TEST(ProtocolLimits, OverlongLineIsRejectedNotBuffered) {
+  std::string frame = "pooled-job v1\ndecoder ";
+  frame.append(limits::kMaxLineBytes + 10, 'a');
+  frame += "\nend\n";
+  std::istringstream is(frame);
+  try {
+    (void)load_job(is);
+    FAIL() << "overlong line was accepted";
+  } catch (const ContractError& error) {
+    EXPECT_NE(std::string(error.what()).find("byte limit"), std::string::npos);
+  }
+}
+
+TEST(ProtocolLimits, MClaimAboveLimitIsRejectedEvenWithDataPresent) {
+  // The guard fires on the claimed m itself, not on missing data: a
+  // frame that really does carry y values still gets rejected.
+  std::ostringstream frame;
+  frame << "pooled-instance v1\ndesign random-regular\nn 10\nseed 1\n"
+        << "m " << (static_cast<std::uint64_t>(limits::kMaxResults) + 1)
+        << "\ny";
+  for (int i = 0; i < 64; ++i) frame << " 1";
+  frame << "\nend\n";
+  std::istringstream is(frame.str());
+  try {
+    (void)load_instance(is);
+    FAIL() << "over-limit m claim was accepted";
+  } catch (const ContractError& error) {
+    EXPECT_NE(std::string(error.what()).find("exceeds the limit"),
+              std::string::npos);
+  }
+}
+
+TEST(ProtocolLimits, TruthSupportEntriesAreCapped) {
+  // A truth line with more entries than any instance can legally have
+  // (limits::kMaxSupportEntries) stops accumulating and rejects.
+  std::ostringstream frame;
+  frame << "pooled-job v1\ndecoder mn\nk 3\ntruth";
+  for (std::size_t i = 0; i <= limits::kMaxSupportEntries; ++i) {
+    frame << ' ' << (i % 1000);
+  }
+  frame << "\nend\n";
+  std::istringstream is(frame.str());
+  EXPECT_THROW((void)load_job(is), ContractError);
+}
+
+TEST(ProtocolLimits, InstanceBlockAccumulationIsBounded) {
+  // Each embedded line is under the line limit, but the block as a whole
+  // must not buffer past kMaxInstanceBlockBytes while hunting for `end`.
+  std::ostringstream frame;
+  frame << "pooled-job v1\ndecoder mn\nk 3\ninstance\n"
+        << "pooled-instance v1\ndesign random-regular\nn 10\nseed 1\n";
+  const std::string filler(1 << 16, 'x');
+  std::size_t written = 0;
+  while (written <= limits::kMaxInstanceBlockBytes) {
+    frame << filler << '\n';
+    written += filler.size() + 1;
+  }
+  frame << "end\nend\n";
+  std::istringstream is(frame.str());
+  try {
+    (void)load_job(is);
+    FAIL() << "unbounded instance block was accepted";
+  } catch (const ContractError& error) {
+    EXPECT_NE(std::string(error.what()).find("instance block"),
+              std::string::npos);
+  }
+}
+
+TEST(ProtocolLimits, NonFiniteDeadlinesAreRejected) {
+  for (const char* deadline : {"inf", "-inf", "nan", "1e999"}) {
+    std::istringstream is(std::string("pooled-job v2\ndecoder mn\nk 3\n"
+                                      "deadline-ms ") +
+                          deadline + "\nend\n");
+    EXPECT_THROW((void)load_job(is), ContractError) << deadline;
+  }
+  // A finite deadline stays accepted.
+  std::istringstream is(
+      "pooled-job v2\ndecoder mn\nk 3\ndeadline-ms 1500\ninstance\n"
+      "pooled-instance v1\ndesign random-regular\nn 10\nseed 1\n"
+      "gamma 5\np 0.5\nm 2\ny 1 2\nend\n");
+  const auto job = load_job(is);
+  ASSERT_TRUE(job.has_value());
+  ASSERT_TRUE(job->deadline_seconds.has_value());
+  EXPECT_DOUBLE_EQ(*job->deadline_seconds, 1.5);
+}
+
+TEST(ProtocolLimits, ServeStreamClampsTheJobWindow) {
+  // An absurd explicit chunk is clamped to kMaxJobsPerWindow instead of
+  // buffering the whole stream; both frames still get served.
+  ThreadPool pool(1);
+  const BatchEngine engine(pool);
+  std::istringstream requests(tiny_job_frame() + tiny_job_frame());
+  std::ostringstream responses;
+  const std::size_t served = serve_stream(
+      requests, responses, engine,
+      /*chunk=*/std::numeric_limits<std::size_t>::max());
+  EXPECT_EQ(served, 2u);
+  std::istringstream result_stream(responses.str());
+  EXPECT_TRUE(load_report(result_stream).has_value());
+  EXPECT_TRUE(load_report(result_stream).has_value());
+  EXPECT_FALSE(load_report(result_stream).has_value());
+}
+
+TEST(ProtocolLimits, RealisticFramesAreNowhereNearTheLimits) {
+  // Sanity guard on the limit values themselves: a maximal legitimate y
+  // row (kMaxResults ten-digit values) must fit in one line.
+  EXPECT_GE(limits::kMaxLineBytes,
+            static_cast<std::size_t>(limits::kMaxResults) * 11 + 4);
+  EXPECT_GT(limits::kMaxInstanceBlockBytes, limits::kMaxLineBytes);
+  EXPECT_GE(limits::kMaxJobsPerWindow, std::size_t{1024});
+}
+
+}  // namespace
+}  // namespace pooled

@@ -1,11 +1,18 @@
 // Robustness battery for the engine wire protocol: malformed frames must
 // produce clean ContractErrors (or a clean end-of-stream), never crashes,
-// hangs, or giant allocations. Deterministic fuzz-style cases: truncation
-// at every byte offset, per-byte corruption, garbage streams, oversized
-// header fields, and missing terminators.
+// hangs, or giant allocations. The deterministic fuzz-style sweeps
+// (truncation at every byte offset, per-byte corruption, garbage
+// streams) run through fuzz/harness_protocol.cpp -- the same entry point
+// the libFuzzer binary drives -- so they also get the round-trip
+// fixed-point property for free; the hand-written malformed frames those
+// sweeps grew out of now live as corpus seeds under
+// fuzz/corpora/protocol/, which this suite replays. Targeted cases that
+// assert *rejection* (not just survival) stay as explicit EXPECT_THROWs.
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -13,6 +20,7 @@
 #include "core/serialize.hpp"
 #include "engine/protocol.hpp"
 #include "engine/registry.hpp"
+#include "harnesses.hpp"
 #include "parallel/thread_pool.hpp"
 #include "support/assert.hpp"
 
@@ -55,18 +63,13 @@ std::string serialized_report() {
   return os.str();
 }
 
-/// A parse attempt may succeed, report clean end-of-stream, or throw
-/// ContractError. Anything else (std::bad_alloc, segfault, hang) fails
-/// the suite.
-template <class Loader>
-void expect_clean(const std::string& bytes, const Loader& loader) {
-  std::istringstream is(bytes);
-  try {
-    while (loader(is).has_value()) {
-    }
-  } catch (const ContractError&) {
-    // A clean, typed rejection is exactly what malformed input should get.
-  }
+/// Feeds bytes to the protocol fuzz harness: every loader must either
+/// parse, report clean end-of-stream, or throw ContractError, and every
+/// successful parse must be a serialization fixed point. Anything else
+/// (std::bad_alloc, segfault, hang, unstable bytes) aborts the suite.
+void survive(const std::string& bytes) {
+  (void)fuzz::fuzz_protocol(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                            bytes.size());
 }
 
 /// xorshift64 so the "random" garbage is identical on every run.
@@ -80,16 +83,14 @@ std::uint64_t next_rng(std::uint64_t& state) {
 TEST(ProtocolRobustness, JobSurvivesTruncationAtEveryByte) {
   const std::string frame = serialized_job();
   for (std::size_t cut = 0; cut <= frame.size(); ++cut) {
-    expect_clean(frame.substr(0, cut),
-                 [](std::istream& is) { return load_job(is); });
+    survive(frame.substr(0, cut));
   }
 }
 
 TEST(ProtocolRobustness, ReportSurvivesTruncationAtEveryByte) {
   const std::string frame = serialized_report();
   for (std::size_t cut = 0; cut <= frame.size(); ++cut) {
-    expect_clean(frame.substr(0, cut),
-                 [](std::istream& is) { return load_report(is); });
+    survive(frame.substr(0, cut));
   }
 }
 
@@ -99,7 +100,7 @@ TEST(ProtocolRobustness, JobSurvivesSingleByteCorruption) {
     for (char garbage : {'\0', 'z', '9', '-', '\n'}) {
       std::string mutated = frame;
       mutated[pos] = garbage;
-      expect_clean(mutated, [](std::istream& is) { return load_job(is); });
+      survive(mutated);
     }
   }
 }
@@ -109,7 +110,7 @@ TEST(ProtocolRobustness, ReportSurvivesSingleByteCorruption) {
   for (std::size_t pos = 0; pos < frame.size(); ++pos) {
     std::string mutated = frame;
     mutated[pos] = '!';
-    expect_clean(mutated, [](std::istream& is) { return load_report(is); });
+    survive(mutated);
   }
 }
 
@@ -122,9 +123,30 @@ TEST(ProtocolRobustness, GarbageStreamsNeverCrash) {
     for (std::size_t i = 0; i < length; ++i) {
       garbage.push_back(static_cast<char>(next_rng(rng) % 256));
     }
-    expect_clean(garbage, [](std::istream& is) { return load_job(is); });
-    expect_clean(garbage, [](std::istream& is) { return load_report(is); });
+    survive(garbage);
   }
+}
+
+TEST(ProtocolRobustness, CorpusSeedsReplayThroughTheHarness) {
+  // The checked-in protocol corpus (golden-fixture splits plus the
+  // hand-written malformed frames this suite used to inline) must stay
+  // green through the harness; fuzz-found regressions are pinned by
+  // committing their minimized entry here.
+  const std::filesystem::path corpus =
+      std::filesystem::path(POOLED_FUZZ_CORPUS_DIR) / "protocol";
+  ASSERT_TRUE(std::filesystem::is_directory(corpus));
+  std::size_t entries = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(corpus)) {
+    if (!entry.is_regular_file()) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    ASSERT_TRUE(in) << entry.path();
+    std::ostringstream bytes;
+    bytes << in.rdbuf();
+    SCOPED_TRACE(entry.path().string());
+    survive(bytes.str());
+    ++entries;
+  }
+  EXPECT_GE(entries, 30u);  // the corpus must not silently vanish
 }
 
 TEST(ProtocolRobustness, MissingEndTerminatorIsARejectionNotAHang) {
@@ -144,8 +166,8 @@ TEST(ProtocolRobustness, MissingEndTerminatorIsARejectionNotAHang) {
 }
 
 TEST(ProtocolRobustness, OversizedMClaimFailsWithoutGiantAllocation) {
-  // A header claiming 4 billion results with only three values present
-  // must fail on the missing data, not attempt a ~16 GB allocation.
+  // A header claiming 4 billion results must fail on the m limit itself
+  // (limits::kMaxResults), not attempt a ~16 GB allocation.
   std::istringstream is(
       "pooled-instance v1\ndesign random-regular\nn 10\nseed 1\n"
       "m 4000000000\ny 1 2 3\n");

@@ -14,6 +14,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
@@ -294,6 +295,172 @@ TEST(ShardRouter, FleetStatsMergeEveryShardSnapshot) {
   // Each live backend's own snapshot rides along, name-prefixed.
   EXPECT_TRUE(names.count("shard0.serve.jobs_served"));
   EXPECT_TRUE(names.count("shard1.serve.jobs_served"));
+  router.stop();
+}
+
+// ---------------------------------------------------------------------
+// Misbehaving stats backends: a raw socket server that admits the
+// router's dial but answers the fleet-stats probe wrong. build_snapshot
+// must never wedge or crash on these -- a garbled or truncated snapshot
+// is a dead shard, a silent one is bounded by stats_timeout_seconds, and
+// a well-formed empty one is simply a shard with nothing to report.
+
+class FakeShard {
+ public:
+  enum class Behavior {
+    kGarbageStats,    ///< answers the probe with an unparseable frame
+    kTruncatedStats,  ///< valid prefix, no `end`, then drops the socket
+    kSilent,          ///< accepts the probe and never answers
+    kEmptySnapshot,   ///< well-formed `status ok` frame with zero metrics
+  };
+
+  explicit FakeShard(Behavior behavior)
+      : behavior_(behavior),
+        listener_(ListenSocket::bind_and_listen(
+            SocketAddress::parse("127.0.0.1:0"))),
+        thread_([this] { serve(); }) {}
+
+  ~FakeShard() {
+    stop_.store(true);
+    listener_.close();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  [[nodiscard]] const SocketAddress& address() const {
+    return listener_.local_address();
+  }
+
+ private:
+  void serve() {
+    while (!stop_.load()) {
+      std::optional<Socket> accepted = listener_.accept(/*timeout_ms=*/50);
+      if (!accepted) continue;
+      SocketStream stream(std::move(*accepted));
+      std::string line;
+      bool drop_connection = false;
+      // Each `end` line closes one request frame (the probe sends
+      // `pooled-stats v2\nend\n`); answer it per the behavior.
+      while (!drop_connection && std::getline(stream.in(), line)) {
+        if (line != "end") continue;
+        switch (behavior_) {
+          case Behavior::kGarbageStats:
+            stream.out() << "pooled-stats-result v2\nstatus ok\n"
+                            "blob serve.x 12\nend\n";
+            break;
+          case Behavior::kTruncatedStats:
+            stream.out() << "pooled-stats-result v2\nstatus ok\n"
+                            "counter serve.jobs_served 1\n";
+            drop_connection = true;
+            break;
+          case Behavior::kSilent:
+            break;
+          case Behavior::kEmptySnapshot:
+            stream.out() << "pooled-stats-result v2\nstatus ok\nend\n";
+            break;
+        }
+        stream.out().flush();
+      }
+    }
+  }
+
+  Behavior behavior_;
+  std::atomic<bool> stop_{false};
+  ListenSocket listener_;
+  std::thread thread_;
+};
+
+std::set<std::string> snapshot_names(const MetricsSnapshot& snapshot) {
+  std::set<std::string> names;
+  for (const MetricValue& value : snapshot.values) names.insert(value.name);
+  return names;
+}
+
+bool any_with_prefix(const std::set<std::string>& names,
+                     const std::string& prefix) {
+  const auto it = names.lower_bound(prefix);
+  return it != names.end() && it->compare(0, prefix.size(), prefix) == 0;
+}
+
+TEST(ShardRouter, GarbledStatsFrameKillsTheShardNotTheSnapshot) {
+  LocalFleet fleet(1);
+  FakeShard fake(FakeShard::Behavior::kGarbageStats);
+  ShardRouterOptions options;
+  options.stats_timeout_seconds = 5.0;
+  ShardRouter router({fleet.addresses[0], fake.address()}, options);
+  router.start();
+  wait_until([&] { return router.alive_count() == 2; }, "fleet up");
+
+  const std::set<std::string> names = snapshot_names(router.build_snapshot());
+  // The healthy shard's snapshot rides along; the garbled one's cannot,
+  // and the reader treats its lost framing as shard death.
+  EXPECT_TRUE(names.count("route.shards_alive"));
+  EXPECT_TRUE(names.count("shard0.serve.jobs_served"));
+  EXPECT_FALSE(any_with_prefix(names, "shard1."));
+  // `alive` may flap (the prober happily re-dials the fake), so wait on
+  // the monotonic loss counter instead.
+  wait_until([&] { return router.shard_statuses()[1].times_lost >= 1; },
+             "garbled shard declared dead");
+  router.stop();
+}
+
+TEST(ShardRouter, TruncatedStatsFrameIsAShardDeathNotAHang) {
+  LocalFleet fleet(1);
+  FakeShard fake(FakeShard::Behavior::kTruncatedStats);
+  ShardRouterOptions options;
+  options.stats_timeout_seconds = 5.0;
+  ShardRouter router({fleet.addresses[0], fake.address()}, options);
+  router.start();
+  wait_until([&] { return router.alive_count() == 2; }, "fleet up");
+
+  const auto started = steady_clock::now();
+  const std::set<std::string> names = snapshot_names(router.build_snapshot());
+  // The mid-frame EOF unblocks the probe well before the stats timeout:
+  // on_shard_down clears the pending flag instead of letting it expire.
+  EXPECT_LT(std::chrono::duration<double>(steady_clock::now() - started)
+                .count(),
+            options.stats_timeout_seconds);
+  EXPECT_TRUE(names.count("shard0.serve.jobs_served"));
+  EXPECT_FALSE(any_with_prefix(names, "shard1."));
+  router.stop();
+}
+
+TEST(ShardRouter, SilentStatsBackendIsBoundedByTheProbeTimeout) {
+  LocalFleet fleet(1);
+  FakeShard fake(FakeShard::Behavior::kSilent);
+  ShardRouterOptions options;
+  options.stats_timeout_seconds = 0.4;
+  ShardRouter router({fleet.addresses[0], fake.address()}, options);
+  router.start();
+  wait_until([&] { return router.alive_count() == 2; }, "fleet up");
+
+  const auto started = steady_clock::now();
+  const std::set<std::string> names = snapshot_names(router.build_snapshot());
+  const double elapsed =
+      std::chrono::duration<double>(steady_clock::now() - started).count();
+  EXPECT_GE(elapsed, options.stats_timeout_seconds * 0.5);
+  EXPECT_LT(elapsed, 5.0) << "silent backend wedged the stats probe";
+  // Never answering is not a protocol violation: the shard stays alive
+  // and merely contributes nothing to this snapshot.
+  EXPECT_TRUE(names.count("shard0.serve.jobs_served"));
+  EXPECT_FALSE(any_with_prefix(names, "shard1."));
+  EXPECT_TRUE(router.shard_statuses()[1].alive);
+  router.stop();
+}
+
+TEST(ShardRouter, WellFormedEmptySnapshotIsNotADeath) {
+  FakeShard fake(FakeShard::Behavior::kEmptySnapshot);
+  ShardRouterOptions options;
+  options.stats_timeout_seconds = 5.0;
+  ShardRouter router({fake.address()}, options);
+  router.start();
+  wait_until([&] { return router.alive_count() == 1; }, "shard up");
+
+  const std::set<std::string> names = snapshot_names(router.build_snapshot());
+  EXPECT_TRUE(names.count("route.shards_alive"));
+  EXPECT_TRUE(names.count("route.shard0.address"));
+  EXPECT_FALSE(any_with_prefix(names, "shard0.serve."));
+  EXPECT_TRUE(router.shard_statuses()[0].alive)
+      << "an empty-but-valid snapshot must not count as shard death";
   router.stop();
 }
 

@@ -1,0 +1,429 @@
+#!/usr/bin/env python3
+"""Per-directory line coverage, soft-gated against a committed floor.
+
+Collects line coverage from a POOLED_COVERAGE=ON build -- either
+backend:
+
+  gcov      GCC builds (--coverage). Every .gcda under the build tree is
+            exported with `gcov --json-format --stdout`; per-line hit
+            counts are merged max-wise across translation units, so a
+            header exercised by one test counts as covered everywhere.
+  llvm-cov  Clang builds (-fprofile-instr-generate -fcoverage-mapping).
+            .profraw files are merged with llvm-profdata and exported
+            with `llvm-cov export`; the binaries that produced the
+            profiles are passed as --object arguments.
+
+Only files under src/ count: tests cover themselves by construction and
+fuzz harnesses are drivers, so including either would inflate the
+number. Results aggregate to the second path component (src/core,
+src/engine, ...) and are written as JSON:
+
+  {"tool": "gcov", "total": {...},
+   "directories": {"src/core": {"lines_total": N, "lines_covered": C,
+                                "percent": P}, ...}}
+
+The gate (--baseline bench/COVERAGE_baseline.json) is deliberately
+*soft*, in the tools/perf_diff.py tradition: coverage numbers drift
+across compilers and gcov/llvm-cov disagree on line attribution (the
+baseline records which tool produced it), so only real erosion fails --
+
+  - a directory present in the baseline but absent from the current
+    report (a whole subsystem fell out of the instrumented build),
+  - a directory whose percent fell more than SLACK_POINTS below its
+    committed floor.
+
+New directories and improvements are reported, never required. A
+malformed input exits 2 with a message naming the offender.
+
+Usage: coverage_report.py collect --build <dir> [--root <repo>]
+           [--objects bin...] [--output coverage.json]
+           [--baseline bench/COVERAGE_baseline.json]
+       coverage_report.py gate --current coverage.json
+           --baseline bench/COVERAGE_baseline.json
+       coverage_report.py --self-test
+"""
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SLACK_POINTS = 7.5
+
+
+class MalformedInput(Exception):
+    """An input is structurally unusable (vs. merely low coverage)."""
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as error:
+        raise MalformedInput(f"cannot read {path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise MalformedInput(f"{path} is not valid JSON: {error}") from error
+
+
+# ---------------------------------------------------------------------
+# Collection
+
+def merge_line_hits(hits, path, line_number, count):
+    """hits[path][line] = max over TUs: a line is covered if any TU ran
+    it, instrumentable if any TU saw it."""
+    lines = hits.setdefault(path, {})
+    lines[line_number] = max(lines.get(line_number, 0), count)
+
+
+def collect_gcov(build_dir, root):
+    gcda = []
+    for directory, _, names in os.walk(build_dir):
+        gcda.extend(os.path.join(directory, n)
+                    for n in names if n.endswith(".gcda"))
+    if not gcda:
+        raise MalformedInput(
+            f"no .gcda files under {build_dir} (build with "
+            "-DPOOLED_COVERAGE=ON and run the tests first)")
+    hits = {}
+    for data_file in sorted(gcda):
+        proc = subprocess.run(
+            ["gcov", "--json-format", "--stdout", os.path.basename(data_file)],
+            cwd=os.path.dirname(data_file),
+            capture_output=True, text=True)
+        if proc.returncode != 0:
+            raise MalformedInput(
+                f"gcov failed on {data_file}: {proc.stderr.strip()}")
+        # --stdout emits one JSON document per .gcda given; we pass one.
+        try:
+            document = json.loads(proc.stdout)
+        except json.JSONDecodeError as error:
+            raise MalformedInput(
+                f"gcov emitted invalid JSON for {data_file}: {error}"
+            ) from error
+        ingest_gcov_document(document, os.path.dirname(data_file), root, hits)
+    return hits
+
+
+def ingest_gcov_document(document, cwd, root, hits):
+    for record in document.get("files", []):
+        source = record.get("file", "")
+        if not os.path.isabs(source):
+            source = os.path.normpath(os.path.join(cwd, source))
+        rel = relative_source(source, root)
+        if rel is None:
+            continue
+        for line in record.get("lines", []):
+            merge_line_hits(hits, rel,
+                            line.get("line_number", 0), line.get("count", 0))
+
+
+def collect_llvm(build_dir, root, objects):
+    profraw = []
+    for directory, _, names in os.walk(build_dir):
+        profraw.extend(os.path.join(directory, n)
+                       for n in names if n.endswith(".profraw"))
+    if not profraw:
+        raise MalformedInput(
+            f"no .profraw files under {build_dir} (set LLVM_PROFILE_FILE "
+            "when running the instrumented tests)")
+    if not objects:
+        raise MalformedInput("llvm-cov needs --objects <instrumented binaries>")
+    profdata = os.path.join(build_dir, "pooled-merged.profdata")
+    merge = subprocess.run(
+        [llvm_tool("llvm-profdata"), "merge", "-sparse", "-o", profdata]
+        + sorted(profraw),
+        capture_output=True, text=True)
+    if merge.returncode != 0:
+        raise MalformedInput(f"llvm-profdata merge failed: "
+                             f"{merge.stderr.strip()}")
+    command = [llvm_tool("llvm-cov"), "export", "-instr-profile", profdata,
+               objects[0]]
+    for extra in objects[1:]:
+        command += ["-object", extra]
+    export = subprocess.run(command, capture_output=True, text=True)
+    if export.returncode != 0:
+        raise MalformedInput(f"llvm-cov export failed: "
+                             f"{export.stderr.strip()}")
+    try:
+        document = json.loads(export.stdout)
+    except json.JSONDecodeError as error:
+        raise MalformedInput(
+            f"llvm-cov emitted invalid JSON: {error}") from error
+    hits = {}
+    ingest_llvm_document(document, root, hits)
+    return hits
+
+
+def ingest_llvm_document(document, root, hits):
+    for data in document.get("data", []):
+        for record in data.get("files", []):
+            rel = relative_source(record.get("filename", ""), root)
+            if rel is None:
+                continue
+            # segments: [line, col, count, has_count, is_region_entry, ...]
+            for segment in record.get("segments", []):
+                if len(segment) < 4 or not segment[3]:
+                    continue
+                merge_line_hits(hits, rel, segment[0], segment[2])
+
+
+def llvm_tool(name):
+    """Prefer the bare name; fall back to the suffixed vintage CI ships."""
+    for candidate in (name, f"{name}-14"):
+        try:
+            subprocess.run([candidate, "--version"], capture_output=True)
+            return candidate
+        except FileNotFoundError:
+            continue
+    raise MalformedInput(f"{name} not found on PATH")
+
+
+def relative_source(source, root):
+    """Repo-relative path for sources under <root>/src, else None."""
+    try:
+        rel = os.path.relpath(os.path.realpath(source),
+                              os.path.realpath(root))
+    except ValueError:
+        return None
+    rel = rel.replace(os.sep, "/")
+    if rel.startswith("src/") and ".." not in rel.split("/"):
+        return rel
+    return None
+
+
+def summarize(hits):
+    directories = {}
+    total_lines = 0
+    total_covered = 0
+    for path, lines in hits.items():
+        parts = path.split("/")
+        directory = "/".join(parts[:2]) if len(parts) > 2 else parts[0]
+        entry = directories.setdefault(
+            directory, {"lines_total": 0, "lines_covered": 0})
+        entry["lines_total"] += len(lines)
+        entry["lines_covered"] += sum(1 for c in lines.values() if c > 0)
+    for entry in directories.values():
+        entry["percent"] = round(
+            100.0 * entry["lines_covered"] / entry["lines_total"], 2
+        ) if entry["lines_total"] else 0.0
+        total_lines += entry["lines_total"]
+        total_covered += entry["lines_covered"]
+    return {
+        "directories": dict(sorted(directories.items())),
+        "total": {
+            "lines_total": total_lines,
+            "lines_covered": total_covered,
+            "percent": round(100.0 * total_covered / total_lines, 2)
+            if total_lines else 0.0,
+        },
+    }
+
+
+# ---------------------------------------------------------------------
+# Gate
+
+def run_gate(baseline, current) -> int:
+    failures = []
+    base_dirs = baseline.get("directories")
+    cur_dirs = current.get("directories")
+    if not isinstance(base_dirs, dict) or not base_dirs:
+        raise MalformedInput("baseline has no 'directories' table")
+    if not isinstance(cur_dirs, dict):
+        raise MalformedInput("current report has no 'directories' table")
+    if baseline.get("tool") != current.get("tool"):
+        print(f"  note: baseline from {baseline.get('tool')}, current from "
+              f"{current.get('tool')} -- line attribution differs across "
+              "tools, the slack absorbs it")
+    for directory, base in sorted(base_dirs.items()):
+        if "percent" not in base:
+            raise MalformedInput(
+                f"baseline directory '{directory}' is missing 'percent'")
+        cur = cur_dirs.get(directory)
+        if cur is None:
+            failures.append(
+                f"{directory} vanished from the instrumented build "
+                f"(baseline {base['percent']}%)")
+            continue
+        if "percent" not in cur:
+            raise MalformedInput(
+                f"current directory '{directory}' is missing 'percent'")
+        floor = base["percent"] - SLACK_POINTS
+        verdict = "ok" if cur["percent"] >= floor else "FAIL"
+        print(f"  {directory}: {cur['percent']}% vs committed "
+              f"{base['percent']}% (floor {floor:.2f}%) {verdict}")
+        if cur["percent"] < floor:
+            failures.append(
+                f"{directory} coverage {cur['percent']}% fell below "
+                f"{floor:.2f}% (committed {base['percent']}% - "
+                f"{SLACK_POINTS} points)")
+    for directory in sorted(set(cur_dirs) - set(base_dirs)):
+        print(f"  {directory}: {cur_dirs[directory].get('percent')}% "
+              "(new, informational)")
+    if failures:
+        for failure in failures:
+            print(f"  COVERAGE GATE FAILED: {failure}", file=sys.stderr)
+        return 1
+    print("  coverage gate ok")
+    return 0
+
+
+# ---------------------------------------------------------------------
+
+def self_test() -> int:
+    checks = []
+
+    # gcov-document ingestion merges max-wise across TUs.
+    hits = {}
+    doc_a = {"files": [{"file": "/repo/src/core/a.cpp",
+                        "lines": [{"line_number": 1, "count": 0},
+                                  {"line_number": 2, "count": 3}]}]}
+    doc_b = {"files": [{"file": "/repo/src/core/a.cpp",
+                        "lines": [{"line_number": 1, "count": 5},
+                                  {"line_number": 2, "count": 0}]}]}
+    ingest_gcov_document(doc_a, "/build", "/repo", hits)
+    ingest_gcov_document(doc_b, "/build", "/repo", hits)
+    merged = hits.get("src/core/a.cpp", {})
+    checks.append(("gcov max-merge across TUs",
+                   merged == {1: 5, 2: 3}, f"got {merged}"))
+
+    # Non-src files (tests, system headers) are excluded.
+    hits = {}
+    ingest_gcov_document(
+        {"files": [{"file": "/repo/tests/t.cpp",
+                    "lines": [{"line_number": 1, "count": 1}]},
+                   {"file": "/usr/include/c++/12/vector",
+                    "lines": [{"line_number": 9, "count": 9}]}]},
+        "/build", "/repo", hits)
+    checks.append(("non-src files excluded", hits == {}, f"got {hits}"))
+
+    # Relative gcov paths resolve against the gcda directory.
+    hits = {}
+    ingest_gcov_document(
+        {"files": [{"file": "../../../src/obs/m.cpp",
+                    "lines": [{"line_number": 4, "count": 1}]}]},
+        "/repo/build/CMakeFiles/pooled.dir", "/repo", hits)
+    checks.append(("relative paths resolve", "src/obs/m.cpp" in hits,
+                   f"got {list(hits)}"))
+
+    # llvm segments: only has_count segments contribute.
+    hits = {}
+    ingest_llvm_document(
+        {"data": [{"files": [{"filename": "/repo/src/core/a.cpp",
+                              "segments": [[1, 1, 7, True, True],
+                                           [2, 1, 0, False, False]]}]}]},
+        "/repo", hits)
+    checks.append(("llvm has_count filter",
+                   hits.get("src/core/a.cpp") == {1: 7}, f"got {hits}"))
+
+    summary = summarize({"src/core/a.cpp": {1: 5, 2: 0},
+                         "src/core/b.cpp": {1: 1},
+                         "src/obs/m.cpp": {4: 0}})
+    checks.append(("summary percents",
+                   summary["directories"]["src/core"]["percent"] == 66.67
+                   and summary["directories"]["src/obs"]["percent"] == 0.0
+                   and summary["total"]["lines_total"] == 4,
+                   f"got {summary}"))
+
+    good = {"tool": "gcov", "directories": {
+        "src/core": {"lines_total": 100, "lines_covered": 90,
+                     "percent": 90.0},
+        "src/obs": {"lines_total": 50, "lines_covered": 40, "percent": 80.0},
+    }, "total": {"lines_total": 150, "lines_covered": 130, "percent": 86.67}}
+
+    checks.append(("identical reports pass", run_gate(good, good) == 0))
+
+    drifted = json.loads(json.dumps(good))
+    drifted["directories"]["src/core"]["percent"] = 90.0 - SLACK_POINTS + 0.1
+    checks.append(("drift inside slack passes",
+                   run_gate(good, drifted) == 0))
+
+    eroded = json.loads(json.dumps(good))
+    eroded["directories"]["src/core"]["percent"] = 90.0 - SLACK_POINTS - 0.1
+    checks.append(("erosion past slack fails", run_gate(good, eroded) == 1))
+
+    vanished = json.loads(json.dumps(good))
+    del vanished["directories"]["src/obs"]
+    checks.append(("vanished directory fails", run_gate(good, vanished) == 1))
+
+    grown = json.loads(json.dumps(good))
+    grown["directories"]["src/new"] = {"lines_total": 10, "lines_covered": 1,
+                                       "percent": 10.0}
+    checks.append(("new directory is informational",
+                   run_gate(good, grown) == 0))
+
+    try:
+        run_gate({"tool": "gcov", "directories": {"src/core": {}}}, good)
+        checks.append(("missing percent raises", False, ""))
+    except MalformedInput as error:
+        checks.append(("missing percent raises", "percent" in str(error), ""))
+
+    # End-to-end over a fabricated report file pair.
+    with tempfile.TemporaryDirectory() as tree:
+        base_path = os.path.join(tree, "base.json")
+        with open(base_path, "w") as f:
+            json.dump(good, f)
+        checks.append(("load round-trip", load(base_path) == good, ""))
+
+    failed = [entry[0] for entry in checks if not entry[1]]
+    for entry in checks:
+        name, ok = entry[0], entry[1]
+        detail = f"  ({entry[2]})" if not ok and len(entry) > 2 else ""
+        print(f"  self-test {'ok  ' if ok else 'FAIL'} {name}{detail}")
+    if failed:
+        print(f"coverage_report self-test failed: {', '.join(failed)}",
+              file=sys.stderr)
+        return 1
+    print("coverage_report self-test ok")
+    return 0
+
+
+def main() -> int:
+    if len(sys.argv) == 2 and sys.argv[1] == "--self-test":
+        return self_test()
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    collect = sub.add_parser("collect")
+    collect.add_argument("--build", required=True)
+    collect.add_argument("--root", default=".")
+    collect.add_argument("--objects", nargs="*", default=[],
+                         help="instrumented binaries (llvm-cov backend)")
+    collect.add_argument("--output", default="coverage.json")
+    collect.add_argument("--baseline", default=None,
+                         help="also gate against this committed report")
+    gate = sub.add_parser("gate")
+    gate.add_argument("--current", required=True)
+    gate.add_argument("--baseline", required=True)
+    args = parser.parse_args()
+
+    try:
+        if args.command == "collect":
+            has_profraw = any(
+                name.endswith(".profraw")
+                for _, _, names in os.walk(args.build) for name in names)
+            if has_profraw:
+                tool = "llvm-cov"
+                hits = collect_llvm(args.build, args.root, args.objects)
+            else:
+                tool = "gcov"
+                hits = collect_gcov(args.build, args.root)
+            report = {"tool": tool, **summarize(hits)}
+            with open(args.output, "w") as f:
+                json.dump(report, f, indent=2, sort_keys=True)
+                f.write("\n")
+            print(f"coverage ({tool}) -> {args.output}")
+            for directory, entry in report["directories"].items():
+                print(f"  {directory}: {entry['percent']}% "
+                      f"({entry['lines_covered']}/{entry['lines_total']})")
+            print(f"  total: {report['total']['percent']}%")
+            if args.baseline:
+                return run_gate(load(args.baseline), report)
+            return 0
+        return run_gate(load(args.baseline), load(args.current))
+    except MalformedInput as error:
+        print(f"coverage_report: malformed input: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())
