@@ -27,8 +27,15 @@
 // by a `stats` protocol frame sent mid-load. These land in the JSON
 // under "saturation"; tools/perf_diff.py soft-gates them in CI.
 //
+// A fifth phase, snapshot_restore, times the durable-cache round trip a
+// rolling restart rides on (spill a warm ResultCache, restore it cold)
+// and hard-fails unless the restored cache answers every key. JSON key:
+// "snapshot_restore".
+//
 // Knobs: POOLED_MAX_N (default 10000) scales the micro/binary sections,
 // POOLED_TRIALS (default 24) the engine and per-client job counts.
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -49,6 +56,7 @@
 #include "core/thresholds.hpp"
 #include "design/random_regular.hpp"
 #include "engine/batch_engine.hpp"
+#include "engine/cache_store.hpp"
 #include "engine/protocol.hpp"
 #include "engine/result_cache.hpp"
 #include "engine/serve_server.hpp"
@@ -354,6 +362,59 @@ SaturationResult run_saturation(ThreadPool& pool, std::size_t clients,
   return result;
 }
 
+/// What the snapshot_restore phase measures: the durable-cache round
+/// trip a rolling restart rides on (spill a warm cache, restore it in a
+/// fresh one, and answer every key from the restored copy).
+struct SnapshotRestoreResult {
+  std::size_t entries = 0;
+  double spill_sec = 0.0;
+  double restore_sec = 0.0;
+  double restored_hit_rate = 0.0;
+};
+
+SnapshotRestoreResult run_snapshot_restore(std::size_t entries) {
+  ResultCache warm(entries);
+  for (std::size_t i = 0; i < entries; ++i) {
+    DecodeReport report;
+    report.decoder_name = "mn";
+    report.n = 400;
+    report.k = 8;
+    report.support.resize(8);
+    for (std::uint32_t s = 0; s < 8; ++s) {
+      report.support[s] = static_cast<std::uint32_t>(i * 8 + s) % 400;
+    }
+    report.consistent = true;
+    report.rounds = 4;
+    report.queries = 1600;
+    warm.insert("bench" + std::to_string(i) + "|mn|8|0|sym:0.0:0|4|0|0|-",
+                report);
+  }
+  const std::string path =
+      "/tmp/pooled_bench_snapshot_" + std::to_string(::getpid()) + ".snap";
+
+  SnapshotRestoreResult result;
+  result.entries = entries;
+  result.spill_sec = best_seconds([&] { (void)warm.spill(path); });
+  result.restore_sec = best_seconds([&] {
+    ResultCache cold(entries);
+    (void)cold.restore(path);
+  });
+  ResultCache restored(entries);
+  (void)restored.restore(path);
+  std::uint64_t hits = 0;
+  for (std::size_t i = 0; i < entries; ++i) {
+    if (restored.lookup("bench" + std::to_string(i) +
+                        "|mn|8|0|sym:0.0:0|4|0|0|-")) {
+      ++hits;
+    }
+  }
+  result.restored_hit_rate =
+      entries > 0 ? static_cast<double>(hits) / static_cast<double>(entries)
+                  : 0.0;
+  ::unlink(path.c_str());
+  return result;
+}
+
 int check_floors(const std::vector<Section>& sections, const std::string& spec) {
   int failures = 0;
   std::size_t pos = 0;
@@ -587,6 +648,23 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // -- snapshot_restore: the durable-cache round trip ---------------------
+  const SnapshotRestoreResult snapshot_restore = run_snapshot_restore(
+      /*entries=*/std::max<std::size_t>(64, static_cast<std::size_t>(cfg.trials) * 8));
+  std::printf(
+      "   snapshot-restore: %zu entries spill %s ms, restore %s ms, "
+      "restored hit-rate %s%%\n",
+      snapshot_restore.entries,
+      format_compact(snapshot_restore.spill_sec * 1e3, 3).c_str(),
+      format_compact(snapshot_restore.restore_sec * 1e3, 3).c_str(),
+      format_compact(snapshot_restore.restored_hit_rate * 100.0, 3).c_str());
+  if (snapshot_restore.restored_hit_rate < 1.0) {
+    std::fprintf(stderr,
+                 "   FAILED: restored cache answered only %.3f of its keys\n",
+                 snapshot_restore.restored_hit_rate);
+    return 1;
+  }
+
   if (!json_path.empty()) {
     std::ofstream json(json_path);
     if (!json) {
@@ -627,6 +705,11 @@ int main(int argc, char** argv) {
          << ", \"midload_jobs_served\": " << saturation.midload_jobs_served
          << ",\n    \"queue_depth_peak\": " << saturation.queue_depth_peak
          << ", \"arena_peak_bytes\": " << saturation.arena_peak_bytes
+         << "},\n  \"snapshot_restore\": {\"entries\": "
+         << snapshot_restore.entries
+         << ", \"spill_sec\": " << snapshot_restore.spill_sec
+         << ", \"restore_sec\": " << snapshot_restore.restore_sec
+         << ", \"restored_hit_rate\": " << snapshot_restore.restored_hit_rate
          << "}\n}\n";
     if (!json.flush()) {
       std::fprintf(stderr, "   FAILED to write %s\n", json_path.c_str());

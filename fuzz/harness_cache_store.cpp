@@ -1,0 +1,55 @@
+// Cache snapshot grammar harness: arbitrary bytes through
+// read_cache_snapshot. A malformed snapshot (bad magic/version/schema,
+// truncation, checksum or count mismatch, duplicate keys, failed
+// reports, implausible sizes) must reject with ContractError -- this is
+// the file a restarting server trusts to warm its cache, so anything a
+// crashed or hostile writer can produce must fail closed. Accepted
+// snapshots must satisfy the write->read fixed point byte-for-byte,
+// which is what makes spill/restore a lossless round trip.
+#include "harnesses.hpp"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/cache_store.hpp"
+#include "support/assert.hpp"
+
+namespace pooled::fuzz {
+
+int fuzz_cache_store(const std::uint8_t* data, std::size_t size) {
+  const std::string bytes(reinterpret_cast<const char*>(data), size);
+  std::istringstream is(bytes);
+  std::vector<CacheSnapshotEntry> entries;
+  try {
+    entries = read_cache_snapshot(is);
+  } catch (const ContractError&) {
+    return 0;  // clean rejection of a malformed snapshot
+  }
+  // Accepted: every entry must be writable again (ok() reports,
+  // newline-free keys) and the rewrite must be a parse fixed point.
+  std::ostringstream first;
+  try {
+    write_cache_snapshot(first, entries);
+  } catch (const ContractError&) {
+    POOLED_CHECK(false, "accepted snapshot entries were rejected on rewrite");
+  }
+  std::istringstream again(first.str());
+  std::vector<CacheSnapshotEntry> reparsed;
+  try {
+    reparsed = read_cache_snapshot(again);
+  } catch (const ContractError&) {
+    POOLED_CHECK(false, "rewritten snapshot was rejected on reparse");
+  }
+  std::ostringstream second;
+  write_cache_snapshot(second, reparsed);
+  POOLED_CHECK(second.str() == first.str(),
+               "cache snapshot write<->read is not a fixed point");
+  return 0;
+}
+
+}  // namespace pooled::fuzz
+
+#ifdef POOLED_FUZZER_MAIN
+POOLED_DEFINE_FUZZER_MAIN(::pooled::fuzz::fuzz_cache_store)
+#endif

@@ -75,6 +75,23 @@ void check_snapshot_fixed_point(const MetricsSnapshot& snapshot) {
                "stats frame parse->serialize is not a fixed point");
 }
 
+void check_drain_summary_fixed_point(const DrainSummary& summary) {
+  std::ostringstream first;
+  save_drain_summary(first, summary);
+  std::istringstream reparse(first.str());
+  std::optional<DrainSummary> again;
+  try {
+    again = load_drain_summary(reparse);
+  } catch (const ContractError&) {
+    POOLED_CHECK(false, "serialized drain summary was rejected on reparse");
+  }
+  POOLED_CHECK(again.has_value(), "serialized drain summary hit end-of-stream");
+  std::ostringstream second;
+  save_drain_summary(second, *again);
+  POOLED_CHECK(first.str() == second.str(),
+               "drain summary parse->serialize is not a fixed point");
+}
+
 /// Runs one reader over the whole byte stream. A ContractError is the
 /// expected rejection of malformed input; everything else escapes.
 template <class Loader, class Checker>
@@ -111,8 +128,11 @@ int fuzz_protocol(const std::uint8_t* data, std::size_t size) {
       [](const ServeResponse& response) {
         if (const auto* report = std::get_if<DecodeReport>(&response)) {
           check_report_fixed_point(*report);
+        } else if (const auto* snapshot =
+                       std::get_if<MetricsSnapshot>(&response)) {
+          check_snapshot_fixed_point(*snapshot);
         } else {
-          check_snapshot_fixed_point(std::get<MetricsSnapshot>(response));
+          check_drain_summary_fixed_point(std::get<DrainSummary>(response));
         }
       });
   // The single-kind readers reject the frames the combined ones accept
@@ -128,6 +148,11 @@ int fuzz_protocol(const std::uint8_t* data, std::size_t size) {
       bytes, [](std::istream& is) { return load_stats_snapshot(is); },
       [](const MetricsSnapshot& snapshot) {
         check_snapshot_fixed_point(snapshot);
+      });
+  drive(
+      bytes, [](std::istream& is) { return load_drain_summary(is); },
+      [](const DrainSummary& summary) {
+        check_drain_summary_fixed_point(summary);
       });
   return 0;
 }

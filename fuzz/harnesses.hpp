@@ -44,6 +44,12 @@ int fuzz_spec(const std::uint8_t* data, std::size_t size);
 /// line at a time. Accepted lines must be format<->parse byte-stable.
 int fuzz_metrics_wire(const std::uint8_t* data, std::size_t size);
 
+/// The on-disk cache snapshot grammar (engine/cache_store) through
+/// read_cache_snapshot. Malformed snapshots -- the restore path's trust
+/// boundary -- must reject cleanly; accepted ones must be a
+/// write<->read byte fixed point.
+int fuzz_cache_store(const std::uint8_t* data, std::size_t size);
+
 /// Structured differential fuzzer: derives a small instance from the
 /// bytes, decodes it under the scalar kernel tier and under every other
 /// tier this host can run, and asserts bit-identical outcomes --

@@ -34,6 +34,7 @@ constexpr NamedHarness kHarnesses[] = {
     {"protocol", pooled::fuzz::fuzz_protocol},
     {"spec", pooled::fuzz::fuzz_spec},
     {"metrics_wire", pooled::fuzz::fuzz_metrics_wire},
+    {"cache_store", pooled::fuzz::fuzz_cache_store},
     {"decode_differential", pooled::fuzz::fuzz_decode_differential},
 };
 

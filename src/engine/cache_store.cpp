@@ -1,0 +1,245 @@
+#include "engine/cache_store.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <ios>
+#include <sstream>
+#include <sys/stat.h>
+
+#include "engine/protocol.hpp"
+#include "support/assert.hpp"
+
+namespace pooled {
+namespace {
+
+constexpr const char* kCacheMagic = "pooled-cache";
+constexpr const char* kCacheVersion = "v1";
+
+/// Most lines one spilled report frame may span before the block is
+/// declared truncated garbage rather than a report.
+constexpr std::size_t kMaxReportLines = std::size_t{1} << 16;
+
+/// FNV-1a 64 over the entry section; the offset basis seeds it.
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ull;
+
+std::uint64_t fnv1a_update(std::uint64_t hash, const std::string& bytes) {
+  for (const char c : bytes) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001B3ull;
+  }
+  return hash;
+}
+
+std::string to_hex16(std::uint64_t value) {
+  std::ostringstream os;
+  os << std::hex << std::setw(16) << std::setfill('0') << value;
+  return os.str();
+}
+
+std::uint64_t parse_count(const std::string& text, const char* what) {
+  POOLED_REQUIRE(!text.empty(), std::string("cache snapshot ") + what +
+                                    " count is empty");
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    POOLED_REQUIRE(c >= '0' && c <= '9',
+                   std::string("cache snapshot ") + what +
+                       " count is not a number: '" + text + "'");
+    POOLED_REQUIRE(value <= (UINT64_MAX - 9) / 10,
+                   std::string("cache snapshot ") + what + " count overflows");
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+std::string expect_line(std::istream& is, const char* what) {
+  std::string line;
+  POOLED_REQUIRE(read_bounded_line(is, line),
+                 std::string("cache snapshot truncated before ") + what);
+  return line;
+}
+
+/// Splits "key value" at the first space; the key must match.
+std::string expect_field(const std::string& line, const char* key) {
+  const std::string prefix = std::string(key) + ' ';
+  POOLED_REQUIRE(line.rfind(prefix, 0) == 0,
+                 std::string("cache snapshot expected '") + key +
+                     " ...', got '" + line + "'");
+  return line.substr(prefix.size());
+}
+
+}  // namespace
+
+void write_cache_snapshot(std::ostream& os,
+                          const std::vector<CacheSnapshotEntry>& entries) {
+  POOLED_REQUIRE(entries.size() <= kMaxCacheSnapshotEntries,
+                 "cache snapshot entry count exceeds the format limit");
+  // Render the entry section first so the checksum line can cover it.
+  std::ostringstream section;
+  for (const CacheSnapshotEntry& entry : entries) {
+    POOLED_REQUIRE(!entry.key.empty(), "cache snapshot entry key is empty");
+    POOLED_REQUIRE(entry.key.find('\n') == std::string::npos,
+                   "cache snapshot entry key contains a newline");
+    POOLED_REQUIRE(entry.report.ok(),
+                   "cache snapshot must not contain failed reports");
+    section << "entry " << entry.key << '\n';
+    save_report(section, entry.report);
+  }
+  const std::string body = section.str();
+  os << kCacheMagic << ' ' << kCacheVersion << '\n'
+     << "schema " << kCacheKeySchema << '\n'
+     << "entries " << entries.size() << '\n'
+     << body << "checksum " << to_hex16(fnv1a_update(kFnvOffset, body))
+     << '\n'
+     << "end\n";
+}
+
+std::vector<CacheSnapshotEntry> read_cache_snapshot(std::istream& is) {
+  const std::string header = expect_line(is, "header");
+  POOLED_REQUIRE(header == std::string(kCacheMagic) + ' ' + kCacheVersion,
+                 "cache snapshot header is not '" + std::string(kCacheMagic) +
+                     ' ' + kCacheVersion + "': '" + header + "'");
+  const std::string schema =
+      expect_field(expect_line(is, "schema"), "schema");
+  POOLED_REQUIRE(schema == kCacheKeySchema,
+                 "cache snapshot key schema mismatch: file has '" + schema +
+                     "', this build expects '" + kCacheKeySchema + "'");
+  const std::uint64_t count =
+      parse_count(expect_field(expect_line(is, "entries"), "entries"),
+                  "entries");
+  POOLED_REQUIRE(count <= kMaxCacheSnapshotEntries,
+                 "cache snapshot claims an implausible entry count");
+
+  std::vector<CacheSnapshotEntry> entries;
+  entries.reserve(static_cast<std::size_t>(count));
+  std::uint64_t checksum = kFnvOffset;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::string entry_line = expect_line(is, "entry");
+    checksum = fnv1a_update(checksum, entry_line + '\n');
+    CacheSnapshotEntry entry;
+    entry.key = expect_field(entry_line, "entry");
+    POOLED_REQUIRE(!entry.key.empty(), "cache snapshot entry key is empty");
+    // Collect the report frame (it carries its own `end` terminator)
+    // into a buffer: the checksum covers its exact bytes, and parsing
+    // from the buffer keeps load_report from reading past the frame.
+    std::string block;
+    std::size_t block_lines = 0;
+    for (;;) {
+      const std::string line = expect_line(is, "report frame");
+      checksum = fnv1a_update(checksum, line + '\n');
+      block += line;
+      block += '\n';
+      POOLED_REQUIRE(++block_lines <= kMaxReportLines,
+                     "cache snapshot report frame is implausibly long");
+      if (line == "end") break;
+    }
+    std::istringstream block_stream(block);
+    const std::optional<DecodeReport> report = load_report(block_stream);
+    POOLED_REQUIRE(report.has_value(),
+                   "cache snapshot entry does not hold a result frame");
+    POOLED_REQUIRE(report->ok(),
+                   "cache snapshot holds a failed report; failures are "
+                   "never cached");
+    entry.report = *report;
+    for (const CacheSnapshotEntry& seen : entries) {
+      POOLED_REQUIRE(seen.key != entry.key,
+                     "cache snapshot repeats key '" + entry.key + "'");
+    }
+    entries.push_back(std::move(entry));
+  }
+
+  const std::string stored =
+      expect_field(expect_line(is, "checksum"), "checksum");
+  POOLED_REQUIRE(stored == to_hex16(checksum),
+                 "cache snapshot checksum mismatch: file says " + stored +
+                     ", entries hash to " + to_hex16(checksum));
+  const std::string terminator = expect_line(is, "terminator");
+  POOLED_REQUIRE(terminator == "end",
+                 "cache snapshot missing 'end' terminator, got '" +
+                     terminator + "'");
+  return entries;
+}
+
+void save_cache_snapshot(const std::string& path,
+                         const std::vector<CacheSnapshotEntry>& entries) {
+  std::ostringstream rendered;
+  write_cache_snapshot(rendered, entries);
+  const std::string bytes = rendered.str();
+
+  const std::string tmp_path =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  POOLED_REQUIRE(fd >= 0, "cache snapshot: cannot create '" + tmp_path +
+                              "': " + std::strerror(errno));
+  // From here on any failure must remove the temp file so a retry (or
+  // a different process) never trips over a stale partial write.
+  const auto fail = [&](const std::string& what) {
+    const int saved_errno = errno;
+    ::close(fd);
+    ::unlink(tmp_path.c_str());
+    throw ContractError("cache snapshot: " + what + " '" + tmp_path +
+                        "': " + std::strerror(saved_errno));
+  };
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("cannot write");
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) fail("cannot fsync");
+  if (::close(fd) != 0) {
+    const int saved_errno = errno;
+    ::unlink(tmp_path.c_str());
+    throw ContractError("cache snapshot: cannot close '" + tmp_path +
+                        "': " + std::strerror(saved_errno));
+  }
+  if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    const int saved_errno = errno;
+    ::unlink(tmp_path.c_str());
+    throw ContractError("cache snapshot: cannot rename '" + tmp_path +
+                        "' to '" + path + "': " + std::strerror(saved_errno));
+  }
+  // fsync the directory so the rename itself survives power loss; a
+  // failure here is not fatal to correctness (the file contents are
+  // durable), so only opening the directory is checked.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dir_fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+}
+
+std::optional<std::vector<CacheSnapshotEntry>> load_cache_snapshot(
+    const std::string& path) {
+  struct ::stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    if (errno == ENOENT) return std::nullopt;  // cold start, not an error
+    throw ContractError("cache snapshot: cannot stat '" + path +
+                        "': " + std::strerror(errno));
+  }
+  std::ifstream is(path, std::ios::binary);
+  POOLED_REQUIRE(is.is_open(), "cache snapshot: cannot open '" + path + "'");
+  try {
+    std::vector<CacheSnapshotEntry> entries = read_cache_snapshot(is);
+    std::string trailing;
+    POOLED_REQUIRE(!read_bounded_line(is, trailing),
+                   "trailing bytes after the snapshot terminator");
+    return entries;
+  } catch (const ContractError& error) {
+    throw ContractError("cache snapshot '" + path + "': " + error.what());
+  }
+}
+
+}  // namespace pooled

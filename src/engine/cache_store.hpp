@@ -1,0 +1,85 @@
+// Versioned on-disk snapshots of the result cache (persistence layer).
+//
+// A serve restart used to lose the entire hot set; this format spills
+// the LRU to disk so `pooled_cli serve --cache-file` restarts warm. The
+// file is line-oriented, like every other wire grammar here:
+//
+//   pooled-cache v1
+//   schema digest|decoder|k|cc|noise|rounds|budget|seed|truth
+//   entries 2
+//   entry <cache key, verbatim>
+//   pooled-result v2
+//   ...
+//   end
+//   entry <cache key, verbatim>
+//   ...
+//   checksum 01b331c56d5f07a4
+//   end
+//
+// Entries appear in LRU order, most recently used first, so a restore
+// into a *smaller* cache keeps the hottest prefix. The `schema` line
+// pins the cache-key grammar (kCacheKeySchema): whenever a field is
+// added to ResultCache::job_key, bump the schema token and old
+// snapshots are rejected instead of silently aliasing entries keyed
+// under different rules. The checksum (FNV-1a 64 over every entry-
+// section byte) plus the entry count makes truncation and bit rot loud.
+//
+// Crash safety: save_cache_snapshot writes `<path>.tmp.<pid>`, fsyncs
+// it, and renames it over `path` -- a reader never observes a partial
+// snapshot, and a writer SIGKILLed mid-spill leaves the previous valid
+// snapshot in place (tests/test_cache_store.cpp proves both). The
+// loader parses the whole file before handing any entry back, so a
+// corrupt snapshot rejects loudly without poisoning the cache it was
+// meant to warm.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/batch_engine.hpp"
+
+namespace pooled {
+
+/// The cache-key grammar this snapshot format is pinned to. Must move
+/// in lockstep with ResultCache::job_key: a snapshot written under a
+/// different schema token is rejected at load.
+inline constexpr const char* kCacheKeySchema =
+    "digest|decoder|k|cc|noise|rounds|budget|seed|truth";
+
+/// Most entries one snapshot may claim; anything above this is a
+/// corrupt (or hostile) file, not a cache.
+inline constexpr std::size_t kMaxCacheSnapshotEntries = std::size_t{1} << 20;
+
+/// One spilled cache entry: the canonical job key and its report.
+struct CacheSnapshotEntry {
+  std::string key;
+  DecodeReport report;
+};
+
+/// Writes one snapshot to a stream (testing / fuzzing; production goes
+/// through save_cache_snapshot). Every report must be ok().
+void write_cache_snapshot(std::ostream& os,
+                          const std::vector<CacheSnapshotEntry>& entries);
+
+/// Reads one snapshot from a stream; throws ContractError on any
+/// malformed input (wrong magic/version/schema, truncation, checksum or
+/// entry-count mismatch, non-ok reports). Nothing is returned until the
+/// whole snapshot has validated.
+std::vector<CacheSnapshotEntry> read_cache_snapshot(std::istream& is);
+
+/// Crash-safe file write: temp file + fsync + atomic rename (the
+/// directory is fsynced too, so the rename itself is durable). Throws
+/// ContractError on I/O failure, leaving any previous snapshot intact.
+void save_cache_snapshot(const std::string& path,
+                         const std::vector<CacheSnapshotEntry>& entries);
+
+/// Loads the snapshot at `path`. nullopt when no file exists (a cold
+/// start, not an error); throws ContractError -- naming the path -- on
+/// anything unreadable or malformed, including trailing garbage after
+/// the `end` line.
+std::optional<std::vector<CacheSnapshotEntry>> load_cache_snapshot(
+    const std::string& path);
+
+}  // namespace pooled

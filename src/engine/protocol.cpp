@@ -23,6 +23,8 @@ constexpr const char* kJobMagic = "pooled-job";
 constexpr const char* kResultMagic = "pooled-result";
 constexpr const char* kStatsMagic = "pooled-stats";
 constexpr const char* kStatsResultMagic = "pooled-stats-result";
+constexpr const char* kDrainMagic = "pooled-drain";
+constexpr const char* kDrainResultMagic = "pooled-drain-result";
 constexpr const char* kVersionV2 = "v2";  // what writers emit
 constexpr const char* kEnd = "end";
 
@@ -119,6 +121,10 @@ void require_v2(int version, const std::string& key) {
 }
 
 }  // namespace
+
+bool read_bounded_line(std::istream& is, std::string& line) {
+  return read_line(is, line);
+}
 
 void save_job(std::ostream& os, const DecodeJob& job,
               std::optional<std::size_t> index) {
@@ -254,16 +260,18 @@ DecodeJob load_job_body(std::istream& is, int version_value) {
   return job;
 }
 
-/// The body of a stats request (nothing but the `end` line).
-void load_stats_request_body(std::istream& is) {
+/// The body of a payload-free request frame -- stats and drain requests
+/// are nothing but the `end` line. `what` names the frame in errors.
+void load_empty_request_body(std::istream& is, const char* what) {
   std::string line;
   while (read_line(is, line)) {
     if (is_blank(line)) continue;
     POOLED_REQUIRE(trimmed(line) == kEnd,
-                   "unexpected stats-request field '" + trimmed(line) + "'");
+                   std::string("unexpected ") + what + "-request field '" +
+                       trimmed(line) + "'");
     return;
   }
-  POOLED_REQUIRE(false, "stats frame missing 'end'");
+  POOLED_REQUIRE(false, std::string(what) + " frame missing 'end'");
 }
 
 }  // namespace
@@ -280,18 +288,93 @@ std::optional<ServeRequest> load_request(std::istream& is) {
   if (header->magic == kJobMagic) {
     return ServeRequest(load_job_body(is, parse_version(*header)));
   }
-  POOLED_REQUIRE(header->magic == kStatsMagic,
-                 "expected a " + std::string(kJobMagic) + " or " + kStatsMagic +
-                     " frame, got '" + header->line + "'");
+  if (header->magic == kStatsMagic) {
+    POOLED_REQUIRE(parse_version(*header) >= 2,
+                   "pooled-stats frames need protocol v2");
+    load_empty_request_body(is, "stats");
+    return ServeRequest(StatsRequest{});
+  }
+  POOLED_REQUIRE(header->magic == kDrainMagic,
+                 "expected a " + std::string(kJobMagic) + ", " + kStatsMagic +
+                     ", or " + kDrainMagic + " frame, got '" + header->line +
+                     "'");
   POOLED_REQUIRE(parse_version(*header) >= 2,
-                 "pooled-stats frames need protocol v2");
-  load_stats_request_body(is);
-  return ServeRequest(StatsRequest{});
+                 "pooled-drain frames need protocol v2");
+  load_empty_request_body(is, "drain");
+  return ServeRequest(DrainRequest{});
 }
 
 void save_stats_request(std::ostream& os) {
   os << kStatsMagic << ' ' << kVersionV2 << '\n' << kEnd << '\n';
   POOLED_REQUIRE(static_cast<bool>(os), "stats request serialization failed");
+}
+
+void save_drain_request(std::ostream& os) {
+  os << kDrainMagic << ' ' << kVersionV2 << '\n' << kEnd << '\n';
+  POOLED_REQUIRE(static_cast<bool>(os), "drain request serialization failed");
+}
+
+void save_drain_summary(std::ostream& os, const DrainSummary& summary) {
+  os << kDrainResultMagic << ' ' << kVersionV2 << '\n';
+  os << "status ok\n";
+  os << "jobs-served " << summary.jobs_served << '\n';
+  os << "cache-entries " << summary.cache_entries << '\n';
+  os << "snapshot-written " << (summary.snapshot_written ? 1 : 0) << '\n';
+  os << "write-failures " << summary.write_failures << '\n';
+  os << kEnd << '\n';
+  POOLED_REQUIRE(static_cast<bool>(os), "drain summary serialization failed");
+}
+
+namespace {
+
+/// The body of a drain-result frame, after the header line.
+DrainSummary load_drain_summary_body(std::istream& is) {
+  DrainSummary summary;
+  bool terminated = false;
+  std::string line;
+  while (read_line(is, line)) {
+    if (is_blank(line)) continue;
+    const std::string body = trimmed(line);
+    if (body == kEnd) {
+      terminated = true;
+      break;
+    }
+    std::istringstream fields(body);
+    std::string key;
+    fields >> key;
+    int flag = 0;
+    if (key == "status") {
+      std::string status;
+      POOLED_REQUIRE(static_cast<bool>(fields >> status) && status == "ok",
+                     "unexpected drain status line '" + body + "'");
+    } else if (key == "jobs-served") {
+      POOLED_REQUIRE(static_cast<bool>(fields >> summary.jobs_served),
+                     "truncated jobs-served field");
+    } else if (key == "cache-entries") {
+      POOLED_REQUIRE(static_cast<bool>(fields >> summary.cache_entries),
+                     "truncated cache-entries field");
+    } else if (key == "snapshot-written") {
+      POOLED_REQUIRE(static_cast<bool>(fields >> flag),
+                     "truncated snapshot-written field");
+      summary.snapshot_written = flag != 0;
+    } else if (key == "write-failures") {
+      POOLED_REQUIRE(static_cast<bool>(fields >> summary.write_failures),
+                     "truncated write-failures field");
+    } else {
+      POOLED_REQUIRE(false, "unknown drain-result field '" + key + "'");
+    }
+  }
+  POOLED_REQUIRE(terminated, "drain result frame missing 'end'");
+  return summary;
+}
+
+}  // namespace
+
+std::optional<DrainSummary> load_drain_summary(std::istream& is) {
+  const std::optional<int> version = read_header(is, kDrainResultMagic);
+  if (!version) return std::nullopt;
+  POOLED_REQUIRE(*version >= 2, "pooled-drain-result frames need protocol v2");
+  return load_drain_summary_body(is);
 }
 
 void save_stats_snapshot(std::ostream& os, const MetricsSnapshot& snapshot) {
@@ -350,6 +433,12 @@ void append_stats_snapshot(MetricsSnapshot& snapshot, const CacheStats* cache,
     push(MetricValue::of_counter("cache.misses", cache->misses));
     push(MetricValue::of_counter("cache.insertions", cache->insertions));
     push(MetricValue::of_counter("cache.evictions", cache->evictions));
+    push(MetricValue::of_counter("cache.snapshot_writes",
+                                 cache->snapshot_writes));
+    push(MetricValue::of_counter("cache.snapshot_restores",
+                                 cache->snapshot_restores));
+    push(MetricValue::of_counter("cache.snapshot_rejected",
+                                 cache->snapshot_rejected));
     push(MetricValue::of_gauge("cache.size",
                                static_cast<std::int64_t>(cache->size),
                                static_cast<std::int64_t>(cache->size)));
@@ -503,12 +592,18 @@ std::optional<ServeResponse> load_response(std::istream& is) {
   if (header->magic == kResultMagic) {
     return ServeResponse(load_report_body(is, parse_version(*header)));
   }
-  POOLED_REQUIRE(header->magic == kStatsResultMagic,
-                 "expected a " + std::string(kResultMagic) + " or " +
-                     kStatsResultMagic + " frame, got '" + header->line + "'");
+  if (header->magic == kStatsResultMagic) {
+    POOLED_REQUIRE(parse_version(*header) >= 2,
+                   "pooled-stats-result frames need protocol v2");
+    return ServeResponse(load_stats_snapshot_body(is));
+  }
+  POOLED_REQUIRE(header->magic == kDrainResultMagic,
+                 "expected a " + std::string(kResultMagic) + ", " +
+                     kStatsResultMagic + ", or " + kDrainResultMagic +
+                     " frame, got '" + header->line + "'");
   POOLED_REQUIRE(parse_version(*header) >= 2,
-                 "pooled-stats-result frames need protocol v2");
-  return ServeResponse(load_stats_snapshot_body(is));
+                 "pooled-drain-result frames need protocol v2");
+  return ServeResponse(load_drain_summary_body(is));
 }
 
 void ProgressStream::emit(std::uint64_t connection, std::size_t job_index,
@@ -526,13 +621,15 @@ std::size_t serve_stream(std::istream& is, std::ostream& os,
                          ProgressStream* progress,
                          const std::atomic<bool>* cancel,
                          const MetricsRegistry* metrics,
-                         TraceRecorder* trace) {
+                         TraceRecorder* trace,
+                         const std::function<void(DrainSummary&)>* on_drain) {
   if (chunk == 0) chunk = engine.window();
   // Bound parsed-but-unscheduled jobs: a misconfigured window cannot
   // make the server buffer an unbounded batch before decoding starts.
   chunk = std::min(chunk, limits::kMaxJobsPerWindow);
   std::size_t served = 0;
   bool more_requests = true;
+  bool draining = false;
   while (more_requests &&
          (cancel == nullptr || !cancel->load(std::memory_order_relaxed))) {
     std::vector<DecodeJob> jobs;
@@ -543,6 +640,13 @@ std::size_t serve_stream(std::istream& is, std::ostream& os,
       const Timer parse_timer;
       std::optional<ServeRequest> request = load_request(is);
       if (!request) {
+        more_requests = false;
+        break;
+      }
+      if (std::holds_alternative<DrainRequest>(*request)) {
+        // Graceful shutdown: the jobs parsed so far still decode and
+        // flush below, then the summary frame closes the stream.
+        draining = true;
         more_requests = false;
         break;
       }
@@ -608,6 +712,14 @@ std::size_t serve_stream(std::istream& is, std::ostream& os,
     POOLED_REQUIRE(static_cast<bool>(os), "result stream write failed");
     served += jobs.size();
     spans.clear();  // emits the JSONL lines
+  }
+  if (draining) {
+    DrainSummary summary;
+    summary.jobs_served = served;
+    if (on_drain != nullptr && *on_drain) (*on_drain)(summary);
+    save_drain_summary(os, summary);
+    os.flush();
+    POOLED_REQUIRE(static_cast<bool>(os), "drain summary write failed");
   }
   return served;
 }

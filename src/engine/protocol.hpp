@@ -46,10 +46,28 @@
 // and the snapshot round-trips byte-for-byte (doubles at precision 17).
 // Servers answer a stats frame immediately, out of band of the job
 // pipeline: it never consumes a job index.
+//
+// v2 also defines the graceful-shutdown `drain` exchange (rolling
+// restarts):
+//
+//   Request:            Response:
+//     pooled-drain v2     pooled-drain-result v2
+//     end                 status ok
+//                         jobs-served 128
+//                         cache-entries 37
+//                         snapshot-written 1
+//                         write-failures 0
+//                         end
+//
+// A drain tells the server: stop accepting new jobs, finish every
+// in-flight window, snapshot the result cache to disk, answer with this
+// summary, and exit cleanly. Like stats frames, drain frames are
+// v2-only -- a v1 stream cannot half-understand a shutdown request.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
+#include <functional>
 #include <iosfwd>
 #include <optional>
 #include <variant>
@@ -169,12 +187,28 @@ std::optional<DecodeReport> load_report(std::istream& is);
 /// payload; the frame is just the header plus `end`.
 struct StatsRequest {};
 
+/// A `pooled-drain` request frame: "stop accepting jobs, finish what is
+/// in flight, snapshot the cache, answer a summary, exit". No payload.
+struct DrainRequest {};
+
+/// The `pooled-drain-result` answer: what the server flushed before
+/// shutting down. The shard router reads one to decide a drained shard
+/// parked cleanly (vs died), and operators read it to know the hot set
+/// reached disk.
+struct DrainSummary {
+  std::uint64_t jobs_served = 0;     ///< result frames delivered, lifetime
+  std::uint64_t cache_entries = 0;   ///< entries in the final snapshot
+  bool snapshot_written = false;     ///< the final snapshot reached disk
+  std::uint64_t write_failures = 0;  ///< frames lost to dead peers, lifetime
+};
+
 /// Anything a client may send on a serve connection.
-using ServeRequest = std::variant<DecodeJob, StatsRequest>;
+using ServeRequest = std::variant<DecodeJob, StatsRequest, DrainRequest>;
 
 /// Anything a server may send back on a serve connection: result frames
-/// in job order, stats-result frames out of band between them.
-using ServeResponse = std::variant<DecodeReport, MetricsSnapshot>;
+/// in job order, stats-result / drain-result frames out of band between
+/// them.
+using ServeResponse = std::variant<DecodeReport, MetricsSnapshot, DrainSummary>;
 
 /// Reads the next response of either kind; std::nullopt at (clean) end
 /// of stream. Throws ContractError on malformed input. The shard
@@ -189,6 +223,24 @@ std::optional<ServeRequest> load_request(std::istream& is);
 
 /// Writes a `pooled-stats` request frame.
 void save_stats_request(std::ostream& os);
+
+/// Writes a `pooled-drain` request frame.
+void save_drain_request(std::ostream& os);
+
+/// Writes a `pooled-drain-result` frame. Every field is always emitted,
+/// so the frame is byte-stable for a given summary.
+void save_drain_summary(std::ostream& os, const DrainSummary& summary);
+
+/// Reads the next `pooled-drain-result` frame; std::nullopt at (clean)
+/// end of stream. Throws ContractError on malformed input.
+std::optional<DrainSummary> load_drain_summary(std::istream& is);
+
+/// Bounded line read shared by every wire parser: rejects a line the
+/// moment it crosses limits::kMaxLineBytes instead of buffering it
+/// whole. Matches std::getline's stream-state contract (failbit at end
+/// of stream). Exposed so sibling grammars (engine/cache_store) enforce
+/// the same bound.
+bool read_bounded_line(std::istream& is, std::string& line);
 
 /// Writes a `pooled-stats-result` frame carrying `snapshot`, one metric
 /// per line (see obs/metrics.hpp for the line grammar).
@@ -223,11 +275,19 @@ void append_stats_snapshot(MetricsSnapshot& snapshot, const CacheStats* cache,
 /// snapshot frame (jobs served so far, the engine's cache counters, and
 /// `metrics` when non-null) without consuming a job index. A non-null
 /// `trace` gets one JSONL span per job (connection 0).
+///
+/// Graceful shutdown: a `pooled-drain` request finishes the current
+/// window, invokes `on_drain` (the caller's chance to spill the cache
+/// and fill the summary's snapshot fields), answers the summary frame,
+/// and returns -- the stream-serve analogue of the socket server's
+/// drain path.
 std::size_t serve_stream(std::istream& is, std::ostream& os,
                          const BatchEngine& engine, std::size_t chunk = 0,
                          ProgressStream* progress = nullptr,
                          const std::atomic<bool>* cancel = nullptr,
                          const MetricsRegistry* metrics = nullptr,
-                         TraceRecorder* trace = nullptr);
+                         TraceRecorder* trace = nullptr,
+                         const std::function<void(DrainSummary&)>* on_drain =
+                             nullptr);
 
 }  // namespace pooled

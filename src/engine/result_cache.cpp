@@ -1,8 +1,10 @@
 #include "engine/result_cache.hpp"
 
 #include <sstream>
+#include <vector>
 
 #include "core/serialize.hpp"
+#include "engine/cache_store.hpp"
 #include "support/assert.hpp"
 
 namespace pooled {
@@ -74,6 +76,46 @@ void ResultCache::insert(const std::string& key, const DecodeReport& report) {
                 "eviction must keep the cache within capacity");
 }
 
+std::size_t ResultCache::spill(const std::string& path) {
+  // Copy the entries under the lock, write outside it: a snapshot
+  // write is disk-speed work and must not stall concurrent lookups.
+  std::vector<CacheSnapshotEntry> entries;
+  {
+    const LockGuard lock(mutex_);
+    entries.reserve(lru_.size());
+    for (const Entry& entry : lru_) {  // front first => MRU-first on disk
+      entries.push_back(CacheSnapshotEntry{entry.first, entry.second});
+    }
+  }
+  save_cache_snapshot(path, entries);  // throws on I/O failure
+  {
+    const LockGuard lock(mutex_);
+    ++snapshot_writes_;
+  }
+  return entries.size();
+}
+
+std::size_t ResultCache::restore(const std::string& path) {
+  std::optional<std::vector<CacheSnapshotEntry>> entries;
+  try {
+    entries = load_cache_snapshot(path);
+  } catch (...) {
+    const LockGuard lock(mutex_);
+    ++snapshot_rejected_;
+    throw;
+  }
+  if (!entries.has_value()) return 0;  // no file: a cold start
+  // The snapshot is MRU-first; inserting oldest-first replays the
+  // original recency order, and when this cache is smaller than the
+  // one that spilled, eviction trims exactly the cold tail.
+  for (auto it = entries->rbegin(); it != entries->rend(); ++it) {
+    insert(it->key, it->report);
+  }
+  const LockGuard lock(mutex_);
+  ++snapshot_restores_;
+  return entries->size();
+}
+
 CacheStats ResultCache::stats() const {
   const LockGuard lock(mutex_);
   CacheStats stats;
@@ -81,6 +123,9 @@ CacheStats ResultCache::stats() const {
   stats.misses = misses_;
   stats.insertions = insertions_;
   stats.evictions = evictions_;
+  stats.snapshot_writes = snapshot_writes_;
+  stats.snapshot_restores = snapshot_restores_;
+  stats.snapshot_rejected = snapshot_rejected_;
   stats.size = index_.size();
   stats.capacity = capacity_;
   return stats;

@@ -35,6 +35,9 @@ struct CacheStats {
   std::uint64_t misses = 0;
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
+  std::uint64_t snapshot_writes = 0;    ///< successful spill()s
+  std::uint64_t snapshot_restores = 0;  ///< successful restore()s of a file
+  std::uint64_t snapshot_rejected = 0;  ///< restore()s that rejected a file
   std::size_t size = 0;
   std::size_t capacity = 0;
 
@@ -66,6 +69,21 @@ class ResultCache {
   /// an existing key only refreshes recency.
   void insert(const std::string& key, const DecodeReport& report);
 
+  /// Spills every entry to `path` as a crash-safe cache snapshot
+  /// (cache_store format: temp file + fsync + atomic rename), most
+  /// recently used first. Returns the number of entries written; throws
+  /// ContractError on I/O failure, leaving any previous snapshot file
+  /// intact.
+  std::size_t spill(const std::string& path);
+
+  /// Restores entries from the snapshot at `path` into the cache,
+  /// oldest first so recency order survives the round trip (and a
+  /// smaller capacity keeps the hottest prefix). Returns the number of
+  /// entries loaded, or 0 when no snapshot file exists. Throws
+  /// ContractError on a corrupt/wrong-version snapshot -- counted in
+  /// stats().snapshot_rejected -- without touching existing entries.
+  std::size_t restore(const std::string& path);
+
   [[nodiscard]] CacheStats stats() const;
 
   void clear();
@@ -84,6 +102,9 @@ class ResultCache {
   std::uint64_t misses_ POOLED_GUARDED_BY(mutex_) = 0;
   std::uint64_t insertions_ POOLED_GUARDED_BY(mutex_) = 0;
   std::uint64_t evictions_ POOLED_GUARDED_BY(mutex_) = 0;
+  std::uint64_t snapshot_writes_ POOLED_GUARDED_BY(mutex_) = 0;
+  std::uint64_t snapshot_restores_ POOLED_GUARDED_BY(mutex_) = 0;
+  std::uint64_t snapshot_rejected_ POOLED_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace pooled

@@ -47,6 +47,10 @@ struct ServeServer::Connection {
   std::deque<DecodeJob> queue POOLED_GUARDED_BY(queue_mutex);
   std::deque<std::unique_ptr<TraceSpan>> spans POOLED_GUARDED_BY(queue_mutex);
   bool reader_done POOLED_GUARDED_BY(queue_mutex) = false;
+  /// This connection sent `pooled-drain` and is owed the summary frame
+  /// once the fleet quiesces. Reader sets it, handler reads it after the
+  /// queue drains.
+  bool drain_owed POOLED_GUARDED_BY(queue_mutex) = false;
   std::string parse_error POOLED_GUARDED_BY(queue_mutex);
   std::uint64_t jobs_parsed = 0;  ///< reader-only span index
 
@@ -104,6 +108,15 @@ void ServeServer::stop() {
   connections_.clear();
 }
 
+void ServeServer::begin_drain() {
+  // Two atomic stores only: this is called from reader threads (on a
+  // drain frame) and from signal-handling CLI loops, neither of which
+  // may touch connections_mutex_ (stop() joins handlers while holding
+  // it). The accept loop performs the actual read-shutdown sweep.
+  draining_.store(true);
+  drain_sweep_pending_.store(true);
+}
+
 ServeServerStats ServeServer::stats() const {
   ServeServerStats stats;
   stats.connections_accepted = connections_accepted_.load();
@@ -146,6 +159,11 @@ MetricsSnapshot ServeServer::build_snapshot() const {
       "serve.queue_depth", queue_gauge_->value(), queue_gauge_->peak()));
   values.push_back(MetricValue::of_histogram("serve.job_seconds",
                                              job_seconds_->snapshot()));
+  values.push_back(
+      MetricValue::of_counter("drain.requests", drains_requested_.load()));
+  const std::int64_t draining_now = draining_.load() ? 1 : 0;
+  values.push_back(
+      MetricValue::of_gauge("drain.draining", draining_now, draining_now));
   if (const ResultCache* cache = engine_.result_cache()) {
     const CacheStats cache_stats = cache->stats();
     append_stats_snapshot(snapshot, &cache_stats, options_.metrics);
@@ -172,8 +190,31 @@ void ServeServer::accept_loop() {
           ++it;
         }
       }
+      if (drain_sweep_pending_.exchange(false)) {
+        // Drain: half-close the read side of every live connection so
+        // blocked readers see a clean EOF, queued jobs finish, and the
+        // results still flush out the intact write side. A connection
+        // admitted after the drain flag flipped (the accept below runs
+        // outside this lock) is caught by the next sweep, because the
+        // flag stays pending until consumed here. A connection whose
+        // reader already finished (the drain owner's, typically) is
+        // skipped: there is no blocked reader to unblock, and flagging
+        // its receive side shut would make the kernel answer any
+        // late-arriving peer bytes (liveness probes) after our FIN with
+        // an RST that can destroy the drain summary in flight.
+        for (const auto& connection : connections_) {
+          if (connection->done.load()) continue;
+          bool reader_done = false;
+          {
+            const LockGuard queue_lock(connection->queue_mutex);
+            reader_done = connection->reader_done;
+          }
+          if (!reader_done) connection->stream.socket().shutdown_read();
+        }
+      }
     }
     if (!socket) continue;
+    if (draining_.load()) continue;  // refused: the fleet is going down
     socket->set_send_timeout(options_.write_timeout_seconds);
     const std::uint64_t serial = connections_accepted_.fetch_add(1) + 1;
     auto connection =
@@ -184,11 +225,15 @@ void ServeServer::accept_loop() {
       connections_.push_back(std::move(connection));
     }
     active_gauge_->add(1);
+    // Counted at admission (not inside the handler) so the drain barrier
+    // can never observe a connection whose handler has not started yet.
+    handlers_active_.fetch_add(1);
     ref.handler = std::thread([this, &ref] { handle_connection(ref); });
   }
 }
 
 void ServeServer::reaper_loop() {
+  Timer snapshot_timer;
   while (!stop_.load()) {
     {
       // Interruptible inter-probe wait: stop() must not block for up to
@@ -199,6 +244,13 @@ void ServeServer::reaper_loop() {
                           [this] { return stop_.load(); });
     }
     if (stop_.load()) break;
+    if (options_.snapshot_seconds > 0.0 && options_.on_snapshot &&
+        snapshot_timer.seconds() >= options_.snapshot_seconds) {
+      // Periodic cache spill, outside connections_mutex_ so a slow disk
+      // never stalls accepts or probes behind this thread.
+      options_.on_snapshot();
+      snapshot_timer.reset();
+    }
     const LockGuard lock(connections_mutex_);
     for (const auto& connection : connections_) {
       if (connection->done.load() || connection->cancel.load()) continue;
@@ -262,6 +314,18 @@ void ServeServer::read_requests(Connection& connection) {
         }
         if (connection.cancel.load()) break;
         continue;
+      }
+      if (std::holds_alternative<DrainRequest>(*request)) {
+        // This connection owns the drain: remember that it is owed the
+        // summary, flip the server into draining, and stop reading --
+        // the handler drains the queue, waits for the fleet, answers.
+        drains_requested_.fetch_add(1);
+        {
+          const LockGuard lock(connection.queue_mutex);
+          connection.drain_owed = true;
+        }
+        begin_drain();
+        break;
       }
       DecodeJob job = std::get<DecodeJob>(std::move(*request));
       std::unique_ptr<TraceSpan> span;
@@ -431,8 +495,51 @@ void ServeServer::handle_connection(Connection& connection) {
       write_failures_.fetch_add(1);
     }
   }
-  connection.stream.socket().shutdown_both();  // unblocks a waiting reader
-  reader.join();
+  bool drain_owed = false;
+  {
+    const LockGuard lock(connection.queue_mutex);
+    drain_owed = connection.drain_owed;
+  }
+  bool summary_sent = false;
+  if (drain_owed && peer_writable && !connection.cancel.load()) {
+    // The summary promises every in-flight job was answered, so wait
+    // until every live handler is itself a drain owner (its queue is
+    // already flushed by then). Atomics only: taking connections_mutex_
+    // here would deadlock against stop(), which joins handlers while
+    // holding it.
+    drain_owners_active_.fetch_add(1);
+    while (handlers_active_.load() > drain_owners_active_.load() &&
+           !stop_.load() && !connection.cancel.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    drain_owners_active_.fetch_sub(1);
+    DrainSummary summary;
+    summary.jobs_served = jobs_served_.load();
+    if (options_.on_drain) options_.on_drain(summary);
+    summary.write_failures = write_failures_.load();
+    try {
+      const LockGuard lock(connection.write_mutex);
+      save_drain_summary(out, summary);
+      out.flush();
+      POOLED_REQUIRE(static_cast<bool>(out), "drain summary write failed");
+      summary_sent = true;
+    } catch (const std::exception&) {
+      write_failures_.fetch_add(1);
+    }
+  }
+  if (summary_sent) {
+    // Lingering close: a router liveness probe racing the drain frame
+    // can land after our reader stopped, and close() with those bytes
+    // unread makes the kernel RST the connection -- destroying the
+    // summary queued just above. Send our FIN, then discard late bytes
+    // until the peer reads the summary and closes (bounded wait).
+    connection.stream.socket().shutdown_write();
+    reader.join();
+    connection.stream.socket().discard_until_eof(5.0);
+  } else {
+    connection.stream.socket().shutdown_both();  // unblocks a waiting reader
+    reader.join();
+  }
   {
     // Jobs still queued at teardown (cancel path) never decode; settle
     // the depth gauge and emit their spans as-is.
@@ -442,6 +549,7 @@ void ServeServer::handle_connection(Connection& connection) {
     connection.spans.clear();
   }
   active_gauge_->add(-1);
+  handlers_active_.fetch_sub(1);
   connection.done.store(true);
 }
 

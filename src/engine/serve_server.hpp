@@ -31,11 +31,19 @@
 //   - A malformed frame loses framing for good, so the reader stops,
 //     in-flight jobs drain, and the connection ends with a final
 //     `status error` frame naming the parse failure.
+//   - A `pooled-drain` frame (or begin_drain(), the SIGTERM path) flips
+//     the server into draining: new connections are refused, every live
+//     connection's read side is shut down so its queued jobs finish and
+//     flush, and once the fleet of handlers has quiesced the draining
+//     connection receives one `pooled-drain-result` summary. The caller
+//     (pooled_cli serve) watches draining() + active connections and
+//     exits; nothing in-flight is cancelled.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <thread>
@@ -73,6 +81,20 @@ struct ServeServerOptions {
   /// per job, tagged with the connection serial. Must outlive the
   /// server's stop().
   TraceRecorder* trace = nullptr;
+  /// Periodic cache-snapshot cadence in seconds (0 = off). When set
+  /// together with on_snapshot, the reaper thread invokes the callback
+  /// about every snapshot_seconds; the callback must not throw.
+  double snapshot_seconds = 0.0;
+  /// Invoked from the reaper thread on the snapshot cadence
+  /// (`serve --cache-file` wires it to ResultCache::spill). Must not
+  /// throw; must outlive the server's stop().
+  std::function<void()> on_snapshot;
+  /// Invoked exactly once per answered drain frame, after the fleet of
+  /// handlers has quiesced and before the summary is written: fills the
+  /// cache_entries / snapshot_written fields (jobs_served and
+  /// write_failures are the server's own counters). Must not throw;
+  /// must outlive the server's stop().
+  std::function<void(DrainSummary&)> on_drain;
 };
 
 /// Counter snapshot (monotonic except active_connections).
@@ -106,6 +128,17 @@ class ServeServer {
   /// every connection thread. Idempotent.
   void stop();
 
+  /// Starts a graceful drain: new connections are refused, live
+  /// connections get their read side shut down (queued jobs still finish
+  /// and flush), nothing in-flight is cancelled. The `pooled-drain`
+  /// frame takes this path too. Idempotent; callable from any thread.
+  /// Callers watch draining() + stats().active_connections reaching 0,
+  /// then call stop().
+  void begin_drain();
+
+  /// True once a drain has started (frame or begin_drain()).
+  [[nodiscard]] bool draining() const { return draining_.load(); }
+
   /// The resolved listen address (real port when bound with port 0).
   [[nodiscard]] const SocketAddress& address() const;
 
@@ -130,6 +163,21 @@ class ServeServer {
   ServeServerOptions options_;
 
   std::atomic<bool> stop_{false};
+  std::atomic<bool> draining_{false};
+  /// Set with draining_; the accept loop consumes it and shuts down the
+  /// read side of every live connection (readers must never touch
+  /// connections_mutex_, so the sweep cannot run on the reader thread
+  /// that parsed the drain frame).
+  std::atomic<bool> drain_sweep_pending_{false};
+  std::atomic<std::uint64_t> drains_requested_{0};
+  /// Admission-ordered handler census for the drain barrier: bumped by
+  /// the accept loop when a connection is admitted, dropped when its
+  /// handler finishes. A drain-owning handler waits until every live
+  /// handler is a drain owner before writing its summary -- via these
+  /// two atomics only, because stop() joins handlers while holding
+  /// connections_mutex_ (a handler touching that mutex would deadlock).
+  std::atomic<std::uint64_t> handlers_active_{0};
+  std::atomic<std::uint64_t> drain_owners_active_{0};
   std::thread accept_thread_;
   std::thread reaper_thread_;
   // Wakes the reaper out of its inter-probe wait so stop() is prompt

@@ -76,7 +76,9 @@ ShardRouter::ShardRouter(std::vector<SocketAddress> shards,
   duplicates_dropped_ = &registry.counter("route.duplicates_dropped");
   shards_lost_ = &registry.counter("route.shards_lost");
   shards_readmitted_ = &registry.counter("route.shards_readmitted");
+  shards_drained_ = &registry.counter("route.shards_drained");
   shards_alive_ = &registry.gauge("route.shards_alive");
+  shards_parked_ = &registry.gauge("route.shards_parked");
   jobs_inflight_ = &registry.gauge("route.jobs_inflight");
   job_seconds_ = &registry.histogram("route.job_seconds");
 }
@@ -188,6 +190,7 @@ std::vector<ShardStatus> ShardRouter::shard_statuses() const {
     ShardStatus status;
     status.address = shard->address;
     status.alive = state.alive;
+    status.draining = state.parked;
     status.jobs_sent = state.jobs_sent_total;
     status.results_received = state.results_total;
     status.times_lost = state.times_lost;
@@ -208,7 +211,7 @@ std::size_t ShardRouter::shard_for_digest(const std::string& digest) const {
   const Shard* best = nullptr;
   std::uint64_t best_score = 0;
   for (const auto& shard : shards_) {
-    if (!states_[shard->index].alive) continue;
+    if (!states_[shard->index].alive || states_[shard->index].parked) continue;
     const std::uint64_t score = mix(hash ^ mix(shard->index + 1));
     if (best == nullptr || score > best_score) {
       best = shard.get();
@@ -219,6 +222,62 @@ std::size_t ShardRouter::shard_for_digest(const std::string& digest) const {
   return best->index;
 }
 
+std::optional<DrainSummary> ShardRouter::drain_shard(std::size_t index,
+                                                     double timeout_seconds) {
+  POOLED_REQUIRE(index < shards_.size(),
+                 "drain-shard index " + std::to_string(index) +
+                     " out of range (fleet has " +
+                     std::to_string(shards_.size()) + " shards)");
+  Shard& shard = *shards_[index];
+  {
+    // Park *before* the drain frame goes out: once the backend has read
+    // it, it stops reading, so any job dispatched after it would just
+    // sit unread until the connection dies and it is requeued. Parking
+    // first means in-flight jobs finish and nothing new races the frame.
+    const LockGuard lock(mutex_);
+    ShardState& state = states_[index];
+    if (!state.alive) return std::nullopt;  // nothing to drain
+    if (!state.parked) {
+      state.parked = true;
+      shards_parked_->add(1);
+    }
+    state.drain_pending = true;
+    state.drain_result.reset();
+  }
+  bool sent = false;
+  {
+    const LockGuard write_lock(shard.write_mutex);
+    if (shard.stream) {
+      save_drain_request(shard.stream->out());
+      shard.stream->out().flush();
+      sent = static_cast<bool>(shard.stream->out());
+      if (!sent) shard.stream->out().clear();
+    }
+  }
+  if (!sent) {
+    on_shard_down(shard);
+    return std::nullopt;
+  }
+  shards_drained_->add(1);
+  // The reader fulfills drain_result once the backend's in-flight
+  // windows have flushed; bounded so a wedged backend cannot hang the
+  // drain (it is then simply torn down like any dead shard).
+  LockGuard lock(mutex_);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_seconds));
+  while (states_[index].drain_pending && !stop_.load()) {
+    if (results_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      break;
+    }
+  }
+  states_[index].drain_pending = false;
+  std::optional<DrainSummary> result = std::move(states_[index].drain_result);
+  states_[index].drain_result.reset();
+  return result;
+}
+
 /// The rendezvous pick over alive shards (digest affinity), or the
 /// round-robin successor. Returns nullptr when no shard is alive.
 ShardRouter::Shard* ShardRouter::pick_shard_locked(std::uint64_t digest_hash,
@@ -227,7 +286,8 @@ ShardRouter::Shard* ShardRouter::pick_shard_locked(std::uint64_t digest_hash,
   std::uint64_t best_score = 0;
   std::size_t alive = 0;
   for (const auto& shard : shards_) {
-    if (!states_[shard->index].alive) continue;
+    // A parked (draining) shard is alive but closed to new work.
+    if (!states_[shard->index].alive || states_[shard->index].parked) continue;
     ++alive;
     const std::uint64_t score =
         has_digest ? mix(digest_hash ^ mix(shard->index + 1)) : 0;
@@ -241,7 +301,7 @@ ShardRouter::Shard* ShardRouter::pick_shard_locked(std::uint64_t digest_hash,
   const std::uint64_t turn = round_robin_++ % alive;
   std::uint64_t seen = 0;
   for (const auto& shard : shards_) {
-    if (!states_[shard->index].alive) continue;
+    if (!states_[shard->index].alive || states_[shard->index].parked) continue;
     if (seen++ == turn) return shard.get();
   }
   return best;
@@ -272,7 +332,8 @@ void ShardRouter::dispatch(std::uint64_t index) {
     {
       const LockGuard lock(mutex_);
       ShardState& state = states_[shard->index];
-      if (!state.alive) continue;  // died between pick and lock: repick
+      // Died -- or was parked by a drain -- between pick and lock: repick.
+      if (!state.alive || state.parked) continue;
       auto it = pending_.find(index);
       if (it == pending_.end() || it->second.done) return;
       it->second.shard = static_cast<int>(shard->index);
@@ -314,12 +375,22 @@ void ShardRouter::drain_parked() {
 
 void ShardRouter::on_shard_down(Shard& shard) {
   std::size_t orphans = 0;
+  bool planned = false;
   {
     const LockGuard lock(mutex_);
     ShardState& state = states_[shard.index];
     if (!state.alive) return;  // another thread already handled it
     state.alive = false;
-    ++state.times_lost;
+    // A parked shard's death is the *planned* outcome of its drain, not
+    // a loss: the shard stays parked (the prober re-dials it), and no
+    // loss counters fire -- that is what keeps a rolling restart from
+    // reading like an outage. Any jobs it did not answer still requeue
+    // below, so even a botched drain loses nothing.
+    planned = state.parked;
+    if (!planned) ++state.times_lost;
+    if (state.drain_pending) {
+      state.drain_pending = false;  // its summary is never coming
+    }
     shards_alive_->add(-1);
     // Requeue the connection's unanswered jobs: they retry on survivors.
     for (const std::uint64_t index : state.sent) {
@@ -337,7 +408,7 @@ void ShardRouter::on_shard_down(Shard& shard) {
     for (const ShardState& other : states_) any_alive = any_alive || other.alive;
     if (!any_alive && !all_dead_since_) all_dead_since_.emplace();
   }
-  shards_lost_->add(1);
+  if (!planned) shards_lost_->add(1);
   // Unblock the shard's reader (when this is not it) so the prober can
   // join it and re-dial.
   shard.stream->socket().shutdown_both();
@@ -364,6 +435,21 @@ bool ShardRouter::try_admit(Shard& shard) {
     // state under mutex_).
     readmission = state.times_admitted > 0;
     state.alive = true;
+    if (state.parked) {
+      // The drained backend restarted and answered the dial: un-park it
+      // and let traffic resume -- the rolling restart is complete.
+      state.parked = false;
+      shards_parked_->add(-1);
+    }
+    // drain_result is NOT cleared here: it is drain_shard's rendezvous
+    // slot, armed and consumed there. A drained backend's summary lands
+    // moments before its EOF, and the EOF wakes this prober -- which can
+    // win the race to mutex_ (the dial even "succeeds" against a
+    // draining backend: the kernel completes the handshake before the
+    // accept loop refuses it) and must not destroy the summary before
+    // the drain_shard waiter collects it. A stale leftover (waiter timed
+    // out) is cleared by the next drain_shard call at entry.
+    state.drain_pending = false;
     state.sent.clear();  // the new connection numbers from zero
     ++state.times_admitted;
     shards_alive_->add(1);
@@ -404,11 +490,19 @@ void ShardRouter::reader_loop(Shard& shard) {
       }
       if (!mapped) break;  // index confusion: drop the connection
       deliver(global, std::move(*report));
-    } else {
+    } else if (auto* snapshot = std::get_if<MetricsSnapshot>(&(*response))) {
       const LockGuard lock(mutex_);
       ShardState& state = states_[shard.index];
-      state.stats_result = std::get<MetricsSnapshot>(std::move(*response));
+      state.stats_result = std::move(*snapshot);
       state.stats_pending = false;
+      results_cv_.notify_all();
+    } else {
+      // The backend's drain summary: the last frame it will ever send
+      // on this connection (EOF follows when it exits).
+      const LockGuard lock(mutex_);
+      ShardState& state = states_[shard.index];
+      state.drain_result = std::get<DrainSummary>(std::move(*response));
+      state.drain_pending = false;
       results_cv_.notify_all();
     }
   }
@@ -501,16 +595,30 @@ void ShardRouter::prober_loop() {
     if (stop_.load()) break;
     // 1. Liveness: one out-of-band blank line per alive shard. try_lock
     // like the serve reaper -- a dispatch mid-write must not wedge the
-    // prober.
+    // prober. Parked shards are never probed: a draining backend has
+    // stopped reading by design (the drain frame is the last thing it
+    // parses), so a probe would sit unread in its receive queue and turn
+    // its clean close into an RST (Linux aborts-on-data after shutdown)
+    // that can destroy the in-flight drain summary. Its planned death is
+    // detected by the reader's EOF instead.
     for (const auto& shard : shards_) {
       {
         const LockGuard lock(mutex_);
-        if (!states_[shard->index].alive) continue;
+        if (!states_[shard->index].alive || states_[shard->index].parked) {
+          continue;
+        }
       }
       bool alive = true;
       {
         if (!shard->write_mutex.try_lock()) continue;  // next period
         const LockGuard write_lock(shard->write_mutex, std::adopt_lock);
+        {
+          // Re-check under the write lock: drain_shard may have parked
+          // the shard (and sent its drain frame) since the check above,
+          // and no probe may follow that frame.
+          const LockGuard lock(mutex_);
+          if (states_[shard->index].parked) continue;
+        }
         if (shard->stream) {
           alive = send_liveness_probe(shard->stream->socket());
         }
@@ -541,7 +649,9 @@ MetricsSnapshot ShardRouter::build_snapshot() {
     {
       const LockGuard lock(mutex_);
       ShardState& state = states_[shard->index];
-      if (!state.alive) continue;
+      // A parked shard has stopped reading requests (its drain frame was
+      // the last thing it parsed), so a stats probe would only time out.
+      if (!state.alive || state.parked) continue;
       state.stats_pending = true;
       state.stats_result.reset();
     }
@@ -593,8 +703,13 @@ MetricsSnapshot ShardRouter::build_snapshot() {
       MetricValue::of_counter("route.shards_lost", shards_lost_->value()));
   values.push_back(MetricValue::of_counter("route.shards_readmitted",
                                            shards_readmitted_->value()));
+  values.push_back(MetricValue::of_counter("route.shards_drained",
+                                           shards_drained_->value()));
   values.push_back(MetricValue::of_gauge(
       "route.shards_alive", shards_alive_->value(), shards_alive_->peak()));
+  values.push_back(MetricValue::of_gauge("route.shards_parked",
+                                         shards_parked_->value(),
+                                         shards_parked_->peak()));
   values.push_back(MetricValue::of_gauge(
       "route.jobs_inflight", jobs_inflight_->value(), jobs_inflight_->peak()));
   values.push_back(
@@ -609,6 +724,9 @@ MetricsSnapshot ShardRouter::build_snapshot() {
         MetricValue::of_label(prefix + "address", shard->address.to_string()));
     values.push_back(MetricValue::of_gauge(prefix + "alive",
                                            state.alive ? 1 : 0, 1));
+    values.push_back(MetricValue::of_gauge(prefix + "draining",
+                                           state.parked ? 1 : 0,
+                                           state.parked ? 1 : 0));
     values.push_back(
         MetricValue::of_counter(prefix + "jobs_sent", state.jobs_sent_total));
     values.push_back(
@@ -652,6 +770,31 @@ std::size_t route_requests(std::istream& is, std::ostream& os,
       os.flush();
       POOLED_REQUIRE(static_cast<bool>(os), "stats frame write failed");
       continue;
+    }
+    if (std::holds_alternative<DrainRequest>(*request)) {
+      // Fleet-wide drain: every in-flight job merges and emits first
+      // (the summary promises nothing was dropped), then each shard
+      // drains in turn and the summaries fold into one. Serving stops
+      // -- the whole fleet is going down for its rolling restart.
+      while (!in_flight.empty()) emit_front();
+      DrainSummary fleet;
+      fleet.snapshot_written = true;
+      bool any_drained = false;
+      for (std::size_t i = 0; i < router.shard_count(); ++i) {
+        const std::optional<DrainSummary> summary = router.drain_shard(i);
+        if (!summary) continue;
+        any_drained = true;
+        fleet.jobs_served += summary->jobs_served;
+        fleet.cache_entries += summary->cache_entries;
+        fleet.write_failures += summary->write_failures;
+        fleet.snapshot_written =
+            fleet.snapshot_written && summary->snapshot_written;
+      }
+      if (!any_drained) fleet.snapshot_written = false;
+      save_drain_summary(os, fleet);
+      os.flush();
+      POOLED_REQUIRE(static_cast<bool>(os), "drain summary write failed");
+      break;
     }
     in_flight.push_back(
         router.submit(std::get<DecodeJob>(std::move(*request))));

@@ -29,6 +29,15 @@
 //   - While *no* shard is alive, jobs park; after
 //     `all_dead_fail_seconds` of continuous full outage they fail with
 //     `status error` so a caller is never wedged forever.
+//   - drain_shard(i) takes a shard down *gracefully*: the shard is
+//     parked (no new jobs route to it, but it is not "dead" -- its
+//     in-flight jobs finish and merge normally, nothing is requeued,
+//     and its planned exit is not counted as a loss), a `pooled-drain`
+//     frame asks the backend to snapshot its cache and exit, and the
+//     summary frame is returned. The readmission prober then re-dials
+//     the parked address on its normal cadence, so a restarted shard
+//     rejoins warm without operator action -- the rolling-restart
+//     primitive.
 //
 // Observability: per-shard route.* counters and the submit-to-merge
 // latency histogram live in the (optional) MetricsRegistry; a
@@ -83,6 +92,7 @@ struct ShardRouterOptions {
 struct ShardStatus {
   SocketAddress address;
   bool alive = false;
+  bool draining = false;  ///< parked by drain_shard; awaiting restart
   std::uint64_t jobs_sent = 0;         ///< frames written, all connections
   std::uint64_t results_received = 0;  ///< result frames merged back
   std::uint64_t in_flight = 0;         ///< sent, not yet answered
@@ -128,6 +138,15 @@ class ShardRouter {
   /// rendezvous pick). Throws ContractError when no shard is alive.
   [[nodiscard]] std::size_t shard_for_digest(const std::string& digest) const;
 
+  /// Gracefully drains shard `index` (see the file comment): parks it,
+  /// sends `pooled-drain`, and waits up to `timeout_seconds` for the
+  /// backend's summary frame. Returns the summary, or nullopt when the
+  /// shard was not alive, died before answering, or timed out -- the
+  /// shard is parked either way, and the prober readmits it when its
+  /// address accepts connections again. Thread-safe.
+  std::optional<DrainSummary> drain_shard(std::size_t index,
+                                          double timeout_seconds = 30.0);
+
   /// Fleet snapshot: route.* metrics, per-shard route.shard<i>.*
   /// counters, and every live shard's own snapshot (fetched over the
   /// wire via a `pooled-stats` frame) with names prefixed `shard<i>.`.
@@ -143,6 +162,12 @@ class ShardRouter {
   /// the analysis cannot alias with `this` at use sites).
   struct ShardState {
     bool alive = false;
+    /// Administratively drained: routing skips it, but its in-flight
+    /// jobs still merge and its expected death is not a "loss". Cleared
+    /// when the prober readmits the restarted backend.
+    bool parked = false;
+    bool drain_pending = false;  ///< drain frame sent, summary not yet in
+    std::optional<DrainSummary> drain_result;
     /// This connection's send order: local result index -> global index
     /// (the mirror of ServeServer's per-connection rebase). Cleared on
     /// reconnect, because the shard numbers each connection from zero.
@@ -211,7 +236,9 @@ class ShardRouter {
   Counter* duplicates_dropped_ = nullptr;
   Counter* shards_lost_ = nullptr;
   Counter* shards_readmitted_ = nullptr;
+  Counter* shards_drained_ = nullptr;
   Gauge* shards_alive_ = nullptr;
+  Gauge* shards_parked_ = nullptr;
   Gauge* jobs_inflight_ = nullptr;
   LatencyHistogram* job_seconds_ = nullptr;
 };
@@ -220,8 +247,10 @@ class ShardRouter {
 /// fans jobs out through `router`, and writes the merged result frames
 /// to `os` in submission order, keeping at most `window` jobs in flight
 /// (0 = 4x the shard count). `pooled-stats` requests are answered inline
-/// with a fleet snapshot, consuming no job index. Returns the number of
-/// jobs served.
+/// with a fleet snapshot, consuming no job index. A `pooled-drain`
+/// request flushes every in-flight job, drains the whole fleet shard by
+/// shard, answers with one merged summary frame, and stops serving.
+/// Returns the number of jobs served.
 std::size_t route_requests(std::istream& is, std::ostream& os,
                            ShardRouter& router, std::size_t window = 0);
 

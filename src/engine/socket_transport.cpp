@@ -13,6 +13,8 @@
 #include <algorithm>
 #include <cerrno>
 #include <charconv>
+#include <chrono>
+#include <cstdint>
 #include <cstring>
 #include <utility>
 
@@ -115,6 +117,10 @@ void Socket::shutdown_write() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
 }
 
+void Socket::shutdown_read() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
 void Socket::shutdown_both() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
@@ -126,6 +132,34 @@ void Socket::set_send_timeout(double seconds) {
   timeout.tv_usec = static_cast<suseconds_t>(
       (seconds - static_cast<double>(timeout.tv_sec)) * 1e6);
   ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+}
+
+void Socket::discard_until_eof(double timeout_seconds) {
+  if (fd_ < 0) return;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_seconds));
+  char scratch[4096];
+  for (;;) {
+    const auto left = deadline - std::chrono::steady_clock::now();
+    if (left <= std::chrono::steady_clock::duration::zero()) return;
+    pollfd waiter{};
+    waiter.fd = fd_;
+    waiter.events = POLLIN;
+    const int timeout_ms = static_cast<int>(std::min<std::int64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(left).count() +
+            1,
+        60000));
+    const int ready = ::poll(&waiter, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (ready == 0) return;  // bounded wait: a silent peer cannot pin us
+    const ssize_t got = ::recv(fd_, scratch, sizeof(scratch), 0);
+    if (got <= 0) return;  // EOF (clean peer close) or error: queue empty
+  }
 }
 
 void Socket::close() {

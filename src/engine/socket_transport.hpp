@@ -62,6 +62,11 @@ class Socket {
   /// results still flow back -- the client's "no more requests" signal.
   void shutdown_write();
 
+  /// Half-closes the read side: a blocked reader on this socket sees
+  /// EOF (as if the peer hung up) while responses already queued still
+  /// flow out -- the drain path's "no new requests" lever.
+  void shutdown_read();
+
   /// Shuts down both directions, waking any thread blocked in a read on
   /// this socket (the server's connection-teardown lever).
   void shutdown_both();
@@ -72,6 +77,14 @@ class Socket {
   void set_send_timeout(double seconds);
 
   void close();
+
+  /// Lingering close, step one: reads and discards inbound bytes until
+  /// the peer closes (EOF), an error lands, or `timeout_seconds` pass.
+  /// Closing a socket with unread data in its receive queue makes the
+  /// kernel answer with an RST that also destroys anything still queued
+  /// on the send side -- fatal for a frame the peer must not lose (the
+  /// drain summary). Call after shutdown_write(), then close().
+  void discard_until_eof(double timeout_seconds);
 
   /// Client side: connects to a serve server. Throws ContractError when
   /// nothing listens there (a bounded wait -- see try_dial; a blackholed

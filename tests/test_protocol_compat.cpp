@@ -274,5 +274,54 @@ TEST(ProtocolCompat, StatsFramesRequireProtocolV2) {
   EXPECT_THROW((void)load_request(v1), ContractError);
 }
 
+TEST(ProtocolCompat, GoldenDrainRequestRoundTripsByteIdentical) {
+  const std::string golden = read_fixture("golden_v2_drain_request.txt");
+  std::ostringstream request;
+  save_drain_request(request);
+  EXPECT_EQ(request.str(), golden);
+
+  std::istringstream stream(golden);
+  const auto parsed = load_request(stream);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(std::holds_alternative<DrainRequest>(*parsed));
+  EXPECT_FALSE(load_request(stream).has_value());  // clean EOF
+
+  // load_job stays the job-only reader: a drain frame is a hard error
+  // there, same as stats.
+  std::istringstream job_only(golden);
+  EXPECT_THROW((void)load_job(job_only), ContractError);
+}
+
+TEST(ProtocolCompat, GoldenDrainSummaryRoundTripsByteIdentical) {
+  const std::string golden = read_fixture("golden_v2_drain_summary.txt");
+  std::istringstream stream(golden);
+  const std::optional<DrainSummary> summary = load_drain_summary(stream);
+  ASSERT_TRUE(summary.has_value());
+  EXPECT_EQ(summary->jobs_served, 128u);
+  EXPECT_EQ(summary->cache_entries, 28u);
+  EXPECT_TRUE(summary->snapshot_written);
+  EXPECT_EQ(summary->write_failures, 1u);
+  EXPECT_FALSE(load_drain_summary(stream).has_value());  // clean EOF
+
+  std::ostringstream reserialized;
+  save_drain_summary(reserialized, *summary);
+  EXPECT_EQ(reserialized.str(), golden);
+
+  // The response reader dispatches the same bytes to the summary arm.
+  std::istringstream as_response(golden);
+  const auto response = load_response(as_response);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_TRUE(std::holds_alternative<DrainSummary>(*response));
+}
+
+TEST(ProtocolCompat, DrainFramesRequireProtocolV2) {
+  std::istringstream request_v1("pooled-drain v1\nend\n");
+  EXPECT_THROW((void)load_request(request_v1), ContractError);
+  std::istringstream summary_v1(
+      "pooled-drain-result v1\nstatus ok\njobs-served 0\ncache-entries 0\n"
+      "snapshot-written 0\nwrite-failures 0\nend\n");
+  EXPECT_THROW((void)load_drain_summary(summary_v1), ContractError);
+}
+
 }  // namespace
 }  // namespace pooled

@@ -693,5 +693,80 @@ TEST(ServeServer, ProgressSinkEmitsUnderTheSocketServer) {
       << text;
 }
 
+TEST(ServeServer, DrainAnswersInFlightJobsThenSendsTheSummary) {
+  ThreadPool pool(2);
+  const BatchEngine engine(pool);
+  ServeServerOptions options;
+  std::atomic<int> snapshots{0};
+  options.on_drain = [&](DrainSummary& summary) {
+    summary.cache_entries = 17;
+    summary.snapshot_written = true;
+    snapshots.fetch_add(1);
+  };
+  ServeServer server(loopback_listener(), engine, options);
+  server.start();
+
+  // Jobs first, the drain frame after: both must be answered, results
+  // before the summary.
+  SocketStream client(Socket::dial(server.address()));
+  std::vector<std::uint32_t> truth;
+  DecodeJob job = sample_job(77, &truth);
+  job.truth_support = truth;
+  save_job(client.out(), job);
+  save_job(client.out(), sample_job(78, nullptr, "random"));
+  save_drain_request(client.out());
+  client.out().flush();
+
+  std::optional<DecodeReport> first = load_report(client.in());
+  ASSERT_TRUE(first.has_value());
+  EXPECT_TRUE(first->ok()) << first->error;
+  EXPECT_EQ(first->index, 0u);
+  std::optional<DecodeReport> second = load_report(client.in());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->index, 1u);
+
+  const std::optional<DrainSummary> summary =
+      load_drain_summary(client.in());
+  ASSERT_TRUE(summary.has_value());
+  EXPECT_EQ(summary->jobs_served, 2u);
+  EXPECT_EQ(summary->cache_entries, 17u);  // on_drain's edit round-trips
+  EXPECT_TRUE(summary->snapshot_written);
+  EXPECT_EQ(summary->write_failures, 0u);
+  EXPECT_EQ(snapshots.load(), 1);
+  EXPECT_TRUE(server.draining());
+
+  // The summary is the connection's last frame.
+  EXPECT_FALSE(load_report(client.in()).has_value());
+
+  // A draining server refuses new connections: the handshake may still
+  // complete (the kernel accepts before the server refuses), but the
+  // connection closes without ever serving a job.
+  wait_until([&] { return server.stats().active_connections == 0; },
+             "drain to quiesce");
+  SocketStream late(Socket::dial(server.address()));
+  save_job(late.out(), sample_job(79, nullptr, "random"));
+  late.out().flush();
+  late.socket().shutdown_write();
+  EXPECT_TRUE(drain_reports(late.in()).empty());
+
+  server.stop();
+  EXPECT_EQ(server.stats().jobs_served, 2u);
+}
+
+TEST(ServeServer, BeginDrainWithoutAConnectionQuiescesTheServer) {
+  // The SIGTERM path: no drain frame, no summary owed -- the flag flips
+  // and live connections (none here) are swept.
+  ThreadPool pool(1);
+  const BatchEngine engine(pool);
+  ServeServer server(loopback_listener(), engine);
+  server.start();
+  EXPECT_FALSE(server.draining());
+  server.begin_drain();
+  EXPECT_TRUE(server.draining());
+  wait_until([&] { return server.stats().active_connections == 0; },
+             "idle server to quiesce");
+  server.stop();
+}
+
 }  // namespace
 }  // namespace pooled

@@ -32,6 +32,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -222,17 +223,33 @@ std::atomic<bool> g_serve_interrupted{false};
 
 void handle_serve_signal(int) { g_serve_interrupted.store(true); }
 
-void print_cache_counters(const ResultCache* cache) {
-  if (cache == nullptr) return;
-  const CacheStats stats = cache->stats();
-  std::fprintf(stderr,
-               "cache: capacity=%zu size=%zu hits=%llu misses=%llu "
-               "evictions=%llu hit-rate=%.1f%%\n",
-               stats.capacity, stats.size,
-               static_cast<unsigned long long>(stats.hits),
-               static_cast<unsigned long long>(stats.misses),
-               static_cast<unsigned long long>(stats.evictions),
-               100.0 * stats.hit_rate());
+/// Prints the cache summary line from a metrics snapshot -- the same
+/// cache.* counters the stats frame and every exporter report -- so the
+/// stderr line can never drift from what the registry says.
+void print_cache_line(const MetricsSnapshot& snapshot) {
+  if (snapshot.find("cache.hits") == nullptr) return;  // no cache wired
+  const std::uint64_t hits = snapshot.counter_value("cache.hits");
+  const std::uint64_t misses = snapshot.counter_value("cache.misses");
+  const std::uint64_t lookups = hits + misses;
+  std::fprintf(
+      stderr,
+      "cache: capacity=%lld size=%lld hits=%llu misses=%llu "
+      "evictions=%llu snapshot-writes=%llu snapshot-restores=%llu "
+      "snapshot-rejected=%llu hit-rate=%.1f%%\n",
+      static_cast<long long>(snapshot.gauge_value("cache.capacity")),
+      static_cast<long long>(snapshot.gauge_value("cache.size")),
+      static_cast<unsigned long long>(hits),
+      static_cast<unsigned long long>(misses),
+      static_cast<unsigned long long>(snapshot.counter_value("cache.evictions")),
+      static_cast<unsigned long long>(
+          snapshot.counter_value("cache.snapshot_writes")),
+      static_cast<unsigned long long>(
+          snapshot.counter_value("cache.snapshot_restores")),
+      static_cast<unsigned long long>(
+          snapshot.counter_value("cache.snapshot_rejected")),
+      lookups == 0 ? 0.0
+                   : 100.0 * static_cast<double>(hits) /
+                         static_cast<double>(lookups));
 }
 
 int cmd_serve(int argc, const char* const* argv) {
@@ -245,6 +262,13 @@ int cmd_serve(int argc, const char* const* argv) {
   cli.add_i64("batch", "jobs per scheduling window (0 = 4x threads)", 0);
   cli.add_i64("threads", "worker threads (0 = hardware concurrency)", 0);
   cli.add_i64("cache", "result-cache capacity in reports (0 = no cache)", 1024);
+  cli.add_string("cache-file",
+                 "durable cache snapshot path: restored on startup, spilled "
+                 "periodically and on drain/exit (see engine/cache_store.hpp)",
+                 "");
+  cli.add_f64("snapshot-interval",
+              "seconds between periodic cache snapshots with --cache-file",
+              30.0);
   cli.add_flag("progress", "stream per-round decode progress to stderr");
   cli.add_string("metrics",
                  "plain-text metrics endpoint on <host>:<port> or unix:/path; "
@@ -258,11 +282,45 @@ int cmd_serve(int argc, const char* const* argv) {
   POOLED_REQUIRE(cli.i64("threads") >= 0, "--threads must be >= 0");
   POOLED_REQUIRE(cli.i64("batch") >= 0, "--batch must be >= 0");
   POOLED_REQUIRE(cli.i64("cache") >= 0, "--cache must be >= 0");
+  POOLED_REQUIRE(cli.f64("snapshot-interval") > 0.0,
+                 "--snapshot-interval must be > 0");
+  const std::string cache_file = cli.string("cache-file");
+  POOLED_REQUIRE(cache_file.empty() || cli.i64("cache") > 0,
+                 "--cache-file needs --cache > 0");
   ThreadPool pool(static_cast<unsigned>(cli.i64("threads")));
   std::unique_ptr<ResultCache> cache;
   if (cli.i64("cache") > 0) {
     cache = std::make_unique<ResultCache>(static_cast<std::size_t>(cli.i64("cache")));
   }
+  if (cache && !cache_file.empty()) {
+    try {
+      const std::size_t restored = cache->restore(cache_file);
+      if (restored > 0) {
+        std::fprintf(stderr, "cache: restored %zu entries from %s\n", restored,
+                     cache_file.c_str());
+      }
+    } catch (const ContractError& e) {
+      // A corrupt snapshot must not stop the server: it starts cold and
+      // the rejection is counted (cache.snapshot_rejected) and logged.
+      std::fprintf(stderr, "cache: restore rejected, starting cold: %s\n",
+                   e.what());
+    }
+  }
+  // Spill failures (full disk, bad path) are survivable -- decoding
+  // continues -- but they mean durability was not delivered, so they are
+  // counted and turn the exit status nonzero.
+  std::atomic<std::uint64_t> snapshot_failures{0};
+  const auto spill_cache = [&]() -> bool {
+    if (!cache || cache_file.empty()) return false;
+    try {
+      cache->spill(cache_file);
+      return true;
+    } catch (const std::exception& e) {
+      snapshot_failures.fetch_add(1);
+      std::fprintf(stderr, "cache: snapshot failed: %s\n", e.what());
+      return false;
+    }
+  };
   MetricsRegistry registry;
   EngineOptions options;
   options.max_in_flight = static_cast<std::size_t>(cli.i64("batch"));
@@ -289,6 +347,14 @@ int cmd_serve(int argc, const char* const* argv) {
     server_options.progress = progress.get();
     server_options.metrics = &registry;
     server_options.trace = trace.get();
+    if (cache && !cache_file.empty()) {
+      server_options.snapshot_seconds = cli.f64("snapshot-interval");
+      server_options.on_snapshot = [&] { (void)spill_cache(); };
+    }
+    server_options.on_drain = [&](DrainSummary& summary) {
+      if (cache) summary.cache_entries = cache->stats().size;
+      summary.snapshot_written = spill_cache();
+    };
     ServeServer server(
         ListenSocket::bind_and_listen(SocketAddress::parse(cli.string("listen"))),
         engine, server_options);
@@ -314,30 +380,44 @@ int cmd_serve(int argc, const char* const* argv) {
     std::signal(SIGINT, handle_serve_signal);
     std::signal(SIGTERM, handle_serve_signal);
     int ticks = 0;
-    while (!g_serve_interrupted.load()) {
+    bool signalled = false;
+    while (true) {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
       if (metrics_dump && ++ticks % 100 == 0) {  // ~every 5 seconds
         std::ostringstream body;
         write_snapshot_text(body, server.build_snapshot());
         std::fputs(body.str().c_str(), stderr);
       }
+      if (g_serve_interrupted.exchange(false)) {
+        // First SIGINT/SIGTERM starts the same graceful drain the
+        // pooled-drain frame does: in-flight windows finish, the cache
+        // snapshots, then we fall out below. A second signal means "now".
+        if (signalled) break;
+        signalled = true;
+        server.begin_drain();
+      }
+      if (server.draining() && server.stats().active_connections == 0) break;
     }
     if (metrics_server) metrics_server->stop();
     server.stop();
+    (void)spill_cache();  // final snapshot: nothing decoded after this
     const ServeServerStats stats = server.stats();
     std::fprintf(stderr,
                  "served %llu jobs over %llu connections "
                  "(%llu cancelled, %llu failed, %llu write-failures, "
-                 "%llu reaped, %llu errored)\n",
+                 "%llu snapshot-failures, %llu reaped, %llu errored)\n",
                  static_cast<unsigned long long>(stats.jobs_served),
                  static_cast<unsigned long long>(stats.connections_accepted),
                  static_cast<unsigned long long>(stats.jobs_cancelled),
                  static_cast<unsigned long long>(stats.jobs_failed),
                  static_cast<unsigned long long>(stats.write_failures),
+                 static_cast<unsigned long long>(snapshot_failures.load()),
                  static_cast<unsigned long long>(stats.connections_reaped),
                  static_cast<unsigned long long>(stats.connections_errored));
-    print_cache_counters(cache.get());
-    return 0;
+    print_cache_line(server.build_snapshot());
+    // Clean drain exits 0; undelivered frames or failed snapshots mean
+    // the shutdown lost something and the caller must know.
+    return stats.write_failures > 0 || snapshot_failures.load() > 0 ? 1 : 0;
   }
   POOLED_REQUIRE(metrics_arg.empty() || metrics_dump,
                  "--metrics <addr> needs --listen; use --metrics - for a "
@@ -360,25 +440,31 @@ int cmd_serve(int argc, const char* const* argv) {
     out = &file_out;
   }
 
+  const std::function<void(DrainSummary&)> on_drain =
+      [&](DrainSummary& summary) {
+        if (cache) summary.cache_entries = cache->stats().size;
+        summary.snapshot_written = spill_cache();
+      };
   const std::size_t served =
       serve_stream(*in, *out, engine, options.max_in_flight, progress.get(),
-                   /*cancel=*/nullptr, &registry, trace.get());
+                   /*cancel=*/nullptr, &registry, trace.get(), &on_drain);
+  (void)spill_cache();  // final snapshot on clean exit
   std::fprintf(stderr, "served %zu jobs over %u threads\n", served, pool.size());
-  print_cache_counters(cache.get());
+  MetricsSnapshot snapshot;
+  snapshot.values.push_back(MetricValue::of_counter("serve.jobs_served", served));
+  if (cache) {
+    const CacheStats cache_stats = cache->stats();
+    append_stats_snapshot(snapshot, &cache_stats, &registry);
+  } else {
+    append_stats_snapshot(snapshot, nullptr, &registry);
+  }
+  print_cache_line(snapshot);
   if (metrics_dump) {
     std::ostringstream body;
-    MetricsSnapshot snapshot;
-    snapshot.values.push_back(MetricValue::of_counter("serve.jobs_served", served));
-    if (cache) {
-      const CacheStats cache_stats = cache->stats();
-      append_stats_snapshot(snapshot, &cache_stats, &registry);
-    } else {
-      append_stats_snapshot(snapshot, nullptr, &registry);
-    }
     write_snapshot_text(body, snapshot);
     std::fputs(body.str().c_str(), stderr);
   }
-  return 0;
+  return snapshot_failures.load() > 0 ? 1 : 0;
 }
 
 int cmd_route(int argc, const char* const* argv) {
@@ -396,6 +482,10 @@ int cmd_route(int argc, const char* const* argv) {
               "outage (0 = wait forever)", 30.0);
   cli.add_flag("no-affinity",
                "round-robin every job instead of routing by instance digest");
+  cli.add_i64("drain-shard",
+              "gracefully drain shard <i> (0-based) before serving: it "
+              "snapshots its cache and exits, the prober readmits it when "
+              "it restarts (-1 = none)", -1);
   cli.parse(argc, argv);
   if (cli.help_requested()) {
     std::fputs(cli.help_text().c_str(), stdout);
@@ -418,6 +508,23 @@ int cmd_route(int argc, const char* const* argv) {
   router.start();
   std::fprintf(stderr, "routing over %zu shards (%zu alive)\n",
                router.shard_count(), router.alive_count());
+  if (cli.i64("drain-shard") >= 0) {
+    const auto index = static_cast<std::size_t>(cli.i64("drain-shard"));
+    const std::optional<DrainSummary> summary = router.drain_shard(index);
+    if (summary) {
+      std::fprintf(stderr,
+                   "drained shard %zu: %llu jobs served, %llu cache entries, "
+                   "snapshot %s\n",
+                   index,
+                   static_cast<unsigned long long>(summary->jobs_served),
+                   static_cast<unsigned long long>(summary->cache_entries),
+                   summary->snapshot_written ? "written" : "not written");
+    } else {
+      std::fprintf(stderr,
+                   "drain of shard %zu got no summary (down or timed out)\n",
+                   index);
+    }
+  }
 
   std::ifstream file_in;
   std::istream* in = &std::cin;
@@ -443,12 +550,13 @@ int cmd_route(int argc, const char* const* argv) {
   for (const ShardStatus& status : router.shard_statuses()) {
     std::fprintf(stderr,
                  "  shard %s: %llu sent, %llu answered, %llu lost, "
-                 "%llu admitted\n",
+                 "%llu admitted%s\n",
                  status.address.to_string().c_str(),
                  static_cast<unsigned long long>(status.jobs_sent),
                  static_cast<unsigned long long>(status.results_received),
                  static_cast<unsigned long long>(status.times_lost),
-                 static_cast<unsigned long long>(status.times_admitted));
+                 static_cast<unsigned long long>(status.times_admitted),
+                 status.draining ? ", draining" : "");
   }
   return 0;
 }

@@ -10,6 +10,7 @@ hangs up without sending anything.
 Usage: socket_client_smoke.py <host> <port> <jobs-file> [<jobs-file>...]
        socket_client_smoke.py --stats-probe <host> <port> <jobs-file>
        socket_client_smoke.py --route <pooled_cli> <jobs-file>
+       socket_client_smoke.py --rolling-restart <pooled_cli> <jobs-file>
 
 --stats-probe exercises the v2 `pooled-stats` observability frame under
 load: connection A sends the jobs file and reads its results *without*
@@ -23,11 +24,24 @@ stats frame body prints to stdout for the CI log.
 over them, streams the jobs file through the router's stdin, SIGKILLs
 one shard mid-run, and asserts every job still produced exactly one
 result frame, in submission order, with every status ok.
+
+--rolling-restart exercises the durable-cache drain protocol end to
+end: shard A serves with `--cache-file`, a routed batch runs, then a
+`route --drain-shard 0` process drains A (which must snapshot its
+cache and exit 0), A restarts on the same address with the same cache
+file, the router readmits it, and a second batch must lose zero jobs
+while A answers its share from the *restored* cache
+(shard0.cache.snapshot_restores >= 1 and shard0.cache.hits >= 1 in the
+fleet stats frame). Jobs must be cacheable: deterministic, and not
+deadline-capped (deadline/cancel stops are never cached).
 """
+import os
 import re
+import shutil
 import socket
 import subprocess
 import sys
+import tempfile
 import time
 
 
@@ -81,19 +95,28 @@ def stats_probe(host: str, port: int, jobs_path: str) -> int:
     return 0
 
 
-def spawn_serve(cli: str) -> "tuple[subprocess.Popen, str]":
-    """Starts `pooled_cli serve --listen 127.0.0.1:0`; returns (proc, addr)."""
+def spawn_serve(cli, extra_args=(), listen="127.0.0.1:0"):
+    """Starts `pooled_cli serve --listen <listen> [extra_args...]`.
+
+    Returns (proc, addr, banner): the stderr text consumed up to and
+    including the "listening on <addr>" readiness line, which carries
+    the kernel-assigned port -- and, on a warm start, the
+    "cache: restored N entries" line that precedes it.
+    """
     proc = subprocess.Popen(
-        [cli, "serve", "--listen", "127.0.0.1:0"],
+        [cli, "serve", "--listen", listen, *extra_args],
         stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True)
-    # The "listening on <addr>" stderr line is the readiness signal (and
-    # carries the kernel-assigned port).
-    line = proc.stderr.readline()
-    match = re.search(r"listening on (\S+)", line)
-    if not match:
-        proc.kill()
-        raise SystemExit(f"shard never came up: {line!r}")
-    return proc, match.group(1)
+    banner = ""
+    for _ in range(20):
+        line = proc.stderr.readline()
+        if not line:
+            break
+        banner += line
+        match = re.search(r"listening on (\S+)", line)
+        if match:
+            return proc, match.group(1), banner
+    proc.kill()
+    raise SystemExit(f"shard never came up: {banner!r}")
 
 
 def route_smoke(cli: str, jobs_path: str) -> int:
@@ -102,8 +125,8 @@ def route_smoke(cli: str, jobs_path: str) -> int:
     job_count = jobs.count(b"pooled-job")
     if job_count < 4:
         raise SystemExit("route smoke needs a jobs file with >= 4 jobs")
-    shard_a, addr_a = spawn_serve(cli)
-    shard_b, addr_b = spawn_serve(cli)
+    shard_a, addr_a, _ = spawn_serve(cli)
+    shard_b, addr_b, _ = spawn_serve(cli)
     router = subprocess.Popen(
         [cli, "route", "--shard", addr_a, "--shard", addr_b,
          "--no-affinity", "--window", "4"],
@@ -141,12 +164,175 @@ def route_smoke(cli: str, jobs_path: str) -> int:
     return 0
 
 
+class PipeFrameReader:
+    """End-framed reads from a pipe, carrying leftover bytes between
+    calls (one os.read may return the tail of frame N plus the head of
+    frame N+1)."""
+
+    def __init__(self, stream):
+        self.stream = stream
+        self.buffer = b""
+
+    def read_frames(self, frame_count: int) -> bytes:
+        while self.buffer.count(b"\nend\n") < frame_count:
+            chunk = os.read(self.stream.fileno(), 1 << 16)
+            if not chunk:
+                raise SystemExit("router hung up mid-stream")
+            self.buffer += chunk
+        split = 0
+        for _ in range(frame_count):
+            split = self.buffer.index(b"\nend\n", split) + len(b"\nend\n")
+        frames, self.buffer = self.buffer[:split], self.buffer[split:]
+        return frames
+
+
+def run_jobs_direct(addr: str, jobs: bytes, job_count: int) -> None:
+    """Streams `jobs` straight at one shard and asserts every job ok."""
+    host, port = addr.rsplit(":", 1)
+    with socket.create_connection((host, int(port)), timeout=60) as conn:
+        conn.sendall(jobs)
+        conn.shutdown(socket.SHUT_WR)
+        received = read_frames(conn, job_count)
+    if received.count(b"status ok") != job_count:
+        raise SystemExit("direct pre-warm batch did not all succeed")
+
+
+def check_batch(frames: bytes, job_count: int, first_index: int,
+                label: str) -> None:
+    if frames.count(b"pooled-result") != job_count:
+        raise SystemExit(f"{label}: lost or duplicated result frames")
+    if frames.count(b"status ok") != job_count:
+        raise SystemExit(f"{label}: not every job succeeded")
+    indices = [int(m.group(1))
+               for m in re.finditer(rb"\njob (\d+)\n", frames)]
+    if indices != list(range(first_index, first_index + job_count)):
+        raise SystemExit(f"{label}: results out of submission order: "
+                         f"{indices}")
+
+
+def rolling_restart(cli: str, jobs_path: str) -> int:
+    """Zero-downtime rolling restart of one shard behind a live router.
+
+    The jobs file must contain deterministic, cacheable jobs (no
+    deadline-ms: deadline-stopped reports are never cached, so they can
+    never be answered from the restored snapshot).
+    """
+    with open(jobs_path, "rb") as jobs_file:
+        jobs = jobs_file.read()
+    job_count = jobs.count(b"pooled-job")
+    if job_count < 4:
+        raise SystemExit("rolling restart needs a jobs file with >= 4 jobs")
+    workdir = tempfile.mkdtemp(prefix="pooled-rolling-")
+    cache_file = os.path.join(workdir, "shard_a.cache")
+    cache_args = ["--cache", "64", "--cache-file", cache_file]
+    shard_a, addr_a, _ = spawn_serve(cli, cache_args)
+    shard_b, addr_b, _ = spawn_serve(cli, ["--cache", "64"])
+    # Pre-warm shard A's cache with every job key, straight at its
+    # address: after the drain snapshots + the restart restores, *any*
+    # batch-2 job the router round-robins to A is a guaranteed hit.
+    run_jobs_direct(addr_a, jobs, job_count)
+    # --window 1 emits every result before the next request is read:
+    # with stdin held open between batches, a wider window would hold
+    # back the batch tail until more input arrived.
+    router = subprocess.Popen(
+        [cli, "route", "--shard", addr_a, "--shard", addr_b,
+         "--no-affinity", "--window", "1"],
+        stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL)
+    frames = PipeFrameReader(router.stdout)
+    try:
+        # Batch 1 rides both shards.
+        router.stdin.write(jobs)
+        router.stdin.flush()
+        check_batch(frames.read_frames(job_count), job_count, 0, "batch 1")
+        # Drain shard A through the routed drain path: it must snapshot
+        # its cache, answer the summary, and exit 0 (the clean-drain
+        # exit-status contract). The long-lived router sees A leave and
+        # keeps serving from B.
+        drain = subprocess.run(
+            [cli, "route", "--shard", addr_a, "--drain-shard", "0"],
+            stdin=subprocess.DEVNULL, capture_output=True, text=True,
+            timeout=120)
+        if drain.returncode != 0:
+            print(drain.stderr, file=sys.stderr)
+            raise SystemExit("drain process exited nonzero")
+        if "drained shard 0" not in drain.stderr \
+                or "snapshot written" not in drain.stderr:
+            print(drain.stderr, file=sys.stderr)
+            raise SystemExit("drain summary missing from drain stderr")
+        if shard_a.wait(timeout=60) != 0:
+            raise SystemExit("drained shard exited nonzero")
+        if not os.path.exists(cache_file):
+            raise SystemExit("drain left no cache snapshot on disk")
+        # Restart A on the same address with the same cache file; the
+        # banner must show the warm start.
+        shard_a, restarted_addr, banner = spawn_serve(
+            cli, cache_args, listen=addr_a)
+        if restarted_addr != addr_a:
+            raise SystemExit(f"restarted shard moved: {restarted_addr}")
+        if "cache: restored" not in banner:
+            raise SystemExit(f"restarted shard started cold: {banner!r}")
+        # Wait for the router's prober to readmit the restarted shard.
+        # shards_alive alone can transiently count a not-yet-reaped stale
+        # connection, so also require shard A's own ride-along snapshot
+        # to report the restore -- that takes a stats round trip to the
+        # live, warm backend.
+        for _ in range(100):
+            router.stdin.write(b"pooled-stats v2\nend\n")
+            router.stdin.flush()
+            body = frames.read_frames(1).decode()
+            alive = snapshot_value(body, "gauge", "route.shards_alive")
+            try:
+                restores = snapshot_value(
+                    body, "counter", "shard0.cache.snapshot_restores")
+            except SystemExit:
+                restores = 0.0
+            if alive == 2 and restores >= 1:
+                break
+            time.sleep(0.2)
+        else:
+            raise SystemExit("restarted shard was never readmitted warm")
+        # Batch 2: zero loss, and A must answer its share from the
+        # restored snapshot.
+        router.stdin.write(jobs)
+        router.stdin.flush()
+        check_batch(frames.read_frames(job_count), job_count, job_count,
+                    "batch 2")
+        router.stdin.write(b"pooled-stats v2\nend\n")
+        router.stdin.flush()
+        body = frames.read_frames(1).decode()
+        restores = snapshot_value(
+            body, "counter", "shard0.cache.snapshot_restores")
+        if restores < 1:
+            raise SystemExit("restarted shard reports no snapshot restore")
+        hits = snapshot_value(body, "counter", "shard0.cache.hits")
+        if hits < 1:
+            raise SystemExit(
+                "restarted shard answered nothing from the restored cache")
+        router.stdin.close()
+        if router.wait(timeout=120) != 0:
+            raise SystemExit("router exited nonzero")
+    finally:
+        for proc in (shard_a, shard_b, router):
+            if proc.poll() is None:
+                proc.kill()
+        shutil.rmtree(workdir, ignore_errors=True)
+    print(f"rolling restart ok: {2 * job_count} jobs, zero lost, "
+          f"{hits:.0f} answered from the restored cache", file=sys.stderr)
+    return 0
+
+
 def main() -> int:
     if len(sys.argv) >= 2 and sys.argv[1] == "--route":
         if len(sys.argv) != 4:
             print(__doc__, file=sys.stderr)
             return 2
         return route_smoke(sys.argv[2], sys.argv[3])
+    if len(sys.argv) >= 2 and sys.argv[1] == "--rolling-restart":
+        if len(sys.argv) != 4:
+            print(__doc__, file=sys.stderr)
+            return 2
+        return rolling_restart(sys.argv[2], sys.argv[3])
     if len(sys.argv) >= 2 and sys.argv[1] == "--stats-probe":
         if len(sys.argv) != 5:
             print(__doc__, file=sys.stderr)
